@@ -1,0 +1,149 @@
+// E10 — positioning against baselines (Section 1 related work, Section 3).
+//
+// One table: on planted near-clique instances, compare DistNearClique with
+// (a) the Section 3 shingles algorithm (CONGEST, O(1) rounds),
+// (b) the Section 3 neighbours-of-neighbours algorithm (LOCAL, exact but
+//     unbounded messages and NP-hard local work),
+// (c) centralized greedy peeling (densest-subgraph style),
+// (d) the Abello et al. GRASP quasi-clique heuristic,
+// (e) the GGR centralized approximate find (the construction the paper
+//     distributes).
+// Shape to verify: DistNearClique's quality approaches the centralized
+// methods while keeping CONGEST-size messages; neighbours² wins on quality
+// but loses by orders of magnitude on message size and local work; shingles
+// loses on quality (it dilutes the clique with I1, as Claim 1 predicts).
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+
+#include "baselines/ggr_find.hpp"
+#include "baselines/grasp.hpp"
+#include "baselines/neighbors2.hpp"
+#include "baselines/peeling.hpp"
+#include "baselines/shingles.hpp"
+#include "bench_common.hpp"
+#include "core/driver.hpp"
+#include "expt/workloads.hpp"
+#include "graph/metrics.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace nc;
+
+bench::TableSink& sink() {
+  static bench::TableSink s{
+      "E10: baseline comparison — planted 0.008-near clique of 60 in n=150 "
+      "(means over 8 seeds; cost = rounds for distributed, ops/queries for "
+      "centralized)",
+      {"algorithm", "model", "size", "density", "recall", "max_msg_bits",
+       "cost"}};
+  return s;
+}
+
+struct Row {
+  RunningStat size, density, recall, max_bits, cost;
+};
+
+void add_measurement(Row& row, const Instance& inst,
+                     const std::vector<NodeId>& found, double max_bits,
+                     double cost) {
+  row.size.add(static_cast<double>(found.size()));
+  row.density.add(found.empty() ? 0.0 : set_density(inst.graph, found));
+  std::size_t overlap = 0;
+  for (const NodeId v : found) {
+    if (std::binary_search(inst.planted.begin(), inst.planted.end(), v)) {
+      ++overlap;
+    }
+  }
+  row.recall.add(static_cast<double>(overlap) /
+                 static_cast<double>(inst.planted.size()));
+  row.max_bits.add(max_bits);
+  row.cost.add(cost);
+}
+
+void emit(const std::string& name, const std::string& model, const Row& row) {
+  sink().add_row({name, model, Table::num(row.size.mean(), 1),
+                  Table::num(row.density.mean(), 3),
+                  Table::num(row.recall.mean(), 2),
+                  Table::num(row.max_bits.max(), 0),
+                  Table::num(row.cost.mean(), 0)});
+}
+
+void BM_Comparison(benchmark::State& state) {
+  const NodeId n = 150;
+  const double eps = 0.2;
+  Row dist, shingles, nn, peel, grasp, ggr;
+
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const auto inst = make_theorem_instance(n, 0.4, eps, 0.08, 0.2, seed);
+
+    {
+      DriverConfig cfg;
+      cfg.proto.eps = eps;
+      cfg.proto.p = 9.0 / static_cast<double>(n);
+      cfg.net.seed = seed;
+      cfg.net.max_rounds = 16'000'000;
+      const auto res = run_dist_near_clique(inst.graph, cfg);
+      add_measurement(dist, inst, res.largest_cluster(),
+                      static_cast<double>(res.stats.max_message_bits),
+                      static_cast<double>(res.stats.rounds));
+    }
+    {
+      ShinglesParams sp;
+      sp.eps = eps;
+      sp.min_size = 4;
+      const auto res = run_shingles(inst.graph, sp, seed);
+      add_measurement(shingles, inst, res.largest_cluster(),
+                      static_cast<double>(res.stats.max_message_bits),
+                      static_cast<double>(res.stats.rounds));
+    }
+    {
+      const auto res = run_neighbors2(inst.graph, Neighbors2Params{}, seed);
+      add_measurement(nn, inst, res.largest_cluster(),
+                      static_cast<double>(res.stats.max_message_bits),
+                      static_cast<double>(res.total_expansions));
+    }
+    {
+      const auto found = largest_near_clique_by_peeling(inst.graph, eps);
+      add_measurement(peel, inst, found, 0.0,
+                      static_cast<double>(inst.graph.m()));
+    }
+    {
+      GraspParams gp;
+      gp.gamma = 1.0 - eps;
+      gp.iterations = 24;
+      Rng rng(seed);
+      const auto found = grasp_quasi_clique(inst.graph, gp, rng);
+      add_measurement(grasp, inst, found, 0.0,
+                      24.0 * static_cast<double>(inst.graph.m()));
+    }
+    {
+      Rng rng(seed);
+      const auto res = ggr_approximate_find(inst.graph, eps, 9, rng);
+      add_measurement(ggr, inst, res.found, 0.0,
+                      static_cast<double>(res.pair_queries));
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dist);
+  }
+  state.counters["dist_recall"] = dist.recall.mean();
+  state.counters["shingles_recall"] = shingles.recall.mean();
+
+  emit("DistNearClique", "CONGEST", dist);
+  emit("shingles (Sec 3)", "CONGEST", shingles);
+  emit("neighbours^2 (Sec 3)", "LOCAL", nn);
+  emit("greedy peeling", "central", peel);
+  emit("GRASP quasi-clique [1]", "central", grasp);
+  emit("GGR approximate find [10]", "central", ggr);
+}
+
+BENCHMARK(BM_Comparison)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return nc::bench::run_main(argc, argv, {&sink()});
+}

@@ -1,0 +1,131 @@
+// E11 — Section 6: impossibility of outputting only the global maximum.
+//
+// The gadget: clique A (n/2), path P (n/4), clique B (n/4). Deleting A's
+// edges flips which side hosts the largest near-clique, but no node of B
+// can learn that in fewer than |P| rounds. Prediction: for any horizon
+// r < |P|, B-side outputs are *identical* in the two scenarios (we measure
+// the number of differing B-side labels: must be 0), so any algorithm that
+// decided B's output by then is wrong in one scenario. After completion the
+// algorithm legitimately outputs B as one member of its disjoint collection.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bench_common.hpp"
+#include "core/driver.hpp"
+#include "core/protocol.hpp"
+#include "expt/workloads.hpp"
+#include "graph/metrics.hpp"
+#include "runtime/network.hpp"
+
+namespace {
+
+using namespace nc;
+
+bench::TableSink& sink() {
+  static bench::TableSink s{
+      "E11: Section 6 impossibility — B-side output divergence between "
+      "scenarios (n=96, |P|=24) after r rounds",
+      {"rounds_r", "r_vs_|P|", "B_labels_differing", "as_predicted"}};
+  return s;
+}
+
+std::vector<Label> labels_after(const Graph& g, std::uint64_t rounds,
+                                std::uint64_t seed) {
+  DriverConfig cfg;
+  cfg.proto.eps = 0.2;
+  cfg.proto.p = 0.12;
+  cfg.net.seed = seed;
+  cfg.net.max_rounds = 32'000'000;
+  const Schedule schedule = make_schedule(cfg.proto, g.n(), cfg.net.max_rounds);
+  Network net(g, cfg.net, [&](NodeId) {
+    return std::make_unique<DistNearCliqueNode>(cfg.proto, schedule);
+  });
+  net.run_rounds(rounds);
+  std::vector<Label> out(g.n(), kBottom);
+  for (NodeId v = 0; v < g.n(); ++v) {
+    out[v] = static_cast<DistNearCliqueNode&>(net.node(v)).label();
+  }
+  return out;
+}
+
+void BM_Indistinguishability(benchmark::State& state) {
+  const NodeId n = 96;
+  const auto lay = barbell_layout(n);
+  const auto with_a = make_barbell_instance(n, false);
+  const auto without_a = make_barbell_instance(n, true);
+  const auto r = static_cast<std::uint64_t>(state.range(0));
+
+  std::size_t differing = 0;
+  for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    const auto la = labels_after(with_a.graph, r, seed);
+    const auto lb = labels_after(without_a.graph, r, seed);
+    for (NodeId v = lay.b_first; v < n; ++v) {
+      if (la[v] != lb[v]) ++differing;
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(differing);
+  }
+  state.counters["differing"] = static_cast<double>(differing);
+
+  const bool below_path = r < lay.path_len;
+  const bool ok = !below_path || differing == 0;
+  sink().add_row({Table::num(r),
+                  below_path ? "< |P| (must match)" : ">= |P| (may differ)",
+                  Table::num(static_cast<std::uint64_t>(differing)),
+                  ok ? "yes" : "NO"});
+}
+
+BENCHMARK(BM_Indistinguishability)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(23)
+    ->Arg(64)
+    ->Arg(4096)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+bench::TableSink& full_sink() {
+  static bench::TableSink s{
+      "E11b: full run on the barbell — the disjoint-collection resolution",
+      {"scenario", "clusters", "largest", "largest_density",
+       "contains_B_side"}};
+  return s;
+}
+
+void BM_FullRunResolution(benchmark::State& state) {
+  const NodeId n = 96;
+  const auto lay = barbell_layout(n);
+  for (const bool delete_a : {false, true}) {
+    const auto inst = make_barbell_instance(n, delete_a);
+    DriverConfig cfg;
+    cfg.proto.eps = 0.2;
+    cfg.proto.p = 0.12;
+    cfg.net.seed = 7;
+    cfg.net.max_rounds = 32'000'000;
+    const auto res = run_dist_near_clique(inst.graph, cfg);
+    const auto clusters = res.clusters();
+    const auto best = res.largest_cluster();
+    bool has_b = false;
+    for (const NodeId v : best) has_b |= v >= lay.b_first;
+    full_sink().add_row(
+        {delete_a ? "A edges deleted" : "A intact",
+         Table::num(static_cast<std::uint64_t>(clusters.size())),
+         Table::num(static_cast<std::uint64_t>(best.size())),
+         Table::num(best.empty() ? 0.0 : set_density(inst.graph, best), 3),
+         has_b ? "yes" : "no"});
+  }
+  for (auto _ : state) {
+  }
+}
+
+BENCHMARK(BM_FullRunResolution)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return nc::bench::run_main(argc, argv, {&sink(), &full_sink()});
+}

@@ -1,0 +1,98 @@
+// E1 — Theorem 2.1 / 5.7 (the paper's main result).
+//
+// Premise: G contains an eps^3-near clique D with |D| >= delta * n.
+// Prediction: with probability Omega(1), DistNearClique outputs a
+// (1/(1-13/2 eps)) * eps/delta-near clique of size >= (1-13/2 eps)|D| -
+// eps^{-2}, within O(2^{2pn}) rounds and O(log n)-bit messages.
+//
+// This bench sweeps (eps, delta), plants an exactly-eps^3-near clique and
+// reports the empirical success rate of the full Theorem 5.7 predicate plus
+// the measured size/density/rounds. The paper claims Omega(1) success — the
+// shape to verify is a success rate bounded away from 0 across the grid,
+// output size tracking (1-O(eps))|D| and density above the bound.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "core/driver.hpp"
+#include "expt/report.hpp"
+#include "expt/trial.hpp"
+#include "expt/workloads.hpp"
+
+namespace {
+
+using namespace nc;
+
+bench::TableSink& sink() {
+  static bench::TableSink s{
+      "E1: Theorem 5.7 — planted eps^3-near clique, n=200",
+      [] {
+        std::vector<std::string> h{"eps", "delta", "pred_min_size",
+                                   "pred_max_eps", "effective"};
+        for (const auto& c : stats_headers()) h.push_back(c);
+        return h;
+      }()};
+  return s;
+}
+
+void BM_Theorem57(benchmark::State& state) {
+  const double eps = static_cast<double>(state.range(0)) / 100.0;
+  const double delta = static_cast<double>(state.range(1)) / 100.0;
+  const NodeId n = 200;
+  const std::size_t trials = 10;
+
+  TrialSpec spec;
+  spec.make_instance = [=](std::uint64_t seed) {
+    return make_theorem_instance(n, delta, eps, 0.08, 0.25, seed);
+  };
+  spec.run = [=](const Graph& g, std::uint64_t seed) {
+    DriverConfig cfg;
+    cfg.proto.eps = eps;
+    cfg.proto.p = 10.0 / static_cast<double>(n);  // pn = 10 (constant)
+    cfg.net.seed = seed;
+    cfg.net.max_rounds = 4'000'000;
+    return run_dist_near_clique(g, cfg);
+  };
+  spec.success = [=](const Instance& inst, const NearCliqueResult& res) {
+    return theorem57_success(inst, res, eps, delta);
+  };
+
+  // Secondary, non-vacuous predicate for the table: "effective discovery" =
+  // at least 2/3 of D recovered at density >= 1 - 2 eps (the theorem's
+  // constants are asymptotic; at n=200 the -eps^{-2} size term swallows the
+  // size bound, so we report both).
+  spec.success2 = [=](const Instance& inst, const NearCliqueResult& res) {
+    const auto best = res.largest_cluster();
+    return 3 * best.size() >= 2 * inst.planted.size() &&
+           cluster_density(inst.graph, best) >= 1.0 - 2.0 * eps;
+  };
+
+  TrialStats stats;
+  for (auto _ : state) {
+    stats = run_trials(spec, trials, 0xe1);
+  }
+  state.counters["success_rate"] = stats.success_rate();
+  state.counters["out_density"] = stats.out_density.mean();
+  state.counters["size_ratio"] = stats.size_ratio.mean();
+  state.counters["rounds"] = stats.rounds.mean();
+
+  const auto bounds = theorem57_bounds(
+      eps, delta, static_cast<std::size_t>(delta * n + 0.5));
+  std::vector<std::string> row{Table::num(eps, 2), Table::num(delta, 2),
+                               Table::num(bounds.min_size, 1),
+                               Table::num(bounds.max_eps_out, 3),
+                               Table::num(stats.success2_rate(), 2)};
+  append_stats_cells(row, stats);
+  sink().add_row(std::move(row));
+}
+
+BENCHMARK(BM_Theorem57)
+    ->ArgsProduct({{10, 15, 20, 25}, {30, 50}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return nc::bench::run_main(argc, argv, {&sink()});
+}

@@ -1,0 +1,83 @@
+// E2 — Corollary 2.2: linear-size near-cliques in O(1) rounds.
+//
+// Premise: eps constant, D an eps^3-near clique with |D| = Theta(n)
+// (delta = 1/2 here). Prediction: an O(eps)-near clique of size
+// (1-O(eps))|D| is found with constant probability in O(1) rounds with
+// O(log n)-bit messages. The shape to verify: as n grows with p*n held
+// constant, the round count stays flat (constant), success probability
+// stays bounded away from zero, and max message size grows only like log n.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "core/driver.hpp"
+#include "expt/report.hpp"
+#include "expt/trial.hpp"
+#include "expt/workloads.hpp"
+#include "util/bitio.hpp"
+
+namespace {
+
+using namespace nc;
+
+bench::TableSink& sink() {
+  static bench::TableSink s{
+      "E2: Corollary 2.2 — rounds stay O(1) as n grows (pn fixed = 9)",
+      [] {
+        std::vector<std::string> h{"n", "idw_bits"};
+        for (const auto& c : stats_headers()) h.push_back(c);
+        return h;
+      }()};
+  return s;
+}
+
+void BM_LinearSize(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  const double eps = 0.2;
+  const double delta = 0.5;
+  const std::size_t trials = 6;
+
+  TrialSpec spec;
+  spec.make_instance = [=](std::uint64_t seed) {
+    return make_linear_instance(n, eps, seed);
+  };
+  spec.run = [=](const Graph& g, std::uint64_t seed) {
+    DriverConfig cfg;
+    cfg.proto.eps = eps;
+    cfg.proto.p = 9.0 / static_cast<double>(n);  // pn fixed
+    cfg.net.seed = seed;
+    cfg.net.max_rounds = 4'000'000;
+    return run_dist_near_clique(g, cfg);
+  };
+  spec.success = [=](const Instance& inst, const NearCliqueResult& res) {
+    return theorem57_success(inst, res, eps, delta);
+  };
+
+  TrialStats stats;
+  for (auto _ : state) {
+    stats = run_trials(spec, trials, 0xe2);
+  }
+  state.counters["rounds"] = stats.rounds.mean();
+  state.counters["success_rate"] = stats.success_rate();
+  state.counters["max_msg_bits"] = stats.max_msg_bits.max();
+
+  std::vector<std::string> row{Table::num(static_cast<std::uint64_t>(n)),
+                               Table::num(static_cast<std::uint64_t>(
+                                   id_width(n)))};
+  append_stats_cells(row, stats);
+  sink().add_row(std::move(row));
+}
+
+BENCHMARK(BM_LinearSize)
+    ->Arg(100)
+    ->Arg(200)
+    ->Arg(400)
+    ->Arg(600)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return nc::bench::run_main(argc, argv, {&sink()});
+}

@@ -1,0 +1,94 @@
+// E3 — Corollary 2.3: strict cliques of slightly sublinear size.
+//
+// Premise: a clique D with |D| >= n / (log log n)^alpha. Prediction: an
+// o(1)-near clique of size (1-o(1))|D| is found with probability 1-o(1) in
+// a polylogarithmic number of rounds (the sampling probability grows only
+// polylogarithmically, so 2^{2pn} is quasi-polylog). Shape to verify: high
+// success rate and a round count that grows far slower than any polynomial
+// in n — we report rounds / polylog(n) staying bounded.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "core/boosting.hpp"
+#include "core/driver.hpp"
+#include "expt/report.hpp"
+#include "expt/trial.hpp"
+#include "expt/workloads.hpp"
+
+namespace {
+
+using namespace nc;
+
+bench::TableSink& sink() {
+  static bench::TableSink s{
+      "E3: Corollary 2.3 — clique of size n/(loglog n)^0.5, boosted lambda=2",
+      [] {
+        std::vector<std::string> h{"n", "|D|", "rounds/log2(n)^2"};
+        for (const auto& c : stats_headers()) h.push_back(c);
+        return h;
+      }()};
+  return s;
+}
+
+void BM_Sublinear(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  const double alpha = 0.5;
+  const double eps = 0.2;
+  const std::size_t trials = 4;
+
+  TrialSpec spec;
+  spec.make_instance = [=](std::uint64_t seed) {
+    return make_sublinear_instance(n, alpha, seed);
+  };
+  spec.run = [=](const Graph& g, std::uint64_t seed) {
+    DriverConfig cfg;
+    cfg.proto.eps = eps;
+    // delta = 1/(loglog n)^alpha shrinks, so pn grows ~(loglog n)^alpha.
+    const double loglog =
+        std::log2(std::max(4.0, std::log2(static_cast<double>(n))));
+    cfg.proto.p = 8.0 * std::pow(loglog, alpha) / static_cast<double>(n);
+    cfg.net.seed = seed;
+    cfg.net.max_rounds = 8'000'000;
+    return run_boosted(g, cfg, 2, 1'000'000);
+  };
+  spec.success = [=](const Instance& inst, const NearCliqueResult& res) {
+    // (1-o(1))|D| nodes at o(1) distance from clique: use 0.8 / 0.9 as the
+    // finite-n stand-ins for the asymptotic statement.
+    const auto best = res.largest_cluster();
+    return static_cast<double>(best.size()) >=
+               0.8 * static_cast<double>(inst.planted.size()) &&
+           cluster_density(inst.graph, best) >= 0.9;
+  };
+
+  TrialStats stats;
+  for (auto _ : state) {
+    stats = run_trials(spec, trials, 0xe3);
+  }
+  const double polylog =
+      std::pow(std::log2(static_cast<double>(n)), 2.0);
+  state.counters["success_rate"] = stats.success_rate();
+  state.counters["rounds_per_polylog"] = stats.rounds.mean() / polylog;
+
+  const auto d = make_sublinear_instance(n, alpha, 1).planted.size();
+  std::vector<std::string> row{
+      Table::num(static_cast<std::uint64_t>(n)),
+      Table::num(static_cast<std::uint64_t>(d)),
+      Table::num(stats.rounds.mean() / polylog, 1)};
+  append_stats_cells(row, stats);
+  sink().add_row(std::move(row));
+}
+
+BENCHMARK(BM_Sublinear)
+    ->Arg(120)
+    ->Arg(240)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return nc::bench::run_main(argc, argv, {&sink()});
+}

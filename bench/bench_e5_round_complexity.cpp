@@ -1,0 +1,115 @@
+// E5 — Lemma 5.1: round complexity O(2^|S|).
+//
+// Prediction: the execution takes O(2^|S|) communication rounds, dominated
+// by the subset-indexed convergecasts of the exploration stage. Shape to
+// verify: log2(rounds) grows linearly in |S| with slope about 1 (each extra
+// sampled node doubles the subset space), and the per-kind traffic breakdown
+// attributes the bulk of the bits to the exploration-stage streams
+// (kKBitvec/kKSum/kKCount), matching the appendix proof's accounting.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "core/driver.hpp"
+#include "core/oracle.hpp"
+#include "core/protocol.hpp"
+#include "expt/workloads.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace nc;
+
+bench::TableSink& sink() {
+  static bench::TableSink s{
+      "E5: Lemma 5.1 — rounds vs |S| (n=120, planted clique of 60; "
+      "prediction: log2(rounds) linear in |S|, slope ~1)",
+      {"target_pn", "mean_|S|", "mean_rounds", "log2_rounds",
+       "explore_bits_share", "runs"}};
+  return s;
+}
+
+std::vector<double> g_s_sizes;
+std::vector<double> g_log_rounds;
+
+void BM_RoundsVsSampleSize(benchmark::State& state) {
+  const double pn = static_cast<double>(state.range(0));
+  const NodeId n = 120;
+  const std::size_t trials = 8;
+
+  RunningStat s_size, rounds, log_rounds, explore_share;
+  for (std::size_t t = 0; t < trials; ++t) {
+    const std::uint64_t seed = 100 + t;
+    const auto inst = make_theorem_instance(n, 0.5, 0.0, 0.08, 0.25, seed);
+    DriverConfig cfg;
+    cfg.proto.eps = 0.2;
+    cfg.proto.p = pn / static_cast<double>(n);
+    cfg.net.seed = seed;
+    cfg.net.max_rounds = 64'000'000;
+    const auto sample = oracle_sample(inst.graph, cfg.proto.p, seed, 1);
+    const auto res = run_dist_near_clique(inst.graph, cfg);
+    if (res.aborted()) continue;
+    s_size.add(static_cast<double>(sample.size()));
+    rounds.add(static_cast<double>(res.stats.rounds));
+    log_rounds.add(std::log2(static_cast<double>(res.stats.rounds) + 1));
+    std::uint64_t explore_bits = 0;
+    for (const auto kind : {kKBitvec, kKSum, kKCount, kTSum}) {
+      const auto it = res.stats.bits_by_kind.find(kind);
+      if (it != res.stats.bits_by_kind.end()) explore_bits += it->second;
+    }
+    explore_share.add(static_cast<double>(explore_bits) /
+                      static_cast<double>(res.stats.bits));
+    g_s_sizes.push_back(static_cast<double>(sample.size()));
+    g_log_rounds.push_back(std::log2(static_cast<double>(res.stats.rounds)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rounds);
+  }
+  state.counters["mean_rounds"] = rounds.mean();
+  state.counters["mean_S"] = s_size.mean();
+
+  sink().add_row({Table::num(pn, 0), Table::num(s_size.mean(), 1),
+                  Table::num(rounds.mean(), 0),
+                  Table::num(log_rounds.mean(), 2),
+                  Table::num(explore_share.mean(), 2),
+                  Table::num(static_cast<std::uint64_t>(s_size.count()))});
+}
+
+BENCHMARK(BM_RoundsVsSampleSize)
+    ->Arg(4)
+    ->Arg(6)
+    ->Arg(8)
+    ->Arg(10)
+    ->Arg(12)
+    ->Arg(14)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+bench::TableSink& fit_sink() {
+  static bench::TableSink s{
+      "E5 fit: least-squares slope of log2(rounds) against |S| "
+      "(Lemma 5.1 predicts ~1.0)",
+      {"slope", "points"}};
+  return s;
+}
+
+void BM_SlopeFit(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g_s_sizes);
+  }
+  const double slope = least_squares_slope(g_s_sizes, g_log_rounds);
+  state.counters["slope"] = slope;
+  fit_sink().add_row(
+      {Table::num(slope, 3),
+       Table::num(static_cast<std::uint64_t>(g_s_sizes.size()))});
+}
+
+BENCHMARK(BM_SlopeFit)->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return nc::bench::run_main(argc, argv, {&sink(), &fit_sink()});
+}

@@ -1,0 +1,71 @@
+// E6 — Lemma 5.2: Pr[|S| <= 2pn] >= 1 - e^{-pn/3}.
+//
+// The sampling stage draws |S| ~ Binomial(n, p). The lemma's Chernoff bound
+// predicts the failure probability Pr[|S| > 2pn] decays at least like
+// e^{-pn/3}. Shape to verify: the empirical failure rate is below the bound
+// for every pn, and decays (roughly geometrically) as pn grows.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "core/oracle.hpp"
+#include "graph/builder.hpp"
+
+namespace {
+
+using namespace nc;
+
+bench::TableSink& sink() {
+  static bench::TableSink s{
+      "E6: Lemma 5.2 — sample-size concentration (n=4000, 4000 trials/row)",
+      {"pn", "bound_e^{-pn/3}", "empirical_P[|S|>2pn]", "bound_holds",
+       "mean_|S|"}};
+  return s;
+}
+
+void BM_SampleConcentration(benchmark::State& state) {
+  const double pn = static_cast<double>(state.range(0));
+  const NodeId n = 4000;
+  const std::size_t trials = 4000;
+  const double p = pn / static_cast<double>(n);
+
+  GraphBuilder builder(n);
+  const Graph g = builder.build();  // topology is irrelevant to sampling
+
+  std::size_t violations = 0;
+  double total_size = 0.0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    const auto s = oracle_sample(g, p, 0xe6000 + t, 1);
+    total_size += static_cast<double>(s.size());
+    if (static_cast<double>(s.size()) > 2.0 * pn) ++violations;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(violations);
+  }
+  const double empirical = static_cast<double>(violations) / trials;
+  const double bound = std::exp(-pn / 3.0);
+  state.counters["empirical"] = empirical;
+  state.counters["bound"] = bound;
+
+  sink().add_row({Table::num(pn, 0), Table::num(bound, 4),
+                  Table::num(empirical, 4),
+                  empirical <= bound ? "yes" : "NO",
+                  Table::num(total_size / trials, 1)});
+}
+
+BENCHMARK(BM_SampleConcentration)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(6)
+    ->Arg(9)
+    ->Arg(12)
+    ->Arg(18)
+    ->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return nc::bench::run_main(argc, argv, {&sink()});
+}

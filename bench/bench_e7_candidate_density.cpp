@@ -1,0 +1,105 @@
+// E7 — Lemma 5.3: every candidate T_eps(X) is an (n eps / t)-near clique.
+//
+// The lemma is unconditional: for any X and t = |T_eps(X)|, the set T_eps(X)
+// misses at most an (n eps / t) fraction of its ordered pairs. We enumerate
+// *every* candidate the exploration stage would produce (via the centralized
+// oracle, which exposes all components' winners) across random and planted
+// graphs and measure the worst margin. Shape to verify: zero violations,
+// and the margin (bound - actual missing fraction) stays non-negative.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "core/oracle.hpp"
+#include "expt/workloads.hpp"
+#include "graph/generators.hpp"
+#include "graph/metrics.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace nc;
+
+bench::TableSink& sink() {
+  static bench::TableSink s{
+      "E7: Lemma 5.3 — all candidates T_eps(X) are (n*eps/t)-near cliques",
+      {"family", "eps", "candidates", "violations", "min_margin",
+       "mean_|T|"}};
+  return s;
+}
+
+void run_family(const std::string& name, double eps,
+                const std::function<Instance(std::uint64_t)>& make,
+                benchmark::State& state) {
+  std::size_t candidates = 0, violations = 0;
+  double min_margin = 1.0;
+  RunningStat t_sizes;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const auto inst = make(seed);
+    ProtocolParams proto;
+    proto.eps = eps;
+    proto.p = 8.0 / static_cast<double>(inst.graph.n());
+    const auto orc = run_oracle(inst.graph, proto, seed);
+    for (std::size_t i = 0; i < orc.candidates.size(); ++i) {
+      const auto& rc = orc.candidates[i];
+      if (!rc.live || orc.t_sets[i].size() < 2) continue;
+      ++candidates;
+      const auto& t_set = orc.t_sets[i];
+      t_sizes.add(static_cast<double>(t_set.size()));
+      const double t = static_cast<double>(t_set.size());
+      const double bound =
+          static_cast<double>(inst.graph.n()) * eps / t;
+      const double missing = 1.0 - set_density(inst.graph, t_set);
+      if (missing > bound + 1e-9) ++violations;
+      min_margin = std::min(min_margin, bound - missing);
+    }
+  }
+  state.counters["violations"] = static_cast<double>(violations);
+  sink().add_row({name, Table::num(eps, 2),
+                  Table::num(static_cast<std::uint64_t>(candidates)),
+                  Table::num(static_cast<std::uint64_t>(violations)),
+                  Table::num(min_margin, 4), Table::num(t_sizes.mean(), 1)});
+}
+
+void BM_PlantedFamily(benchmark::State& state) {
+  const double eps = static_cast<double>(state.range(0)) / 100.0;
+  for (auto _ : state) {
+  }
+  run_family("planted", eps,
+             [](std::uint64_t seed) {
+               return make_theorem_instance(150, 0.4, 0.2, 0.1, 0.25, seed);
+             },
+             state);
+}
+BENCHMARK(BM_PlantedFamily)->Arg(10)->Arg(20)->Arg(30)->Iterations(1);
+
+void BM_ErdosRenyiFamily(benchmark::State& state) {
+  const double eps = static_cast<double>(state.range(0)) / 100.0;
+  for (auto _ : state) {
+  }
+  run_family("G(150,0.3)", eps,
+             [](std::uint64_t seed) {
+               Rng rng(seed);
+               return Instance{erdos_renyi(150, 0.3, rng), {}};
+             },
+             state);
+}
+BENCHMARK(BM_ErdosRenyiFamily)->Arg(10)->Arg(20)->Iterations(1);
+
+void BM_WebFamily(benchmark::State& state) {
+  const double eps = static_cast<double>(state.range(0)) / 100.0;
+  for (auto _ : state) {
+  }
+  run_family("power-law web", eps,
+             [](std::uint64_t seed) {
+               return make_web_instance(200, 40, 0.2, seed);
+             },
+             state);
+}
+BENCHMARK(BM_WebFamily)->Arg(20)->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return nc::bench::run_main(argc, argv, {&sink()});
+}

@@ -1,0 +1,95 @@
+// E8 — Section 4.1, boosting wrapper.
+//
+// Prediction: running lambda independent sampling+exploration versions with
+// a single decision stage drives the failure probability from (1-r) to
+// (1-r)^lambda (i.e. to any target q with lambda = log_{1-r} q), at a cost
+// of a factor-lambda in running time. Shape to verify: success rate rises
+// with lambda toward 1 tracking 1-(1-r)^lambda, and the measured rounds
+// scale roughly linearly in lambda (sequential windows).
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "core/boosting.hpp"
+#include "core/driver.hpp"
+#include "expt/trial.hpp"
+#include "expt/workloads.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace nc;
+
+double g_single_rate = 0.0;  // measured r for lambda = 1
+
+bench::TableSink& sink() {
+  static bench::TableSink s{
+      "E8: boosting — success vs lambda at marginal p (n=150, pn=6)",
+      {"lambda", "predicted_1-(1-r)^l", "measured_success", "95% CI",
+       "mean_rounds", "rounds_ratio_vs_l1"}};
+  return s;
+}
+
+double g_lambda1_rounds = 0.0;
+
+void BM_Boosting(benchmark::State& state) {
+  const auto lambda = static_cast<std::uint16_t>(state.range(0));
+  const NodeId n = 150;
+  const double eps = 0.2;
+  const double delta = 0.4;
+  const std::size_t trials = 12;
+  const std::uint64_t window = 400'000;
+
+  TrialSpec spec;
+  spec.make_instance = [=](std::uint64_t seed) {
+    return make_theorem_instance(n, delta, eps, 0.08, 0.25, seed);
+  };
+  spec.run = [=](const Graph& g, std::uint64_t seed) {
+    DriverConfig cfg;
+    cfg.proto.eps = eps;
+    cfg.proto.p = 6.0 / static_cast<double>(n);  // marginal: fails often
+    cfg.net.seed = seed;
+    cfg.net.max_rounds = 16'000'000;
+    return run_boosted(g, cfg, lambda, window);
+  };
+  spec.success = [=](const Instance& inst, const NearCliqueResult& res) {
+    return theorem57_success(inst, res, eps, delta);
+  };
+
+  TrialStats stats;
+  for (auto _ : state) {
+    stats = run_trials(spec, trials, 0xe8);
+  }
+  if (lambda == 1) {
+    g_single_rate = stats.success_rate();
+    g_lambda1_rounds = stats.rounds.mean();
+  }
+  const double predicted =
+      1.0 - std::pow(1.0 - g_single_rate, static_cast<double>(lambda));
+  state.counters["success_rate"] = stats.success_rate();
+  state.counters["predicted"] = predicted;
+
+  const auto ci = stats.success_interval();
+  sink().add_row(
+      {Table::num(static_cast<std::uint64_t>(lambda)),
+       Table::num(predicted, 2), Table::num(stats.success_rate(), 2),
+       "[" + Table::num(ci.lo, 2) + "," + Table::num(ci.hi, 2) + "]",
+       Table::num(stats.rounds.mean(), 0),
+       Table::num(g_lambda1_rounds > 0
+                      ? stats.rounds.mean() / g_lambda1_rounds
+                      : 0.0,
+                  2)});
+}
+
+// Lambda must run in increasing order so the lambda=1 baseline is measured
+// first; google-benchmark preserves registration order.
+BENCHMARK(BM_Boosting)->Arg(1)->Arg(2)->Arg(4)->Arg(6)->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return nc::bench::run_main(argc, argv, {&sink()});
+}

@@ -1,0 +1,79 @@
+// E9 — CONGEST compliance: messages of O(log n) bits, independent of eps, p.
+//
+// Theorem 2.1 stresses "the message length is a function of n and is
+// independent of eps, delta". Shape to verify: the measured maximum message
+// size (i) stays within B = 8 * ceil(log2(n+1)) bits, (ii) grows only
+// logarithmically in n, and (iii) is identical across eps and p settings on
+// the same n.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "core/driver.hpp"
+#include "expt/workloads.hpp"
+#include "util/bitio.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace nc;
+
+bench::TableSink& sink() {
+  static bench::TableSink s{
+      "E9: message size — max bits per message vs n (B = 8*ceil(log2(n+1)))",
+      {"n", "eps", "pn", "B_bits", "max_msg_bits", "within_B",
+       "total_Mbits"}};
+  return s;
+}
+
+void BM_MessageBits(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  const double eps = static_cast<double>(state.range(1)) / 100.0;
+  const double pn = static_cast<double>(state.range(2));
+
+  RunningStat max_bits, total_bits;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto inst = make_theorem_instance(n, 0.5, eps, 0.08, 0.25, seed);
+    DriverConfig cfg;
+    cfg.proto.eps = eps;
+    cfg.proto.p = pn / static_cast<double>(n);
+    cfg.net.seed = seed;
+    cfg.net.max_rounds = 16'000'000;
+    const auto res = run_dist_near_clique(inst.graph, cfg);
+    if (res.aborted()) continue;
+    max_bits.add(static_cast<double>(res.stats.max_message_bits));
+    total_bits.add(static_cast<double>(res.stats.bits));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(max_bits);
+  }
+  const double budget = 8.0 * id_width(n);
+  state.counters["max_msg_bits"] = max_bits.max();
+  state.counters["budget_bits"] = budget;
+
+  sink().add_row({Table::num(static_cast<std::uint64_t>(n)),
+                  Table::num(eps, 2), Table::num(pn, 0),
+                  Table::num(budget, 0), Table::num(max_bits.max(), 0),
+                  max_bits.max() <= budget ? "yes" : "NO",
+                  Table::num(total_bits.mean() / 1e6, 2)});
+}
+
+BENCHMARK(BM_MessageBits)
+    ->Args({64, 20, 8})
+    ->Args({128, 20, 8})
+    ->Args({256, 20, 8})
+    ->Args({512, 20, 8})
+    ->Args({1024, 20, 8})
+    // eps/p independence on fixed n:
+    ->Args({256, 10, 8})
+    ->Args({256, 30, 8})
+    ->Args({256, 20, 5})
+    ->Args({256, 20, 11})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return nc::bench::run_main(argc, argv, {&sink()});
+}

@@ -1,0 +1,91 @@
+// Bursty evolution of blogspace — the paper's temporal motivation [14]:
+// significant events in an evolving link graph appear as *dense subgraphs*
+// emerging over time. This example simulates a sequence of graph snapshots
+// in which a community of blogs gradually links up ("an event building"),
+// runs DistNearClique on every snapshot with boosting (lambda = 3), and
+// shows the discovered near-clique growing as the event crystallizes.
+//
+//   ./blog_burst [--n=250] [--event=45] [--steps=6] [--seed=5]
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/boosting.hpp"
+#include "core/driver.hpp"
+#include "graph/builder.hpp"
+#include "graph/metrics.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+/// Snapshot t: background blog links plus the first t/steps fraction of the
+/// event community's internal links.
+nc::Graph snapshot(nc::NodeId n, nc::NodeId event, unsigned step,
+                   unsigned steps, std::uint64_t seed) {
+  nc::Rng rng(seed);  // same seed: background links persist across time
+  nc::GraphBuilder b(n);
+  for (nc::NodeId u = 0; u < n; ++u) {
+    for (nc::NodeId v = u + 1; v < n; ++v) {
+      if (rng.next_bernoulli(0.04)) b.add_edge(u, v);
+    }
+  }
+  // Event links appear in a fixed random order as time advances.
+  std::vector<std::pair<nc::NodeId, nc::NodeId>> pairs;
+  for (nc::NodeId u = n - event; u < n; ++u) {
+    for (nc::NodeId v = u + 1; v < n; ++v) pairs.emplace_back(u, v);
+  }
+  nc::Rng order(seed ^ 0xb106);
+  order.shuffle(pairs);
+  const std::size_t visible =
+      pairs.size() * std::min(step, steps) / std::max(1u, steps);
+  for (std::size_t i = 0; i < visible; ++i) {
+    b.add_edge(pairs[i].first, pairs[i].second);
+  }
+  return b.build();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const nc::Args args(argc, argv);
+  const auto n = static_cast<nc::NodeId>(args.get_int("n", 250));
+  const auto event = static_cast<nc::NodeId>(args.get_int("event", 45));
+  const auto steps = static_cast<unsigned>(args.get_int("steps", 6));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 5));
+
+  std::vector<nc::NodeId> community;
+  for (nc::NodeId v = n - event; v < n; ++v) community.push_back(v);
+
+  std::printf("blogspace: n=%u, event community of %u blogs, %u snapshots\n",
+              n, event, steps);
+  std::printf("%-6s %-14s %-12s %-10s %-8s\n", "t", "event_density",
+              "found_size", "density", "overlap");
+
+  for (unsigned t = 0; t <= steps; ++t) {
+    const auto g = snapshot(n, event, t, steps, seed);
+    const double event_density = nc::set_density(g, community);
+
+    nc::DriverConfig config;
+    config.proto.eps = 0.2;
+    config.proto.p = 9.0 / static_cast<double>(n);
+    config.net.seed = seed + t;
+    config.net.max_rounds = 64'000'000;
+    const auto result = nc::run_boosted(g, config, 3, 4'000'000);
+
+    const auto found = result.largest_cluster();
+    std::size_t overlap = 0;
+    for (const auto v : found) {
+      if (std::binary_search(community.begin(), community.end(), v)) {
+        ++overlap;
+      }
+    }
+    std::printf("%-6u %-14.3f %-12zu %-10.3f %zu/%u\n", t, event_density,
+                found.size(), found.empty() ? 0.0 : nc::set_density(g, found),
+                overlap, event);
+  }
+  std::printf(
+      "\nThe discovered near-clique emerges as the event's density crosses "
+      "the detection threshold — the temporal signature of [14].\n");
+  return 0;
+}

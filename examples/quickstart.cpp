@@ -1,0 +1,81 @@
+// Quickstart: plant a near-clique, run Algorithm DistNearClique on the
+// simulated CONGEST network, and print what it found.
+//
+//   ./quickstart [--n=200] [--clique=80] [--eps=0.2] [--pn=9] [--seed=1]
+//                [--dot=out.dot]   (Graphviz export of the result)
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/driver.hpp"
+#include "graph/dot.hpp"
+#include "graph/generators.hpp"
+#include "graph/metrics.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  const nc::Args args(argc, argv);
+  const auto n = static_cast<nc::NodeId>(args.get_int("n", 200));
+  const auto clique = static_cast<nc::NodeId>(args.get_int("clique", 80));
+  const double eps = args.get_double("eps", 0.2);
+  const double pn = args.get_double("pn", 9.0);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+
+  // 1. Build an instance: a near-clique D (missing an eps^3 fraction of its
+  //    pairs) planted in Erdos-Renyi background noise, IDs shuffled.
+  nc::Rng rng(seed);
+  nc::PlantedNearCliqueParams params;
+  params.n = n;
+  params.clique_size = clique;
+  params.eps_missing = eps * eps * eps;
+  params.background_p = 0.08;
+  params.halo_p = 0.25;
+  const auto instance = nc::planted_near_clique(params, rng);
+  std::printf("instance: n=%u, m=%zu, planted |D|=%zu, density(D)=%.4f\n",
+              instance.graph.n(), instance.graph.m(), instance.planted.size(),
+              nc::set_density(instance.graph, instance.planted));
+
+  // 2. Configure and run the distributed algorithm. Every node runs the same
+  //    protocol; the simulator enforces O(log n)-bit messages per edge per
+  //    round and reports the traffic.
+  nc::DriverConfig config;
+  config.proto.eps = eps;
+  config.proto.p = pn / static_cast<double>(n);
+  config.net.seed = seed;
+  config.net.max_rounds = 32'000'000;
+  const auto result = nc::run_dist_near_clique(instance.graph, config);
+
+  std::printf("execution: %s\n", result.stats.summary().c_str());
+
+  // 3. Inspect the output labels.
+  const auto clusters = result.clusters();
+  std::printf("near-cliques found: %zu\n", clusters.size());
+  for (const auto& [label, members] : clusters) {
+    std::size_t overlap = 0;
+    for (const auto v : members) {
+      if (std::binary_search(instance.planted.begin(), instance.planted.end(),
+                             v)) {
+        ++overlap;
+      }
+    }
+    std::printf(
+        "  label (root=%u, version=%u): %zu nodes, density %.4f, "
+        "%zu/%zu of planted D\n",
+        nc::label_root(label), nc::label_version(label), members.size(),
+        nc::set_density(instance.graph, members), overlap,
+        instance.planted.size());
+  }
+  if (args.has("dot")) {
+    const auto path = args.get("dot");
+    std::ofstream out(path);
+    out << nc::to_dot(instance.graph, clusters);
+    std::printf("wrote %s (render with: dot -Tsvg %s)\n", path.c_str(),
+                path.c_str());
+  }
+  if (clusters.empty()) {
+    std::printf(
+        "  none — the algorithm succeeds with constant probability; try "
+        "another --seed or a larger --pn\n");
+  }
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Web-community discovery — the paper's search-engine motivation.
+//
+// PageRank-style link analysis is "heavily influenced by tightly knit
+// communities" [15]; identifying them means finding large near-cliques in a
+// power-law web graph. This example builds a Chung-Lu web graph with a
+// hidden near-clique community planted among the *low-degree* tail (so
+// degree heuristics cannot see it), runs DistNearClique, and compares what
+// it recovers against centralized peeling — which, drawn to globally dense
+// regions, often reports the high-degree core instead.
+//
+//   ./web_communities [--n=400] [--community=50] [--eps=0.2] [--seed=3]
+
+#include <algorithm>
+#include <cstdio>
+
+#include "baselines/peeling.hpp"
+#include "core/driver.hpp"
+#include "graph/generators.hpp"
+#include "graph/metrics.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+std::size_t overlap_with(const std::vector<nc::NodeId>& sorted_planted,
+                         const std::vector<nc::NodeId>& found) {
+  std::size_t overlap = 0;
+  for (const auto v : found) {
+    if (std::binary_search(sorted_planted.begin(), sorted_planted.end(), v)) {
+      ++overlap;
+    }
+  }
+  return overlap;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const nc::Args args(argc, argv);
+  const auto n = static_cast<nc::NodeId>(args.get_int("n", 400));
+  const auto community = static_cast<nc::NodeId>(args.get_int("community", 50));
+  const double eps = args.get_double("eps", 0.2);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 3));
+
+  nc::Rng rng(seed);
+  const auto inst =
+      nc::power_law_web(n, /*gamma=*/2.5, /*avg_deg=*/8.0, community,
+                        /*eps_missing=*/eps * eps * eps, rng);
+  std::printf("web graph: n=%u, m=%zu, hidden community of %zu pages "
+              "(density %.3f)\n",
+              inst.graph.n(), inst.graph.m(), inst.planted.size(),
+              nc::set_density(inst.graph, inst.planted));
+
+  // Distributed discovery: every page is a processor, links are edges.
+  nc::DriverConfig config;
+  config.proto.eps = eps;
+  config.proto.p = 10.0 / static_cast<double>(n);
+  config.net.seed = seed;
+  config.net.max_rounds = 32'000'000;
+  const auto result = nc::run_dist_near_clique(inst.graph, config);
+  const auto found = result.largest_cluster();
+  std::printf("\nDistNearClique (%llu rounds, max %llu-bit messages):\n",
+              static_cast<unsigned long long>(result.stats.rounds),
+              static_cast<unsigned long long>(result.stats.max_message_bits));
+  std::printf("  community found: %zu nodes, density %.3f, overlap %zu/%zu\n",
+              found.size(),
+              found.empty() ? 0.0 : nc::set_density(inst.graph, found),
+              overlap_with(inst.planted, found), inst.planted.size());
+
+  // Centralized comparison: greedy peeling needs the whole graph in one
+  // place and O(m) sequential work.
+  const auto peeled = nc::largest_near_clique_by_peeling(inst.graph, eps);
+  std::printf("\ncentralized peeling:\n");
+  std::printf("  largest %.2f-near clique: %zu nodes, overlap %zu/%zu\n", eps,
+              peeled.size(), overlap_with(inst.planted, peeled),
+              inst.planted.size());
+  return 0;
+}

@@ -1,0 +1,75 @@
+#include "baselines/ggr_find.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "core/subsets.hpp"
+#include "graph/metrics.hpp"
+#include "util/bitvec.hpp"
+
+namespace nc {
+
+GgrFindResult ggr_approximate_find(const Graph& g, double eps,
+                                   std::uint32_t sample_size, Rng& rng) {
+  GgrFindResult out;
+  if (g.n() == 0) return out;
+  sample_size = std::min<std::uint32_t>(sample_size, 20);  // 2^20 subsets cap
+  const auto idx = rng.sample_without_replacement(g.n(), sample_size);
+  out.sample.assign(idx.begin(), idx.end());
+  std::sort(out.sample.begin(), out.sample.end());
+  const auto s = static_cast<std::uint32_t>(out.sample.size());
+  if (s == 0) return out;
+  const auto total = subset_count(s);
+  const double inner = 2.0 * eps * eps;
+
+  // Adjacency of every node against the sample (s probes per node).
+  std::vector<std::uint64_t> masks(g.n());
+  for (NodeId v = 0; v < g.n(); ++v) {
+    std::uint64_t m = 0;
+    for (std::uint32_t j = 0; j < s; ++j) {
+      ++out.pair_queries;
+      if (g.has_edge(v, out.sample[j])) m |= 1ULL << j;
+    }
+    masks[v] = m;
+  }
+  std::vector<std::size_t> need_inner(s + 1);
+  for (std::uint32_t c = 0; c <= s; ++c) need_inner[c] = k_threshold(c, inner);
+
+  std::vector<NodeId> best;
+  std::uint64_t best_x = 0;
+  for (std::uint64_t x = 1; x <= total; ++x) {
+    const auto size_x = static_cast<std::uint32_t>(std::popcount(x));
+    // K_{2eps^2}(X).
+    std::vector<NodeId> k_set;
+    for (NodeId v = 0; v < g.n(); ++v) {
+      if (static_cast<std::size_t>(std::popcount(x & masks[v])) >=
+          need_inner[size_x]) {
+        k_set.push_back(v);
+      }
+    }
+    if (k_set.size() <= best.size()) continue;  // |T| <= |K|: prune
+    // T_eps(X) = K_eps(K) ∩ K. Probing |Gamma(v) ∩ K| costs |K| queries per
+    // candidate; we use the graph's adjacency directly but charge queries.
+    BitVec k_mask(g.n());
+    for (const NodeId v : k_set) k_mask.set(v);
+    const std::size_t need_outer = k_threshold(k_set.size(), eps);
+    std::vector<NodeId> t_set;
+    for (const NodeId v : k_set) {
+      std::size_t have = 0;
+      for (const NodeId u : g.neighbors(v)) {
+        if (k_mask.test(u)) ++have;
+      }
+      out.pair_queries += k_set.size();
+      if (have >= need_outer) t_set.push_back(v);
+    }
+    if (t_set.size() > best.size()) {
+      best = std::move(t_set);
+      best_x = x;
+    }
+  }
+  out.found = std::move(best);
+  out.x_star = best_x;
+  return out;
+}
+
+}  // namespace nc

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/ids.hpp"
+#include "util/rng.hpp"
+
+namespace nc {
+
+/// The "approximate find" of Goldreich, Goldwasser & Ron [10], Section 1 of
+/// the paper: given that a rho-clique (or near-clique) exists, a centralized
+/// algorithm that samples a uniform set U, enumerates its subsets X, builds
+/// T(X) = K_eps(K_{2eps^2}(X)) ∩ K_{2eps^2}(X) for each, and outputs the
+/// largest — in O(n) time (every node is classified against the sample).
+/// This is exactly the centralized skeleton DistNearClique distributes; it
+/// serves as the quality/work baseline of experiment E10 and as the bridge
+/// to the property-testing module.
+struct GgrFindResult {
+  std::vector<NodeId> found;       ///< largest T_eps(X), sorted
+  std::uint64_t x_star = 0;        ///< winning subset mask
+  std::vector<NodeId> sample;      ///< the sample U
+  std::uint64_t pair_queries = 0;  ///< adjacency probes spent
+};
+
+/// Runs the find with a sample of `sample_size` nodes.
+GgrFindResult ggr_approximate_find(const Graph& g, double eps,
+                                   std::uint32_t sample_size, Rng& rng);
+
+}  // namespace nc

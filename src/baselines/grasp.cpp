@@ -1,0 +1,143 @@
+#include "baselines/grasp.hpp"
+
+#include <algorithm>
+
+#include "util/bitvec.hpp"
+
+namespace nc {
+
+namespace {
+
+/// Incremental quasi-clique state: tracks internal ordered pairs and the
+/// number of neighbours each outside vertex has inside the set.
+struct Working {
+  explicit Working(const Graph& g)
+      : graph(g), inside(g.n()), inside_deg(g.n(), 0) {}
+
+  void add(NodeId v) {
+    inside.set(v);
+    members.push_back(v);
+    pairs += 2ULL * inside_deg[v];
+    for (const NodeId u : graph.neighbors(v)) ++inside_deg[u];
+  }
+
+  void remove(NodeId v) {
+    inside.set(v, false);
+    members.erase(std::find(members.begin(), members.end(), v));
+    for (const NodeId u : graph.neighbors(v)) --inside_deg[u];
+    pairs -= 2ULL * inside_deg[v];
+  }
+
+  [[nodiscard]] double density_with(NodeId v) const {
+    const auto k = members.size() + 1;
+    if (k <= 1) return 1.0;
+    const auto p = pairs + 2ULL * inside_deg[v];
+    return static_cast<double>(p) /
+           (static_cast<double>(k) * static_cast<double>(k - 1));
+  }
+
+  [[nodiscard]] double density() const {
+    const auto k = members.size();
+    if (k <= 1) return 1.0;
+    return static_cast<double>(pairs) /
+           (static_cast<double>(k) * static_cast<double>(k - 1));
+  }
+
+  const Graph& graph;
+  BitVec inside;
+  std::vector<std::size_t> inside_deg;  ///< neighbours inside, for all nodes
+  std::vector<NodeId> members;
+  std::uint64_t pairs = 0;  ///< ordered internal pairs
+};
+
+}  // namespace
+
+std::vector<NodeId> grasp_quasi_clique(const Graph& g,
+                                       const GraspParams& params, Rng& rng) {
+  std::vector<NodeId> best;
+  for (unsigned iter = 0; iter < params.iterations; ++iter) {
+    Working work(g);
+    // Seed: random vertex biased toward high degree (sample two, keep max).
+    if (g.n() == 0) break;
+    NodeId seed = static_cast<NodeId>(rng.next_below(g.n()));
+    const NodeId alt = static_cast<NodeId>(rng.next_below(g.n()));
+    if (g.degree(alt) > g.degree(seed)) seed = alt;
+    work.add(seed);
+
+    // Greedy randomized construction.
+    for (;;) {
+      // Candidates: outside vertices keeping density >= gamma, ranked by
+      // inside-degree. Restricted candidate list per GRASP.
+      std::vector<std::pair<std::size_t, NodeId>> cands;
+      for (const NodeId m : work.members) {
+        for (const NodeId u : g.neighbors(m)) {
+          if (work.inside.test(u)) continue;
+          if (work.density_with(u) + 1e-12 >= params.gamma) {
+            cands.emplace_back(work.inside_deg[u], u);
+          }
+        }
+      }
+      if (cands.empty()) break;
+      std::sort(cands.begin(), cands.end(),
+                [](const auto& a, const auto& b) {
+                  return a.first != b.first ? a.first > b.first
+                                            : a.second < b.second;
+                });
+      cands.erase(std::unique(cands.begin(), cands.end()), cands.end());
+      const auto limit = std::max<std::size_t>(
+          1, static_cast<std::size_t>(
+                 static_cast<double>(cands.size()) * params.rcl_alpha));
+      const auto pick = rng.next_below(limit);
+      work.add(cands[pick].second);
+    }
+
+    // Local search: try swapping a weakly-connected member for an outside
+    // vertex that restores room to grow, then re-run construction greedily.
+    for (unsigned pass = 0; pass < params.local_search_passes; ++pass) {
+      if (work.members.size() < 3) break;
+      NodeId weakest = work.members.front();
+      std::size_t weakest_deg = g.n();
+      for (const NodeId m : work.members) {
+        if (work.inside_deg[m] < weakest_deg) {
+          weakest_deg = work.inside_deg[m];
+          weakest = m;
+        }
+      }
+      const auto before = work.members.size();
+      work.remove(weakest);
+      // Greedy refill (pure greedy this time).
+      for (;;) {
+        NodeId best_u = kNoNode;
+        std::size_t best_deg = 0;
+        for (const NodeId m : work.members) {
+          for (const NodeId u : g.neighbors(m)) {
+            if (work.inside.test(u) || u == weakest) continue;
+            if (work.density_with(u) + 1e-12 >= params.gamma &&
+                (best_u == kNoNode || work.inside_deg[u] > best_deg)) {
+              best_u = u;
+              best_deg = work.inside_deg[u];
+            }
+          }
+        }
+        if (best_u == kNoNode) break;
+        work.add(best_u);
+      }
+      if (work.members.size() <= before) {
+        // No improvement; put the weakest member back if it still fits.
+        if (work.density_with(weakest) + 1e-12 >= params.gamma) {
+          work.add(weakest);
+        }
+        break;
+      }
+    }
+
+    if (work.density() + 1e-12 >= params.gamma &&
+        work.members.size() > best.size()) {
+      best = work.members;
+    }
+  }
+  std::sort(best.begin(), best.end());
+  return best;
+}
+
+}  // namespace nc

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/ids.hpp"
+#include "util/rng.hpp"
+
+namespace nc {
+
+/// GRASP heuristic for massive quasi-clique detection, after Abello,
+/// Resende & Sudarsky [1] (cited in the paper's related work as the
+/// centralized near-clique heuristic). Greedy randomized construction with a
+/// restricted candidate list, followed by a local add/swap improvement
+/// phase, repeated for a number of multistart iterations; returns the
+/// largest set whose Definition-1 density stays at least `gamma`.
+struct GraspParams {
+  double gamma = 0.9;        ///< density threshold (1 - eps)
+  unsigned iterations = 16;  ///< multistart count
+  double rcl_alpha = 0.3;    ///< greediness: 0 = pure greedy, 1 = random
+  unsigned local_search_passes = 4;
+};
+
+/// Runs GRASP; returns the best gamma-quasi-clique found (sorted).
+std::vector<NodeId> grasp_quasi_clique(const Graph& g,
+                                       const GraspParams& params, Rng& rng);
+
+}  // namespace nc

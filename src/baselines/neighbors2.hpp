@@ -1,0 +1,41 @@
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "runtime/accounting.hpp"
+#include "util/ids.hpp"
+
+namespace nc {
+
+/// The "neighbours' neighbours" algorithm of Section 3: each node tells its
+/// neighbours about all its neighbours, learns the topology to distance 2,
+/// locally solves maximum clique on its closed neighbourhood, and announces
+/// its chosen clique; a node keeps its clique only if every member chose the
+/// same one (the smallest-ID tie-break the paper sketches).
+///
+/// The paper rules this algorithm out for two reasons this implementation
+/// makes measurable (experiment E10/E12): it needs LOCAL-model messages of
+/// up to Delta * log n bits, and each node solves an NP-hard problem on its
+/// neighbourhood (we count Bron-Kerbosch expansions; `clique_budget` caps
+/// them so adversarial neighbourhoods terminate, at the cost of optimality).
+struct Neighbors2Params {
+  std::size_t clique_budget = 2'000'000;  ///< BK expansions per node
+};
+
+struct Neighbors2Result {
+  std::vector<Label> labels;  ///< min member ID of the kept clique
+  RunStats stats;             ///< note max_message_bits ~ Delta log n
+  std::uint64_t total_expansions = 0;  ///< summed local clique-search work
+  bool any_budget_exhausted = false;
+
+  [[nodiscard]] std::map<Label, std::vector<NodeId>> clusters() const;
+  [[nodiscard]] std::vector<NodeId> largest_cluster() const;
+};
+
+/// Runs the algorithm in the LOCAL model (unbounded messages).
+Neighbors2Result run_neighbors2(const Graph& g, const Neighbors2Params& params,
+                                std::uint64_t seed);
+
+}  // namespace nc

@@ -1,0 +1,125 @@
+#include "baselines/peeling.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+#include "util/bitvec.hpp"
+
+namespace nc {
+
+double PeelResult::density_at(std::uint32_t k) const {
+  if (k <= 1) return 1.0;
+  for (const auto& st : steps) {
+    if (st.size_after == k) {
+      const auto denom =
+          static_cast<double>(k) * static_cast<double>(k - 1);
+      return static_cast<double>(st.ordered_pairs_after) / denom;
+    }
+  }
+  return 0.0;
+}
+
+namespace {
+
+struct Peeler {
+  explicit Peeler(const Graph& g)
+      : graph(g), alive(g.n()), deg(g.n()), order() {
+    for (NodeId v = 0; v < g.n(); ++v) {
+      alive.set(v);
+      deg[v] = g.degree(v);
+      queue.insert({deg[v], v});
+      pairs += g.degree(v);
+    }
+  }
+
+  /// Removes the minimum-degree vertex; returns it.
+  NodeId pop_min() {
+    const auto it = queue.begin();
+    const NodeId v = it->second;
+    queue.erase(it);
+    alive.set(v, false);
+    for (const NodeId u : graph.neighbors(v)) {
+      if (!alive.test(u)) continue;
+      queue.erase({deg[u], u});
+      --deg[u];
+      queue.insert({deg[u], u});
+      pairs -= 2;  // ordered pairs (v,u) and (u,v) vanish
+    }
+    return v;
+  }
+
+  const Graph& graph;
+  BitVec alive;
+  std::vector<std::size_t> deg;
+  std::set<std::pair<std::size_t, NodeId>> queue;
+  std::uint64_t pairs = 0;  ///< ordered internal pairs among alive vertices
+  std::vector<NodeId> order;
+};
+
+}  // namespace
+
+PeelResult greedy_peel(const Graph& g) {
+  PeelResult out;
+  out.steps.reserve(g.n());
+  Peeler peeler(g);
+  for (NodeId i = 0; i < g.n(); ++i) {
+    const NodeId v = peeler.pop_min();
+    out.steps.push_back(PeelStep{v, static_cast<std::uint32_t>(g.n() - i - 1),
+                                 peeler.pairs});
+  }
+  return out;
+}
+
+namespace {
+/// Reconstructs the suffix that remains after the first `g.n() - k` removals.
+std::vector<NodeId> suffix_of(const Graph& g, const PeelResult& peel,
+                              std::uint32_t k) {
+  std::vector<NodeId> removed_first;
+  BitVec removed(g.n());
+  for (std::size_t i = 0; i + k < g.n(); ++i) {
+    removed.set(peel.steps[i].removed);
+  }
+  std::vector<NodeId> out;
+  out.reserve(k);
+  for (NodeId v = 0; v < g.n(); ++v) {
+    if (!removed.test(v)) out.push_back(v);
+  }
+  return out;
+}
+}  // namespace
+
+std::vector<NodeId> largest_near_clique_by_peeling(const Graph& g,
+                                                   double eps) {
+  const PeelResult peel = greedy_peel(g);
+  for (const auto& st : peel.steps) {
+    const std::uint32_t k = st.size_after;
+    if (k <= 1) break;
+    const auto total =
+        static_cast<long double>(k) * static_cast<long double>(k - 1);
+    const auto have = static_cast<long double>(st.ordered_pairs_after);
+    if (total - have <= static_cast<long double>(eps) * total + 1e-9L) {
+      return suffix_of(g, peel, k);
+    }
+  }
+  return {};
+}
+
+std::vector<NodeId> densest_subgraph_by_peeling(const Graph& g) {
+  const PeelResult peel = greedy_peel(g);
+  std::uint32_t best_k = 0;
+  double best_avg = -1.0;
+  for (const auto& st : peel.steps) {
+    if (st.size_after == 0) continue;
+    const double avg = static_cast<double>(st.ordered_pairs_after) /
+                       (2.0 * static_cast<double>(st.size_after));
+    if (avg > best_avg) {
+      best_avg = avg;
+      best_k = st.size_after;
+    }
+  }
+  if (best_k == 0) return {};
+  return suffix_of(g, peel, best_k);
+}
+
+}  // namespace nc

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/ids.hpp"
+
+namespace nc {
+
+/// Centralized greedy min-degree peeling (the classical densest-subgraph
+/// 2-approximation of Charikar, adapted to the near-clique objective of
+/// Definition 1). The paper cites the DkS approximation line of work
+/// [7, 8] as the centralized state of the art; peeling is the standard
+/// practical representative and serves as the quality baseline in
+/// experiment E10.
+///
+/// The peel removes a minimum-degree vertex at a time; every suffix of the
+/// removal order is a candidate subgraph whose Definition-1 density is
+/// computed incrementally in O(m + n log n) total.
+struct PeelStep {
+  NodeId removed;            ///< vertex removed at this step
+  std::uint32_t size_after;  ///< vertices remaining after removal
+  std::uint64_t ordered_pairs_after;  ///< directed internal pairs remaining
+};
+
+struct PeelResult {
+  std::vector<PeelStep> steps;
+
+  /// Density (Definition 1) of the suffix with `size_after == k`, or 0.
+  [[nodiscard]] double density_at(std::uint32_t k) const;
+};
+
+/// Runs the full peel.
+PeelResult greedy_peel(const Graph& g);
+
+/// The largest suffix of the peel that is an eps-near clique (Definition 1).
+/// Returns the empty vector when even the 2-node suffixes fail.
+std::vector<NodeId> largest_near_clique_by_peeling(const Graph& g, double eps);
+
+/// The suffix maximizing average degree (the classical densest-subgraph
+/// output), for reference in E10.
+std::vector<NodeId> densest_subgraph_by_peeling(const Graph& g);
+
+}  // namespace nc

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "runtime/accounting.hpp"
+#include "util/ids.hpp"
+
+namespace nc {
+
+/// The "shingles algorithm" of Section 3, implemented faithfully as a
+/// CONGEST protocol so Claim 1 (and Figure 1's counterexample family) can be
+/// reproduced as experiment E4:
+///
+///   1. every node draws a random ID from a space large enough that
+///      collisions are negligible and sends it to its neighbours;
+///   2. each node labels itself with the smallest random ID it knows
+///      (closed neighbourhood); all nodes with the same label form a
+///      candidate set, whose namesake is its leader;
+///   3. members report their in-set degree to the leader, which computes the
+///      candidate's size and Definition-1 density;
+///   4. sets that meet the size and density thresholds survive; the leader
+///      broadcasts the verdict.
+///
+/// Candidate sets partition the labelled nodes, so the paper's tie-break
+/// between overlapping sets never triggers here.
+struct ShinglesParams {
+  double eps = 0.1;             ///< survive iff density >= 1 - eps
+  std::uint32_t min_size = 2;   ///< survive iff size >= min_size
+};
+
+struct ShinglesResult {
+  std::vector<Label> labels;  ///< leader node ID, or kBottom
+  RunStats stats;
+
+  /// Surviving candidate sets grouped by label.
+  [[nodiscard]] std::map<Label, std::vector<NodeId>> clusters() const;
+
+  /// The largest surviving candidate set.
+  [[nodiscard]] std::vector<NodeId> largest_cluster() const;
+};
+
+/// Runs the shingles algorithm on `g` (CONGEST, constant rounds).
+ShinglesResult run_shingles(const Graph& g, const ShinglesParams& params,
+                            std::uint64_t seed);
+
+}  // namespace nc

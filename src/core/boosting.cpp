@@ -1,0 +1,29 @@
+#include "core/boosting.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nc {
+
+std::uint16_t boosting_versions(double q, double r) {
+  q = std::clamp(q, 1e-12, 1.0);
+  r = std::clamp(r, 1e-9, 1.0 - 1e-9);
+  const double lambda = std::ceil(std::log(q) / std::log(1.0 - r));
+  return static_cast<std::uint16_t>(std::clamp(lambda, 1.0, 1023.0));
+}
+
+NearCliqueResult run_boosted(const Graph& g, DriverConfig base,
+                             std::uint16_t lambda, std::uint64_t window) {
+  base.proto.versions = std::max<std::uint16_t>(1, lambda);
+  base.proto.version_budget = window;
+  if (window != 0) {
+    // Make sure the round limit accommodates all windows plus the decision
+    // stage; the time-bound wrapper still caps each version individually.
+    const Schedule s = make_schedule(base.proto, g.n(), base.net.max_rounds);
+    base.net.max_rounds =
+        std::max(base.net.max_rounds, s.decision_deadline() + 16);
+  }
+  return run_dist_near_clique(g, base);
+}
+
+}  // namespace nc

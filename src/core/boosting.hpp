@@ -1,0 +1,29 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/driver.hpp"
+
+namespace nc {
+
+/// Section 4.1, "Boosting the success probability".
+///
+/// The wrapper does NOT simply rerun the whole algorithm: it runs lambda
+/// independent sampling+exploration versions (here in consecutive round
+/// windows — one admissible interleaving) and a *single* decision stage that
+/// selects the largest candidate across versions. This is implemented inside
+/// DistNearCliqueNode (ProtocolParams::versions); this header provides the
+/// parameter arithmetic and a convenience driver.
+
+/// lambda = ceil(log q / log(1 - r)): number of versions needed to push the
+/// failure probability below `q` when a single version succeeds with
+/// probability at least `r`. Clamped to [1, 1023] (the label encoding keeps
+/// 10 bits of version index).
+std::uint16_t boosting_versions(double q, double r);
+
+/// Runs the boosted algorithm: `base` with versions = lambda and a version
+/// window of `window` rounds (0 = auto-split of the round limit).
+NearCliqueResult run_boosted(const Graph& g, DriverConfig base,
+                             std::uint16_t lambda, std::uint64_t window = 0);
+
+}  // namespace nc

@@ -1,0 +1,64 @@
+#include "core/driver.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "graph/metrics.hpp"
+
+namespace nc {
+
+std::map<Label, std::vector<NodeId>> NearCliqueResult::clusters() const {
+  std::map<Label, std::vector<NodeId>> out;
+  for (NodeId v = 0; v < labels.size(); ++v) {
+    if (labels[v] != kBottom) out[labels[v]].push_back(v);
+  }
+  return out;
+}
+
+std::vector<NodeId> NearCliqueResult::largest_cluster() const {
+  std::vector<NodeId> best;
+  for (const auto& [label, members] : clusters()) {
+    (void)label;
+    if (members.size() > best.size()) best = members;
+  }
+  return best;
+}
+
+NearCliqueResult run_dist_near_clique(const Graph& g,
+                                      const DriverConfig& cfg) {
+  const Schedule schedule =
+      make_schedule(cfg.proto, g.n(), cfg.net.max_rounds);
+  Network net(g, cfg.net, [&](NodeId) {
+    return std::make_unique<DistNearCliqueNode>(cfg.proto, schedule);
+  });
+  NearCliqueResult result;
+  result.stats = net.run();
+  result.labels.assign(g.n(), kBottom);
+  for (NodeId v = 0; v < g.n(); ++v) {
+    auto& node = static_cast<DistNearCliqueNode&>(net.node(v));
+    result.labels[v] = node.label();
+    result.total_local_ops += node.local_ops();
+    for (const auto& rc : node.root_candidates()) {
+      result.candidates.push_back(rc);
+    }
+  }
+  if (result.aborted()) {
+    // Deterministic time bound exceeded: the paper's wrapper aborts the
+    // whole run, so the output registers are all bottom.
+    std::fill(result.labels.begin(), result.labels.end(), kBottom);
+  }
+  return result;
+}
+
+double cluster_density(const Graph& g, const std::vector<NodeId>& cluster) {
+  return set_density(g, cluster);
+}
+
+bool theorem_success(const Graph& g, const NearCliqueResult& result,
+                     std::size_t min_size, double min_density) {
+  const auto best = result.largest_cluster();
+  if (best.size() < min_size) return false;
+  return cluster_density(g, best) >= min_density;
+}
+
+}  // namespace nc

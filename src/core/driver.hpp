@@ -1,0 +1,45 @@
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "core/params.hpp"
+#include "core/protocol.hpp"
+#include "graph/graph.hpp"
+#include "runtime/accounting.hpp"
+
+namespace nc {
+
+/// Outcome of one distributed execution of Algorithm DistNearClique.
+struct NearCliqueResult {
+  std::vector<Label> labels;               ///< per node; kBottom = no clique
+  RunStats stats;                          ///< rounds / messages / bits
+  std::vector<RootCandidate> candidates;   ///< all component candidates
+  std::uint64_t total_local_ops = 0;       ///< summed local computation
+
+  /// Groups nodes by non-bottom label.
+  [[nodiscard]] std::map<Label, std::vector<NodeId>> clusters() const;
+
+  /// The largest output near-clique (empty when everything is bottom).
+  [[nodiscard]] std::vector<NodeId> largest_cluster() const;
+
+  /// True when the run was cut short (time-bound wrapper or liveness guard).
+  [[nodiscard]] bool aborted() const {
+    return stats.hit_round_limit || stats.stalled;
+  }
+};
+
+/// Runs Algorithm DistNearClique on `g` under `cfg` and collects outputs.
+NearCliqueResult run_dist_near_clique(const Graph& g, const DriverConfig& cfg);
+
+/// Convenience: evaluates an output cluster against the paper's guarantees.
+/// Returns the Definition-1 density of the set (1.0 for |set| <= 1).
+double cluster_density(const Graph& g, const std::vector<NodeId>& cluster);
+
+/// Success predicate used by the experiment harness for Theorem 5.7:
+/// the largest output cluster has at least `min_size` nodes and density at
+/// least `min_density`.
+bool theorem_success(const Graph& g, const NearCliqueResult& result,
+                     std::size_t min_size, double min_density);
+
+}  // namespace nc

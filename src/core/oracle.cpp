@@ -1,0 +1,198 @@
+#include "core/oracle.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <map>
+#include <set>
+#include <tuple>
+
+#include "core/subsets.hpp"
+#include "graph/components.hpp"
+#include "graph/metrics.hpp"
+#include "util/bitvec.hpp"
+
+namespace nc {
+
+std::vector<NodeId> oracle_sample(const Graph& g, double p,
+                                  std::uint64_t seed, std::uint16_t w) {
+  const Rng master(seed);
+  std::vector<NodeId> s;
+  for (NodeId v = 0; v < g.n(); ++v) {
+    const Rng node_rng = master.derive(v);
+    if (DistNearCliqueNode::sampling_coin(node_rng, w, p)) s.push_back(v);
+  }
+  return s;
+}
+
+namespace {
+
+/// One live component's exploration, replicated centrally.
+struct CompCandidate {
+  NodeId root;
+  std::uint16_t version;
+  std::vector<NodeId> members;      // sorted
+  std::vector<NodeId> participants; // members ∪ fringe, sorted
+  std::uint64_t x_star = 0;
+  std::uint32_t t_size = 0;
+  std::vector<NodeId> t_set;        // T_eps(X*), sorted
+};
+
+/// Enumerates all subsets of `members`, finds X* = argmax |T_eps(X)| with the
+/// protocol's tie-break (strictly-greater replacement, ascending X).
+void explore_component(const Graph& g, double eps, CompCandidate& cand) {
+  const auto s = static_cast<std::uint32_t>(cand.members.size());
+  const auto total = subset_count(s);
+  const double inner = 2.0 * eps * eps;
+
+  // Adjacency masks of every participant over the member list.
+  std::vector<std::uint64_t> masks(cand.participants.size());
+  for (std::size_t i = 0; i < cand.participants.size(); ++i) {
+    const auto nb = g.neighbors(cand.participants[i]);
+    masks[i] = adjacency_mask(cand.members,
+                              std::vector<NodeId>(nb.begin(), nb.end()));
+  }
+  std::vector<std::size_t> need_inner(s + 1);
+  for (std::uint32_t c = 0; c <= s; ++c) need_inner[c] = k_threshold(c, inner);
+
+  // Participant adjacency among participants (for |Gamma(u) ∩ K(X)|).
+  std::vector<BitVec> part_adj(cand.participants.size());
+  {
+    std::set<NodeId> pset(cand.participants.begin(), cand.participants.end());
+    for (std::size_t i = 0; i < cand.participants.size(); ++i) {
+      part_adj[i].assign_zero(cand.participants.size());
+      for (const NodeId u : g.neighbors(cand.participants[i])) {
+        const auto it = std::lower_bound(cand.participants.begin(),
+                                         cand.participants.end(), u);
+        if (it != cand.participants.end() && *it == u) {
+          part_adj[i].set(
+              static_cast<std::size_t>(it - cand.participants.begin()));
+        }
+      }
+    }
+  }
+
+  std::uint64_t best_x = 1;
+  std::uint32_t best_t = 0;
+  std::vector<NodeId> best_set;
+  BitVec k_set(cand.participants.size());
+  for (std::uint64_t x = 1; x <= total; ++x) {
+    const auto size_x = static_cast<std::uint32_t>(std::popcount(x));
+    k_set.assign_zero(cand.participants.size());
+    std::size_t k_count = 0;
+    for (std::size_t i = 0; i < cand.participants.size(); ++i) {
+      const auto inter =
+          static_cast<std::size_t>(std::popcount(x & masks[i]));
+      if (inter >= need_inner[size_x]) {
+        k_set.set(i);
+        ++k_count;
+      }
+    }
+    const std::size_t need_outer = k_threshold(k_count, eps);
+    std::vector<NodeId> t_set;
+    for (std::size_t i = 0; i < cand.participants.size(); ++i) {
+      if (!k_set.test(i)) continue;
+      if (part_adj[i].count_and(k_set) >= need_outer) {
+        t_set.push_back(cand.participants[i]);
+      }
+    }
+    if (x == 1 || t_set.size() > best_t) {
+      best_t = static_cast<std::uint32_t>(t_set.size());
+      best_x = x;
+      best_set = std::move(t_set);
+    }
+  }
+  cand.x_star = best_x;
+  cand.t_size = best_t;
+  cand.t_set = std::move(best_set);
+}
+
+}  // namespace
+
+std::vector<NodeId> oracle_t_set(const Graph& g, double eps,
+                                 const std::vector<NodeId>& members,
+                                 std::uint64_t x_mask) {
+  const auto x = subset_members(members, x_mask);
+  return t_eps(g, x, eps);
+}
+
+OracleResult run_oracle(const Graph& g, const ProtocolParams& proto,
+                        std::uint64_t seed) {
+  OracleResult out;
+  out.labels.assign(g.n(), kBottom);
+
+  std::vector<CompCandidate> cands;
+  const std::uint16_t versions = std::max<std::uint16_t>(1, proto.versions);
+  for (std::uint16_t w = 1; w <= versions; ++w) {
+    const auto sample = oracle_sample(g, proto.p, seed, w);
+    for (auto& members : induced_components(g, sample)) {
+      CompCandidate cand;
+      cand.root = members.front();  // sorted: minimum ID
+      cand.version = w;
+      const auto s = static_cast<std::uint32_t>(members.size());
+      const bool live = s <= 63 && subset_count(s) <= proto.max_subsets;
+      RootCandidate rc;
+      rc.root = cand.root;
+      rc.version = w;
+      rc.component_size = s;
+      rc.live = live;
+      if (!live) {
+        out.candidates.push_back(rc);
+        out.t_sets.emplace_back();
+        continue;
+      }
+      // Participants: members plus every node adjacent to a member.
+      std::set<NodeId> parts(members.begin(), members.end());
+      for (const NodeId m : members) {
+        for (const NodeId u : g.neighbors(m)) parts.insert(u);
+      }
+      cand.members = std::move(members);
+      cand.participants.assign(parts.begin(), parts.end());
+      explore_component(g, proto.eps, cand);
+      rc.x_star = cand.x_star;
+      rc.t_size = cand.t_size;
+      out.candidates.push_back(rc);
+      out.t_sets.push_back(cand.t_set);
+      cands.push_back(std::move(cand));
+    }
+  }
+
+  // Decision stage: every participant acknowledges its best candidate
+  // (largest |T|, then largest root, then largest version); a candidate
+  // survives iff all of its participants acknowledged it.
+  std::map<NodeId, std::tuple<std::uint32_t, NodeId, std::uint16_t>> best;
+  for (const auto& cand : cands) {
+    if (cand.t_size < proto.min_report_size) continue;
+    const std::tuple<std::uint32_t, NodeId, std::uint16_t> key{
+        cand.t_size, cand.root, cand.version};
+    for (const NodeId u : cand.participants) {
+      const auto it = best.find(u);
+      if (it == best.end() || key > it->second) best[u] = key;
+    }
+  }
+  for (auto& cand : cands) {
+    const std::tuple<std::uint32_t, NodeId, std::uint16_t> key{
+        cand.t_size, cand.root, cand.version};
+    bool survive = cand.t_size >= proto.min_report_size;
+    if (survive) {
+      for (const NodeId u : cand.participants) {
+        if (best.at(u) != key) {
+          survive = false;
+          break;
+        }
+      }
+    }
+    if (survive) {
+      for (auto& rc : out.candidates) {
+        if (rc.root == cand.root && rc.version == cand.version) {
+          rc.survived = true;
+        }
+      }
+      for (const NodeId u : cand.t_set) {
+        out.labels[u] = make_label(cand.root, cand.version);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace nc

@@ -1,0 +1,38 @@
+#include "core/params.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nc {
+
+double recommended_p(double eps, double delta, NodeId n, double c) {
+  const double inv = 1.0 / std::max(1e-9, eps * delta);
+  const double numer = c * std::log(std::max(2.0, inv));
+  const double denom = std::max(1e-12, eps * eps * eps * eps * delta);
+  const double p = (numer / denom) / static_cast<double>(n);
+  return std::clamp(p, 1e-9, 1.0);
+}
+
+Schedule make_schedule(const ProtocolParams& proto, NodeId n,
+                       std::uint64_t max_rounds) {
+  Schedule s;
+  s.versions = std::max<std::uint16_t>(1, proto.versions);
+  s.decision_budget = proto.decision_budget != 0
+                          ? proto.decision_budget
+                          : 4ULL * n + 256;
+  if (proto.version_budget != 0) {
+    s.version_budget = proto.version_budget;
+  } else {
+    // Auto: split whatever the round limit allows evenly across versions,
+    // keeping the decision budget and a small safety margin.
+    const std::uint64_t margin = 16;
+    const std::uint64_t usable =
+        max_rounds > s.decision_budget + margin
+            ? max_rounds - s.decision_budget - margin
+            : 1;
+    s.version_budget = std::max<std::uint64_t>(1, usable / s.versions);
+  }
+  return s;
+}
+
+}  // namespace nc

@@ -1,0 +1,191 @@
+#include "core/protocol.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/bitio.hpp"
+
+namespace nc {
+
+DistNearCliqueNode::DistNearCliqueNode(const ProtocolParams& params,
+                                       Schedule schedule)
+    : params_(params), schedule_(schedule) {
+  versions_.resize(schedule_.versions);
+  for (std::uint16_t i = 0; i < schedule_.versions; ++i) {
+    versions_[i].w = static_cast<std::uint16_t>(i + 1);
+  }
+}
+
+bool DistNearCliqueNode::fresh(NodeApi& api, VersionState& vs,
+                               std::uint16_t kind) {
+  const std::uint64_t now = api.rx_count(kind);
+  if (now == vs.seen_rx[kind & 31u]) return false;
+  vs.seen_rx[kind & 31u] = now;
+  return true;
+}
+
+bool DistNearCliqueNode::sampling_coin(const Rng& node_rng, std::uint16_t w,
+                                       double p) {
+  Rng coin_rng = node_rng.derive(w);
+  return coin_rng.next_bernoulli(p);
+}
+
+void DistNearCliqueNode::on_start(NodeApi& api) {
+  idw_ = id_width(api.n());
+  api.set_alarm(schedule_.version_start(1));
+}
+
+void DistNearCliqueNode::on_round(NodeApi& api) {
+  if (finished_) return;
+  const std::uint64_t r = api.round();
+
+  for (auto& vs : versions_) {
+    if (!vs.started && r >= schedule_.version_start(vs.w)) {
+      start_version(api, vs);
+    }
+    if (!vs.started) continue;
+    if (!vs.s_known) read_sampled_bits(api, vs);
+    if (vs.s_known) {
+      if (vs.in_s) {
+        run_election(api, vs);
+        run_tree_final(api, vs);
+        run_gather(api, vs);
+      } else {
+        run_fringe(api, vs);
+      }
+      run_participation(api, vs);
+      for (auto& [root, ps] : vs.pairs) {
+        (void)root;
+        if (!vs.frozen) run_explore(api, vs, ps);
+      }
+    }
+    if (!vs.frozen && r >= schedule_.version_end(vs.w)) {
+      freeze_version(api, vs);
+    }
+  }
+
+  run_decision(api);
+  if (r >= schedule_.decision_deadline()) force_resolve(api);
+  maybe_finish(api);
+
+  if (!finished_) {
+    // Re-arm the next deadline so the simulator can fast-forward idle waits
+    // and the liveness guard never fires spuriously.
+    std::uint64_t next = schedule_.decision_deadline();
+    for (const auto& vs : versions_) {
+      if (!vs.started) {
+        next = std::min(next, schedule_.version_start(vs.w));
+      } else if (!vs.frozen) {
+        next = std::min(next, schedule_.version_end(vs.w));
+      }
+    }
+    if (next <= r) next = r + 1;  // deadline round itself: resolve next round
+    api.set_alarm(next);
+  }
+}
+
+void DistNearCliqueNode::start_version(NodeApi& api, VersionState& vs) {
+  vs.started = true;
+  vs.in_s = sampling_coin(api.rng(), vs.w, params_.p);
+  vs.nbr_participation.resize(api.degree());
+  // Announce the sampling coin to every neighbour (1 bit).
+  auto ch = api.open_stream_all(key(kSampled, 0, vs.w));
+  ch.put_bit(vs.in_s);
+  ch.close();
+  if (api.degree() == 0) {
+    // Isolated node: it is its own singleton component if sampled; either
+    // way there is nothing to discover or relay.
+    vs.s_known = true;
+    if (vs.in_s) {
+      vs.best_root = api.id();
+      vs.i_am_root = true;
+      vs.election_done = true;
+      vs.tree_final_seen = true;
+      vs.children_known = true;
+      vs.comp = {api.id()};
+      vs.comp_known = true;
+    }
+  }
+}
+
+void DistNearCliqueNode::read_sampled_bits(NodeApi& api, VersionState& vs) {
+  std::size_t have = 0;
+  for (std::size_t ni = 0; ni < api.degree(); ++ni) {
+    InStream* in = api.find_in(ni, key(kSampled, 0, vs.w));
+    if (in != nullptr && (in->available() > 0 || in->closed())) ++have;
+  }
+  if (have < api.degree()) return;
+  vs.s_nbr.clear();
+  for (std::size_t ni = 0; ni < api.degree(); ++ni) {
+    InStream* in = api.find_in(ni, key(kSampled, 0, vs.w));
+    // Each neighbour sends exactly one bit; consume it once.
+    if (in->available() > 0 && in->pop() != 0) vs.s_nbr.push_back(ni);
+  }
+  vs.s_known = true;
+  if (vs.in_s) {
+    vs.best_root = api.id();
+    vs.best_dist = 0;
+  }
+}
+
+void DistNearCliqueNode::freeze_version(NodeApi& api, VersionState& vs) {
+  (void)api;
+  vs.frozen = true;
+  vs.finalized = true;
+  // Pairs without complete reports contribute no candidates; my_ack is
+  // already false for them. Exploration stops (run_explore is gated on
+  // !frozen); vote/verdict machinery keeps running for pairs that completed,
+  // and everything else resolves at the decision deadline.
+}
+
+bool DistNearCliqueNode::version_finalized_for_vote(
+    const VersionState& vs) const {
+  if (vs.frozen) return true;
+  if (!vs.started || !vs.s_known) return false;
+  const bool set_final =
+      vs.in_s ? vs.comp_known : (vs.s_nbr.empty() || vs.registered);
+  if (!set_final) return false;
+  for (const auto& [root, ps] : vs.pairs) {
+    (void)root;
+    if (ps.live && !ps.report_done) return false;
+  }
+  return true;
+}
+
+void DistNearCliqueNode::force_resolve(NodeApi& api) {
+  (void)api;
+  for (auto& vs : versions_) {
+    vs.finalized = true;
+    for (auto& [root, ps] : vs.pairs) {
+      (void)root;
+      if (!ps.resolved) {
+        ps.resolved = true;
+        ps.survived = false;
+      }
+    }
+  }
+  voted_global_ = true;
+}
+
+void DistNearCliqueNode::maybe_finish(NodeApi& api) {
+  if (finished_) return;
+  for (const auto& vs : versions_) {
+    if (!vs.started || !vs.finalized) return;
+    for (const auto& [root, ps] : vs.pairs) {
+      (void)root;
+      if (!ps.resolved) return;
+    }
+    if (vs.in_s && !vs.frozen) {
+      // Members must also finish their relay duties so children do not hang
+      // waiting for component lists that would never arrive.
+      if (!vs.comp_known) return;
+      if (!vs.i_am_root && vs.gather_opened && !vs.gather_out.closed()) return;
+      if (vs.complist_opened && !vs.complist_out.closed()) return;
+    }
+  }
+  if (!voted_global_) return;
+  finished_ = true;
+  api.set_done();
+}
+
+}  // namespace nc

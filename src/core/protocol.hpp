@@ -1,0 +1,280 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "core/params.hpp"
+#include "runtime/network.hpp"
+#include "util/bitvec.hpp"
+#include "util/ids.hpp"
+
+namespace nc {
+
+/// Wire message kinds of Algorithm DistNearClique. Every stream key is
+/// (kind, tag, version) where tag is the component root ID (or 0 where no
+/// component context exists yet).
+enum MsgKind : std::uint16_t {
+  kSampled = 1,      ///< round-1 bit per version: "I am in S"
+  kFlood = 2,        ///< election flood; tag = candidate root, payload: dist
+  kFloodAck = 3,     ///< DS ack; payload: 1 bit "a smaller root is known"
+  kTreeFinal = 4,    ///< root's completion flood over S-edges (EOS only)
+  kParentOf = 5,     ///< to an S-neighbour: 1 bit "you are my tree parent"
+  kGatherIds = 6,    ///< convergecast of member IDs (exploration Step 2 up)
+  kCompList = 7,     ///< member list broadcast down the tree (Step 2 down)
+  kCompAnnounce = 8, ///< member -> non-S neighbour: member list (Step 3)
+  kFringeReg = 9,    ///< non-S node -> member: 1 bit "you are my parent"
+  kParticipate = 10, ///< to every neighbour: roots I participate in
+  kKBitvec = 11,     ///< to every neighbour: K_{2eps^2} membership bits (4b)
+  kKSum = 12,        ///< convergecast of |K_{2eps^2}(X)| partial sums (4c)
+  kKCount = 13,      ///< broadcast of |K_{2eps^2}(X)| down tree+fringe (4d)
+  kTSum = 14,        ///< convergecast of |T_eps(X)| partial sums (decision 1)
+  kReport = 15,      ///< broadcast of (X*, |T_eps(X*)|) (decision 2)
+  kVote = 16,        ///< ack(1)/abort(0), aggregated up the tree (decision 3)
+  kVerdict = 17,     ///< survive bit broadcast down (decision 4)
+};
+
+/// Encodes the output label of a surviving candidate: the paper labels a
+/// near-clique by its component's root ID; the boosting wrapper extends the
+/// label with the version index so two surviving versions rooted at the same
+/// node cannot alias.
+[[nodiscard]] constexpr Label make_label(NodeId root,
+                                         std::uint16_t version) noexcept {
+  return (static_cast<Label>(root) << 10) | version;
+}
+
+/// Root ID of a label produced by make_label.
+[[nodiscard]] constexpr NodeId label_root(Label label) noexcept {
+  return static_cast<NodeId>(label >> 10);
+}
+
+/// Version index of a label produced by make_label.
+[[nodiscard]] constexpr std::uint16_t label_version(Label label) noexcept {
+  return static_cast<std::uint16_t>(label & 0x3ff);
+}
+
+/// Per-candidate-root state of the Dijkstra-Scholten election (one entry per
+/// flood this node adopted; floods that were not adopted are acked
+/// immediately and need no state).
+struct FloodState {
+  std::size_t ds_parent_ni = 0;  ///< neighbour the deferred ack goes to
+  std::uint32_t deficit = 0;     ///< unacked forwards
+  bool flag = false;             ///< subtree saw a root smaller than this one
+  bool acked = false;            ///< deferred ack already sent
+};
+
+/// Diagnostic record a component root keeps about its candidate (exposed to
+/// drivers and benches; not used by the protocol itself).
+struct RootCandidate {
+  NodeId root = kNoNode;
+  std::uint16_t version = 0;
+  std::uint32_t component_size = 0;  ///< |S_i|
+  std::uint64_t x_star = 0;          ///< argmax subset mask
+  std::uint32_t t_size = 0;          ///< |T_eps(X*)|
+  bool live = false;                 ///< enumerated (2^s-1 <= max_subsets)
+  bool survived = false;             ///< won the decision stage
+};
+
+/// Participation of this node in one component (root, version): everything
+/// the exploration and decision stages track per pair.
+struct PairState {
+  NodeId root = kNoNode;
+  std::uint16_t version = 0;
+  bool is_member = false;
+  std::vector<NodeId> members;  ///< sorted component member list
+  std::uint32_t s = 0;          ///< members.size()
+  bool live = true;             ///< subset enumeration within cap
+
+  std::size_t parent_ni = SIZE_MAX;  ///< tree parent / fringe attachment
+  std::vector<std::size_t> child_nis;  ///< members: tree + fringe children
+
+  // --- exploration ---
+  bool explore_started = false;
+  std::uint64_t a_mask = 0;  ///< adjacency over members
+  BitVec k_bits;             ///< own K_{2eps^2} membership per subset
+  OutChannel kbitvec_out, ksum_out, kcount_out, tsum_out, report_out,
+      vote_out, verdict_out;
+  bool kbitvec_opened = false, ksum_opened = false, kcount_opened = false,
+       tsum_opened = false;
+  std::size_t ksum_next = 0;    ///< next coordinate to emit upward
+  std::size_t tsum_next = 0;
+  std::vector<std::uint32_t> counts;  ///< |K(X)| from the root (4d)
+  std::size_t counts_filled = 0;
+  std::size_t kcount_relay_next = 0;  ///< members: relay cursor for 4d
+  std::vector<std::uint32_t> nbr_k_accum;  ///< 4f: sum of neighbour K bits
+  std::vector<std::size_t> pn_consumed;    ///< per participant-neighbour
+  std::vector<std::size_t> participant_nbrs;  ///< neighbour indices
+  std::optional<std::vector<std::size_t>> sampled_4f;  ///< 5.3 estimate mode
+  bool participant_nbrs_known = false;
+  bool t_done = false;
+  BitVec t_bits;
+
+  // --- root-side decision ---
+  std::vector<std::uint32_t> tcounts;  ///< root: |T(X)| per subset
+  std::size_t tcount_filled = 0;
+
+  // --- decision ---
+  bool report_done = false;
+  std::size_t report_relay_next = 0;
+  std::uint64_t x_star = 0;
+  std::uint32_t t_size = 0;
+  bool vote_sent = false;
+  bool my_ack = false;
+  std::size_t votes_in = 0;   ///< children votes received (members)
+  bool all_children_ack = true;
+  bool verdict_forwarded = false;
+  bool resolved = false;
+  bool survived = false;
+};
+
+/// Per-version protocol state (Section 4.1 runs `versions` of these in
+/// consecutive round windows).
+struct VersionState {
+  std::uint16_t w = 1;  ///< 1-based version index
+  bool started = false;
+  bool frozen = false;   ///< window expired; no new exploration progress
+  bool finalized = false;  ///< this node's candidate set for w is final
+
+  bool in_s = false;
+  std::vector<std::size_t> s_nbr;  ///< sampled neighbour indices
+  bool s_known = false;
+
+  // --- election (S-members only) ---
+  NodeId best_root = kNoNode;
+  std::uint32_t best_dist = 0;
+  std::size_t best_parent_ni = SIZE_MAX;
+  std::map<NodeId, FloodState> floods;
+  std::uint32_t own_deficit = 0;  ///< as flood source
+  bool own_flag = false;
+  bool flood_sent = false;
+  bool election_done = false;  ///< own flood's DS computation terminated
+  bool i_am_root = false;
+
+  // --- tree finalization ---
+  bool tree_final_seen = false;
+  bool tree_final_forwarded = false;
+  bool parentof_sent_ = false;
+  std::size_t parentof_in = 0;  ///< kParentOf bits received
+  std::vector<std::size_t> tree_children;
+  bool children_known = false;
+  std::vector<std::size_t> fringe_children;
+
+  // --- gather / component list (members) ---
+  bool gather_opened = false;
+  OutChannel gather_out;
+  std::vector<NodeId> gathered;  ///< root: collected IDs
+  bool complist_opened = false;
+  OutChannel complist_out;
+  std::size_t complist_relay_next = 0;
+  std::vector<NodeId> comp;
+  bool comp_known = false;
+
+  // --- fringe registration (non-members) ---
+  bool announces_done = false;
+  bool registered = false;
+
+  // --- fringe children collection (members) ---
+  std::size_t fringe_in = 0;  ///< kFringeReg bits received
+  bool fringe_known = false;
+
+  // --- participation exchange ---
+  bool participate_sent = false;
+  std::vector<std::vector<NodeId>> nbr_participation;  ///< by neighbour index
+  std::size_t participation_in = 0;  ///< closed kParticipate streams
+  bool participation_known = false;
+
+  bool announce_opened = false;
+  OutChannel announce_out;  ///< shared kCompAnnounce buffer
+
+  /// Last-seen delivery counters per message kind: scan-heavy handlers skip
+  /// their inbox walk when nothing of the kind arrived since their last
+  /// *successful* scan (guard-blocked handlers leave the counter untouched
+  /// so the scan re-fires once unblocked).
+  std::array<std::uint64_t, 32> seen_rx{};
+
+  std::map<NodeId, PairState> pairs;  ///< by root
+};
+
+/// One processor running Algorithm DistNearClique (Section 4) under the
+/// Section 4.1 wrappers. See DESIGN.md for the stage-by-stage narrative;
+/// stage handlers live in protocol_election.cpp, protocol_gather.cpp,
+/// protocol_explore.cpp and protocol_decide.cpp.
+class DistNearCliqueNode : public INode {
+ public:
+  explicit DistNearCliqueNode(const ProtocolParams& params, Schedule schedule);
+
+  void on_start(NodeApi& api) override;
+  void on_round(NodeApi& api) override;
+
+  /// Output register: the near-clique label, or kBottom.
+  [[nodiscard]] Label label() const noexcept { return label_; }
+
+  /// Root-side diagnostics for every component this node rooted.
+  [[nodiscard]] const std::vector<RootCandidate>& root_candidates()
+      const noexcept {
+    return root_candidates_;
+  }
+
+  /// Local computation counter (membership tests + additions performed by
+  /// the exploration stage); reported by experiment E12.
+  [[nodiscard]] std::uint64_t local_ops() const noexcept { return local_ops_; }
+
+  /// True once the output register is final.
+  [[nodiscard]] bool finished() const noexcept { return finished_; }
+
+  /// The sampling coin this node would flip for version `w` — exposed so
+  /// the centralized oracle replays the identical randomness.
+  static bool sampling_coin(const Rng& node_rng, std::uint16_t w, double p);
+
+ private:
+  friend struct ProtocolTestPeek;
+
+  // stage handlers --------------------------------------------------------
+  void start_version(NodeApi& api, VersionState& vs);
+  void read_sampled_bits(NodeApi& api, VersionState& vs);
+  void run_election(NodeApi& api, VersionState& vs);
+  void handle_flood(NodeApi& api, VersionState& vs, std::size_t ni,
+                    NodeId cand, std::uint32_t dist);
+  void send_ack(NodeApi& api, VersionState& vs, std::size_t ni, NodeId cand,
+                bool flag);
+  void become_root(NodeApi& api, VersionState& vs);
+  void run_tree_final(NodeApi& api, VersionState& vs);
+  void run_gather(NodeApi& api, VersionState& vs);
+  void run_fringe(NodeApi& api, VersionState& vs);
+  void run_participation(NodeApi& api, VersionState& vs);
+  void maybe_init_pair(NodeApi& api, VersionState& vs, PairState& ps);
+  void run_explore(NodeApi& api, VersionState& vs, PairState& ps);
+  void run_decision(NodeApi& api);
+  void maybe_vote(NodeApi& api);
+  void run_votes_and_verdicts(NodeApi& api);
+  void freeze_version(NodeApi& api, VersionState& vs);
+  void force_resolve(NodeApi& api);
+  void maybe_finish(NodeApi& api);
+
+  // helpers ----------------------------------------------------------------
+  [[nodiscard]] StreamKey key(std::uint16_t kind, NodeId tag,
+                              std::uint16_t w) const noexcept {
+    return StreamKey{kind, tag, w};
+  }
+  [[nodiscard]] unsigned idw() const noexcept { return idw_; }
+  [[nodiscard]] bool version_finalized_for_vote(const VersionState& vs) const;
+
+  /// True iff messages of `kind` arrived since this version's handler last
+  /// scanned for them (used to skip inbox scans on quiet rounds; counters
+  /// are per version so one version's scan never starves another's).
+  static bool fresh(NodeApi& api, VersionState& vs, std::uint16_t kind);
+
+  ProtocolParams params_;
+  Schedule schedule_;
+  unsigned idw_ = 0;
+  std::vector<VersionState> versions_;
+  Label label_ = kBottom;
+  bool finished_ = false;
+  bool voted_global_ = false;
+  std::uint64_t local_ops_ = 0;
+  std::vector<RootCandidate> root_candidates_;
+};
+
+}  // namespace nc

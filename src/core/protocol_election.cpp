@@ -1,0 +1,156 @@
+#include <cassert>
+
+#include "core/protocol.hpp"
+
+// Exploration stage, Step 1: build a rooted spanning tree for each connected
+// component of G[S], rooted at the minimum-ID member.
+//
+// Implementation: every S-member starts a BFS flood carrying (candidate
+// root, distance); nodes adopt the lexicographically best (smallest root,
+// then smallest distance) offer, so the minimum-ID root's flood — which
+// propagates unimpeded at one hop per round — induces exact BFS distances
+// and parents. Termination is detected per candidate with Dijkstra-Scholten
+// deficit counting: every flood message is acknowledged, acks carry a flag
+// "somewhere in your flood's range a smaller root is known", and deferred
+// acks release only when a node's own forwards are all acknowledged. A
+// candidate whose deficit reaches zero with no flag raised is the unique
+// minimum-ID root of its component and locally knows its BFS tree is
+// complete (see DESIGN.md for the correctness argument).
+
+namespace nc {
+
+void DistNearCliqueNode::run_election(NodeApi& api, VersionState& vs) {
+  if (!vs.in_s) return;
+
+  // Kick off our own candidacy.
+  if (!vs.flood_sent) {
+    vs.flood_sent = true;
+    for (const std::size_t ni : vs.s_nbr) {
+      auto ch = api.open_stream_one(key(kFlood, api.id(), vs.w), ni);
+      ch.put(0, idw());  // our distance from ourselves
+      ch.close();
+    }
+    vs.own_deficit = static_cast<std::uint32_t>(vs.s_nbr.size());
+    if (vs.own_deficit == 0 && !vs.election_done) {
+      vs.election_done = true;
+      become_root(api, vs);  // singleton component
+    }
+  }
+
+  // Incoming floods.
+  if (fresh(api, vs, kFlood))
+  api.for_each_in(kFlood, [&](std::size_t ni, const StreamKey& k,
+                              InStream& in) {
+    if (k.version != vs.w) return;
+    while (in.available() > 0) {
+      const auto dist = static_cast<std::uint32_t>(in.pop());
+      handle_flood(api, vs, ni, k.tag, dist);
+    }
+  });
+
+  // Incoming acks.
+  if (fresh(api, vs, kFloodAck))
+  api.for_each_in(kFloodAck, [&](std::size_t ni, const StreamKey& k,
+                                 InStream& in) {
+    (void)ni;
+    if (k.version != vs.w) return;
+    while (in.available() > 0) {
+      const bool flag = in.pop() != 0;
+      const NodeId cand = k.tag;
+      if (cand == api.id()) {
+        assert(vs.own_deficit > 0);
+        --vs.own_deficit;
+        vs.own_flag = vs.own_flag || flag;
+        if (vs.own_deficit == 0 && !vs.election_done) {
+          vs.election_done = true;
+          if (!vs.own_flag) become_root(api, vs);
+          // Otherwise we lost; we continue as an ordinary member.
+        }
+      } else {
+        auto it = vs.floods.find(cand);
+        assert(it != vs.floods.end());
+        FloodState& fs = it->second;
+        assert(fs.deficit > 0);
+        --fs.deficit;
+        fs.flag = fs.flag || flag;
+        if (fs.deficit == 0 && !fs.acked) {
+          fs.acked = true;
+          send_ack(api, vs, fs.ds_parent_ni, cand,
+                   fs.flag || vs.best_root < cand);
+        }
+      }
+    }
+  });
+}
+
+void DistNearCliqueNode::handle_flood(NodeApi& api, VersionState& vs,
+                                      std::size_t ni, NodeId cand,
+                                      std::uint32_t dist) {
+  if (cand == api.id()) {
+    // Our own flood looped back through a cycle.
+    send_ack(api, vs, ni, cand, vs.best_root < cand);
+    return;
+  }
+  if (cand < vs.best_root) {
+    // Adopt and forward: this engages us in cand's diffusing computation.
+    vs.best_root = cand;
+    vs.best_dist = dist + 1;
+    vs.best_parent_ni = ni;
+    FloodState fs;
+    fs.ds_parent_ni = ni;
+    fs.deficit = 0;
+    for (const std::size_t other : vs.s_nbr) {
+      if (other == ni) continue;
+      auto ch = api.open_stream_one(key(kFlood, cand, vs.w), other);
+      ch.put(dist + 1, idw());
+      ch.close();
+      ++fs.deficit;
+    }
+    if (fs.deficit == 0) {
+      fs.acked = true;
+      vs.floods.emplace(cand, fs);
+      send_ack(api, vs, ni, cand, vs.best_root < cand);
+    } else {
+      vs.floods.emplace(cand, fs);
+    }
+  } else {
+    // Not adopted (or a duplicate of an already-adopted flood): acknowledge
+    // immediately, reporting whether we know a smaller root.
+    send_ack(api, vs, ni, cand, vs.best_root < cand);
+  }
+}
+
+void DistNearCliqueNode::send_ack(NodeApi& api, VersionState& vs,
+                                  std::size_t ni, NodeId cand, bool flag) {
+  auto ch = api.open_stream_one(key(kFloodAck, cand, vs.w), ni);
+  ch.put_bit(flag);
+  ch.close();
+}
+
+void DistNearCliqueNode::become_root(NodeApi& api, VersionState& vs) {
+  vs.i_am_root = true;
+  vs.best_root = api.id();
+  vs.best_dist = 0;
+  vs.best_parent_ni = SIZE_MAX;
+  vs.tree_final_seen = true;
+  // Announce tree completion over the S-edges; members forward the wave.
+  for (const std::size_t ni : vs.s_nbr) {
+    auto ch = api.open_stream_one(key(kTreeFinal, api.id(), vs.w), ni);
+    ch.close();
+  }
+  // The root participates in the ParentOf exchange like everyone else
+  // (its own bits are all zero).
+  for (const std::size_t ni : vs.s_nbr) {
+    auto ch = api.open_stream_one(key(kParentOf, api.id(), vs.w), ni);
+    ch.put_bit(false);
+    ch.close();
+  }
+  vs.parentof_sent_ = true;
+  if (vs.s_nbr.empty()) {
+    vs.children_known = true;
+    vs.comp = {api.id()};
+    vs.comp_known = true;
+  }
+}
+
+}  // namespace nc

@@ -1,0 +1,45 @@
+#include "core/subsets.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace nc {
+
+std::size_t member_position(const std::vector<NodeId>& sorted_members,
+                            NodeId v) {
+  const auto it =
+      std::lower_bound(sorted_members.begin(), sorted_members.end(), v);
+  if (it == sorted_members.end() || *it != v) {
+    return std::numeric_limits<std::size_t>::max();
+  }
+  return static_cast<std::size_t>(it - sorted_members.begin());
+}
+
+std::uint64_t adjacency_mask(const std::vector<NodeId>& sorted_members,
+                             const std::vector<NodeId>& sorted_neighbors) {
+  std::uint64_t mask = 0;
+  std::size_t i = 0, j = 0;
+  while (i < sorted_members.size() && j < sorted_neighbors.size()) {
+    if (sorted_members[i] < sorted_neighbors[j]) {
+      ++i;
+    } else if (sorted_members[i] > sorted_neighbors[j]) {
+      ++j;
+    } else {
+      mask |= 1ULL << i;
+      ++i;
+      ++j;
+    }
+  }
+  return mask;
+}
+
+std::vector<NodeId> subset_members(const std::vector<NodeId>& sorted_members,
+                                   std::uint64_t x) {
+  std::vector<NodeId> out;
+  for (std::size_t j = 0; j < sorted_members.size(); ++j) {
+    if ((x >> j) & 1ULL) out.push_back(sorted_members[j]);
+  }
+  return out;
+}
+
+}  // namespace nc

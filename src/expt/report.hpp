@@ -1,0 +1,22 @@
+#pragma once
+
+#include <string>
+
+#include "expt/trial.hpp"
+#include "util/table.hpp"
+
+namespace nc {
+
+/// Appends the standard measurement columns of a TrialStats row to a table
+/// row (success rate with Wilson interval, output size/density, rounds,
+/// traffic). Keeps every bench binary's table consistent for EXPERIMENTS.md.
+void append_stats_cells(std::vector<std::string>& row,
+                        const TrialStats& stats);
+
+/// The standard column headers matching append_stats_cells.
+std::vector<std::string> stats_headers();
+
+/// Prints a titled table to stdout with a blank line around it.
+void print_table(const std::string& title, const Table& table);
+
+}  // namespace nc

@@ -1,0 +1,67 @@
+#include "expt/trial.hpp"
+
+#include <algorithm>
+
+#include "graph/metrics.hpp"
+
+namespace nc {
+
+TrialStats run_trials(const TrialSpec& spec, std::size_t trials,
+                      std::uint64_t seed_base) {
+  TrialStats stats;
+  for (std::size_t t = 0; t < trials; ++t) {
+    const std::uint64_t seed = seed_base + 7919 * (t + 1);
+    const Instance inst = spec.make_instance(seed);
+    const NearCliqueResult result = spec.run(inst.graph, seed);
+    ++stats.trials;
+    if (spec.success(inst, result)) ++stats.successes;
+    if (spec.success2 && spec.success2(inst, result)) ++stats.successes2;
+    stats.rounds.add(static_cast<double>(result.stats.rounds));
+    stats.bits.add(static_cast<double>(result.stats.bits));
+    stats.max_msg_bits.add(
+        static_cast<double>(result.stats.max_message_bits));
+    stats.local_ops.add(static_cast<double>(result.total_local_ops));
+    const auto best = result.largest_cluster();
+    stats.out_size.add(static_cast<double>(best.size()));
+    stats.out_density.add(best.empty() ? 0.0
+                                       : set_density(inst.graph, best));
+    if (!inst.planted.empty()) {
+      stats.size_ratio.add(static_cast<double>(best.size()) /
+                           static_cast<double>(inst.planted.size()));
+      std::size_t overlap = 0;
+      for (const NodeId v : best) {
+        if (std::binary_search(inst.planted.begin(), inst.planted.end(), v)) {
+          ++overlap;
+        }
+      }
+      stats.recall.add(static_cast<double>(overlap) /
+                       static_cast<double>(inst.planted.size()));
+    }
+  }
+  return stats;
+}
+
+Theorem57Bounds theorem57_bounds(double eps, double delta,
+                                 std::size_t planted_size) {
+  Theorem57Bounds b;
+  const double shrink = 1.0 - 6.5 * eps;
+  b.min_size = std::max(
+      2.0, shrink * static_cast<double>(planted_size) - 1.0 / (eps * eps));
+  // For eps >= 2/13 the theorem's density factor exceeds 1 and the bound is
+  // vacuous (any set qualifies); cap at 1 so callers and tables stay sane.
+  // The footnote of Theorem 5.7 notes the clean 2*eps/delta form only holds
+  // for eps < 1/13.
+  b.max_eps_out =
+      std::min(1.0, (1.0 / std::max(1e-9, shrink)) * (eps / delta));
+  return b;
+}
+
+bool theorem57_success(const Instance& inst, const NearCliqueResult& result,
+                       double eps, double delta) {
+  const auto bounds = theorem57_bounds(eps, delta, inst.planted.size());
+  const auto best = result.largest_cluster();
+  if (static_cast<double>(best.size()) < bounds.min_size) return false;
+  return is_near_clique(inst.graph, best, bounds.max_eps_out);
+}
+
+}  // namespace nc

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "core/driver.hpp"
+#include "graph/generators.hpp"
+#include "util/stats.hpp"
+
+namespace nc {
+
+/// Aggregated measurements over repeated randomized trials of one
+/// experimental configuration (one table row). Success is defined by the
+/// experiment (each bench documents its predicate against the paper's
+/// statement being reproduced).
+struct TrialStats {
+  std::size_t trials = 0;
+  std::size_t successes = 0;
+  std::size_t successes2 = 0;  ///< optional secondary predicate
+
+  [[nodiscard]] double success2_rate() const {
+    return trials == 0 ? 0.0
+                       : static_cast<double>(successes2) /
+                             static_cast<double>(trials);
+  }
+  RunningStat rounds;
+  RunningStat bits;
+  RunningStat max_msg_bits;
+  RunningStat out_size;        ///< largest output cluster size
+  RunningStat out_density;     ///< its Definition-1 density
+  RunningStat size_ratio;      ///< |output| / |planted|
+  RunningStat recall;          ///< |output ∩ planted| / |planted|
+  RunningStat local_ops;
+
+  [[nodiscard]] double success_rate() const {
+    return trials == 0 ? 0.0
+                       : static_cast<double>(successes) /
+                             static_cast<double>(trials);
+  }
+  [[nodiscard]] Interval success_interval() const {
+    return wilson_interval(successes, trials);
+  }
+};
+
+/// Per-trial hooks: generate the instance, run the algorithm, judge success.
+struct TrialSpec {
+  std::function<Instance(std::uint64_t seed)> make_instance;
+  std::function<NearCliqueResult(const Graph& g, std::uint64_t seed)> run;
+  /// Judge: given graph, planted set and result, is this trial a success?
+  std::function<bool(const Instance&, const NearCliqueResult&)> success;
+  /// Optional second judge (e.g. a non-vacuous finite-n predicate reported
+  /// next to the literal theorem predicate).
+  std::function<bool(const Instance&, const NearCliqueResult&)> success2;
+};
+
+/// Runs `trials` seeded executions and aggregates.
+TrialStats run_trials(const TrialSpec& spec, std::size_t trials,
+                      std::uint64_t seed_base);
+
+/// Standard Theorem 5.7 success predicate: the largest output cluster is a
+/// bound_eps-near clique of size at least (1 - 13/2 eps)|D| - eps^{-2}.
+bool theorem57_success(const Instance& inst, const NearCliqueResult& result,
+                       double eps, double delta);
+
+/// Theorem 5.7 bounds, exposed for table printing.
+struct Theorem57Bounds {
+  double min_size;     ///< (1 - 13/2 eps)|D| - eps^{-2}, floored at 2
+  double max_eps_out;  ///< (1/(1 - 13/2 eps)) * eps/delta
+};
+Theorem57Bounds theorem57_bounds(double eps, double delta,
+                                 std::size_t planted_size);
+
+}  // namespace nc

@@ -1,0 +1,53 @@
+#include "expt/workloads.hpp"
+
+#include <sstream>
+
+namespace nc {
+
+Instance make_theorem_instance(NodeId n, double delta, double eps,
+                               double background_p, double halo_p,
+                               std::uint64_t seed) {
+  Rng rng(seed ^ 0x7e0001ULL);
+  PlantedNearCliqueParams params;
+  params.n = n;
+  params.clique_size =
+      static_cast<NodeId>(delta * static_cast<double>(n) + 0.5);
+  params.eps_missing = eps * eps * eps;
+  params.background_p = background_p;
+  params.halo_p = halo_p;
+  return planted_near_clique(params, rng);
+}
+
+Instance make_linear_instance(NodeId n, double eps, std::uint64_t seed) {
+  return make_theorem_instance(n, 0.5, eps, 0.1, 0.3, seed);
+}
+
+Instance make_sublinear_instance(NodeId n, double alpha, std::uint64_t seed) {
+  Rng rng(seed ^ 0x7e0003ULL);
+  return sublinear_clique(n, alpha, 0.05, rng);
+}
+
+Instance make_counterexample_instance(NodeId n, double delta,
+                                      std::uint64_t seed) {
+  Rng rng(seed ^ 0x7e0004ULL);
+  return shingles_counterexample(n, delta, rng);
+}
+
+Instance make_barbell_instance(NodeId n, bool delete_a_edges) {
+  return barbell_gadget(n, delete_a_edges);
+}
+
+Instance make_web_instance(NodeId n, NodeId community, double eps,
+                           std::uint64_t seed) {
+  Rng rng(seed ^ 0x7e0005ULL);
+  return power_law_web(n, 2.5, 8.0, community, eps * eps * eps, rng);
+}
+
+std::string describe_instance(const std::string& family, NodeId n,
+                              double param) {
+  std::ostringstream os;
+  os << family << "(n=" << n << ", param=" << param << ")";
+  return os.str();
+}
+
+}  // namespace nc

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "graph/generators.hpp"
+
+namespace nc {
+
+/// Canonical instance families for the experiment suite (E1..E12). Each
+/// builder is deterministic in `seed` and documents which paper statement it
+/// exercises. All sizes/probabilities mirror the quantifiers of the
+/// corresponding theorem.
+
+/// Theorem 2.1 / 5.7 instances: an exactly-eps^3-near clique of size delta*n
+/// planted in ER background. `eps` is the *algorithm* epsilon; the planted
+/// set misses an eps^3 fraction of ordered pairs, as the theorem premise
+/// requires.
+Instance make_theorem_instance(NodeId n, double delta, double eps,
+                               double background_p, double halo_p,
+                               std::uint64_t seed);
+
+/// Corollary 2.2 instances: linear-size near-clique (delta constant).
+Instance make_linear_instance(NodeId n, double eps, std::uint64_t seed);
+
+/// Corollary 2.3 instances: strict clique of size n / (log2 log2 n)^alpha.
+Instance make_sublinear_instance(NodeId n, double alpha, std::uint64_t seed);
+
+/// Claim 1 / Figure 1 counterexample G_n for a given delta.
+Instance make_counterexample_instance(NodeId n, double delta,
+                                      std::uint64_t seed);
+
+/// Section 6 impossibility gadget (A - P - B barbell).
+Instance make_barbell_instance(NodeId n, bool delete_a_edges);
+
+/// Web-community instance for the motivation experiments: power-law
+/// background with a planted near-clique community.
+Instance make_web_instance(NodeId n, NodeId community, double eps,
+                           std::uint64_t seed);
+
+/// Short human-readable description of an instance family row.
+std::string describe_instance(const std::string& family, NodeId n,
+                              double param);
+
+}  // namespace nc

@@ -1,0 +1,43 @@
+#include "graph/builder.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace nc {
+
+void GraphBuilder::add_edge(NodeId u, NodeId v) {
+  assert(u < n_ && v < n_);
+  if (u == v) return;
+  if (u > v) std::swap(u, v);
+  edges_.emplace_back(u, v);
+}
+
+void GraphBuilder::add_clique(const std::vector<NodeId>& nodes) {
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    for (std::size_t j = i + 1; j < nodes.size(); ++j) {
+      add_edge(nodes[i], nodes[j]);
+    }
+  }
+}
+
+void GraphBuilder::add_biclique(const std::vector<NodeId>& a,
+                                const std::vector<NodeId>& b) {
+  for (const NodeId u : a) {
+    for (const NodeId v : b) add_edge(u, v);
+  }
+}
+
+void GraphBuilder::add_path(const std::vector<NodeId>& nodes) {
+  for (std::size_t i = 1; i < nodes.size(); ++i) {
+    add_edge(nodes[i - 1], nodes[i]);
+  }
+}
+
+Graph GraphBuilder::build() const {
+  auto edges = edges_;
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  return Graph(n_, edges);
+}
+
+}  // namespace nc

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/ids.hpp"
+
+namespace nc {
+
+/// Mutable accumulator of edges that produces an immutable Graph.
+///
+/// Self-loops are dropped and duplicate edges (in either orientation) are
+/// deduplicated at build time, so generators can add edges freely.
+class GraphBuilder {
+ public:
+  /// Creates a builder for a graph on `n` nodes.
+  explicit GraphBuilder(NodeId n) : n_(n) {}
+
+  /// Adds the undirected edge {u, v}. Self-loops are ignored.
+  /// Precondition: u < n and v < n.
+  void add_edge(NodeId u, NodeId v);
+
+  /// Adds every edge among the given nodes (makes them a clique).
+  void add_clique(const std::vector<NodeId>& nodes);
+
+  /// Adds the complete bipartite graph between two node sets.
+  void add_biclique(const std::vector<NodeId>& a, const std::vector<NodeId>& b);
+
+  /// Adds the path v0 - v1 - ... - vk.
+  void add_path(const std::vector<NodeId>& nodes);
+
+  /// Number of nodes.
+  [[nodiscard]] NodeId n() const noexcept { return n_; }
+
+  /// Number of edges added so far (before deduplication).
+  [[nodiscard]] std::size_t raw_edge_count() const noexcept {
+    return edges_.size();
+  }
+
+  /// Finalizes into an immutable Graph (dedup + CSR construction).
+  [[nodiscard]] Graph build() const;
+
+ private:
+  NodeId n_;
+  std::vector<std::pair<NodeId, NodeId>> edges_;
+};
+
+}  // namespace nc

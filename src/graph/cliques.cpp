@@ -1,0 +1,115 @@
+#include "graph/cliques.hpp"
+
+#include <algorithm>
+
+#include "util/bitvec.hpp"
+
+namespace nc {
+
+namespace {
+
+std::size_t g_expansions = 0;
+
+/// Recursive Bron-Kerbosch with pivot selection (Tomita-style): expands
+/// R with candidates P \ Gamma(pivot), maintaining best as the incumbent.
+class CliqueSearch {
+ public:
+  CliqueSearch(const Graph& g, std::size_t budget)
+      : g_(g), budget_(budget) {
+    masks_.reserve(g.n());
+    for (NodeId v = 0; v < g.n(); ++v) masks_.push_back(g.neighbor_mask(v));
+  }
+
+  void run(BitVec p, BitVec x, std::vector<NodeId>& r) {
+    if (budget_ == 0) {
+      exhausted_ = true;
+      return;
+    }
+    --budget_;
+    ++g_expansions;
+    if (p.none() && x.none()) {
+      if (r.size() > best_.size()) best_ = r;
+      return;
+    }
+    if (r.size() + p.count() <= best_.size()) return;  // bound
+
+    // Pivot: vertex of P ∪ X with most neighbors in P.
+    NodeId pivot = kNoNode;
+    std::size_t best_cover = 0;
+    for (const NodeId u : p.to_indices()) {
+      const std::size_t c = p.count_and(masks_[u]);
+      if (pivot == kNoNode || c > best_cover) {
+        pivot = u;
+        best_cover = c;
+      }
+    }
+    for (const NodeId u : x.to_indices()) {
+      const std::size_t c = p.count_and(masks_[u]);
+      if (pivot == kNoNode || c > best_cover) {
+        pivot = u;
+        best_cover = c;
+      }
+    }
+
+    BitVec ext = p;
+    if (pivot != kNoNode) ext.subtract(masks_[pivot]);
+    for (const NodeId v : ext.to_indices()) {
+      BitVec p2 = p;
+      p2 &= masks_[v];
+      BitVec x2 = x;
+      x2 &= masks_[v];
+      r.push_back(v);
+      run(std::move(p2), std::move(x2), r);
+      r.pop_back();
+      p.set(v, false);
+      x.set(v, true);
+      if (exhausted_) return;
+    }
+  }
+
+  std::vector<NodeId> best_;
+  bool exhausted_ = false;
+
+ private:
+  const Graph& g_;
+  std::size_t budget_;
+  std::vector<BitVec> masks_;
+};
+
+}  // namespace
+
+std::vector<NodeId> max_clique(const Graph& g, std::size_t budget,
+                               bool* budget_exhausted) {
+  g_expansions = 0;
+  CliqueSearch search(g, budget);
+  BitVec p(g.n());
+  for (NodeId v = 0; v < g.n(); ++v) p.set(v);
+  std::vector<NodeId> r;
+  search.run(std::move(p), BitVec(g.n()), r);
+  if (budget_exhausted != nullptr) *budget_exhausted = search.exhausted_;
+  std::sort(search.best_.begin(), search.best_.end());
+  return search.best_;
+}
+
+std::vector<NodeId> max_clique_containing(const Graph& g, NodeId v,
+                                          const std::vector<NodeId>& allowed,
+                                          std::size_t budget,
+                                          bool* budget_exhausted) {
+  g_expansions = 0;
+  CliqueSearch search(g, budget);
+  // Start from R = {v}; P = allowed ∩ Gamma(v).
+  BitVec allowed_mask(g.n());
+  for (const NodeId u : allowed) allowed_mask.set(u);
+  BitVec p = g.neighbor_mask(v);
+  p &= allowed_mask;
+  std::vector<NodeId> r{v};
+  search.best_ = r;  // v alone is always a clique
+  search.run(std::move(p), BitVec(g.n()), r);
+  if (budget_exhausted != nullptr) *budget_exhausted = search.exhausted_;
+  std::sort(search.best_.begin(), search.best_.end());
+  return search.best_;
+}
+
+std::size_t last_clique_search_expansions() noexcept { return g_expansions; }
+
+}  // namespace nc

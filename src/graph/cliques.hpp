@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/ids.hpp"
+
+namespace nc {
+
+/// Exact maximum clique via Bron-Kerbosch with pivoting over a degeneracy
+/// ordering. Exponential worst case; intended for ground truth on the small
+/// and structured instances used in tests and quality benchmarks, and as the
+/// local solver of the neighbours-of-neighbours baseline (whose prohibitive
+/// local compute cost is precisely what Section 3 of the paper points out).
+///
+/// `budget` bounds the number of recursive expansions; when exhausted the
+/// best clique found so far is returned and `*budget_exhausted` (if non-null)
+/// is set. The result is sorted ascending.
+std::vector<NodeId> max_clique(const Graph& g,
+                               std::size_t budget = 10'000'000,
+                               bool* budget_exhausted = nullptr);
+
+/// Maximum clique of the subgraph induced by `allowed` that contains `v`.
+/// Used by each node of the neighbours-of-neighbours baseline on its
+/// distance-2 ball. Returns a sorted clique including v; `budget` as above.
+std::vector<NodeId> max_clique_containing(const Graph& g, NodeId v,
+                                          const std::vector<NodeId>& allowed,
+                                          std::size_t budget,
+                                          bool* budget_exhausted = nullptr);
+
+/// Number of Bron-Kerbosch expansions used by the last max_clique* call on
+/// this thread. Exposed so experiment E12 can report local computation cost.
+std::size_t last_clique_search_expansions() noexcept;
+
+}  // namespace nc

@@ -1,0 +1,76 @@
+#include "graph/components.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/bitvec.hpp"
+
+namespace nc {
+
+std::vector<std::vector<NodeId>> induced_components(
+    const Graph& g, const std::vector<NodeId>& members) {
+  BitVec in_set(g.n());
+  for (const NodeId v : members) in_set.set(v);
+  BitVec seen(g.n());
+  std::vector<std::vector<NodeId>> comps;
+
+  std::vector<NodeId> sorted = members;
+  std::sort(sorted.begin(), sorted.end());
+  for (const NodeId start : sorted) {
+    if (seen.test(start)) continue;
+    std::vector<NodeId> comp;
+    std::deque<NodeId> queue{start};
+    seen.set(start);
+    while (!queue.empty()) {
+      const NodeId v = queue.front();
+      queue.pop_front();
+      comp.push_back(v);
+      for (const NodeId u : g.neighbors(v)) {
+        if (in_set.test(u) && !seen.test(u)) {
+          seen.set(u);
+          queue.push_back(u);
+        }
+      }
+    }
+    std::sort(comp.begin(), comp.end());
+    comps.push_back(std::move(comp));
+  }
+  return comps;
+}
+
+std::vector<std::uint32_t> induced_bfs_distances(
+    const Graph& g, const std::vector<NodeId>& members, NodeId source) {
+  BitVec in_set(g.n());
+  for (const NodeId v : members) in_set.set(v);
+  std::vector<std::uint32_t> dist(g.n(), kUnreachable);
+  if (!in_set.test(source)) return dist;
+  std::deque<NodeId> queue{source};
+  dist[source] = 0;
+  while (!queue.empty()) {
+    const NodeId v = queue.front();
+    queue.pop_front();
+    for (const NodeId u : g.neighbors(v)) {
+      if (in_set.test(u) && dist[u] == kUnreachable) {
+        dist[u] = dist[v] + 1;
+        queue.push_back(u);
+      }
+    }
+  }
+  return dist;
+}
+
+std::uint32_t graph_diameter(const Graph& g) {
+  std::vector<NodeId> all(g.n());
+  for (NodeId v = 0; v < g.n(); ++v) all[v] = v;
+  std::uint32_t diam = 0;
+  for (NodeId s = 0; s < g.n(); ++s) {
+    const auto dist = induced_bfs_distances(g, all, s);
+    for (NodeId v = 0; v < g.n(); ++v) {
+      if (dist[v] == kUnreachable) return kUnreachable;
+      diam = std::max(diam, dist[v]);
+    }
+  }
+  return diam;
+}
+
+}  // namespace nc

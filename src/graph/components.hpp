@@ -1,0 +1,29 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/ids.hpp"
+
+namespace nc {
+
+/// Connected components of the subgraph of `g` induced by `members`.
+///
+/// This mirrors G[S] in the paper's exploration stage: only edges with both
+/// endpoints in `members` are used. Each component is returned as a sorted
+/// vector of node IDs; components are ordered by their minimum element (the
+/// paper roots each component's spanning tree at its minimum-ID node).
+std::vector<std::vector<NodeId>> induced_components(
+    const Graph& g, const std::vector<NodeId>& members);
+
+/// BFS distances in the subgraph induced by `members`, from `source`.
+/// Nodes outside `members` (and unreachable members) get kUnreachable.
+inline constexpr std::uint32_t kUnreachable = 0xffffffffu;
+std::vector<std::uint32_t> induced_bfs_distances(
+    const Graph& g, const std::vector<NodeId>& members, NodeId source);
+
+/// Diameter (in hops) of the *whole* graph, or kUnreachable if disconnected.
+/// Used by the Section 6 impossibility experiment to size the path P.
+std::uint32_t graph_diameter(const Graph& g);
+
+}  // namespace nc

@@ -1,0 +1,60 @@
+#include "graph/dot.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace nc {
+
+namespace {
+constexpr const char* kPalette[] = {
+    "#e41a1c", "#377eb8", "#4daf4a", "#984ea3",
+    "#ff7f00", "#a65628", "#f781bf", "#17becf",
+};
+constexpr std::size_t kPaletteSize = sizeof(kPalette) / sizeof(kPalette[0]);
+}  // namespace
+
+std::string to_dot(const Graph& g,
+                   const std::map<Label, std::vector<NodeId>>& clusters,
+                   const std::string& graph_name) {
+  std::vector<std::size_t> color_of(g.n(), kPaletteSize);  // sentinel: none
+  std::size_t next_color = 0;
+  for (const auto& [label, members] : clusters) {
+    (void)label;
+    const std::size_t c = next_color % kPaletteSize;
+    ++next_color;
+    for (const NodeId v : members) color_of[v] = c;
+  }
+
+  std::ostringstream os;
+  os << "graph " << graph_name << " {\n"
+     << "  layout=neato; overlap=false; splines=true;\n"
+     << "  node [shape=circle, style=filled, fontsize=9];\n";
+  for (NodeId v = 0; v < g.n(); ++v) {
+    os << "  n" << v << " [";
+    if (color_of[v] < kPaletteSize) {
+      os << "fillcolor=\"" << kPalette[color_of[v]] << "\", fontcolor=white";
+    } else {
+      os << "fillcolor=\"#dddddd\"";
+    }
+    os << ", label=\"" << v << "\"];\n";
+  }
+  for (const auto& [u, v] : g.edge_list()) {
+    const bool internal = color_of[u] < kPaletteSize &&
+                          color_of[u] == color_of[v];
+    os << "  n" << u << " -- n" << v;
+    if (internal) {
+      os << " [color=\"" << kPalette[color_of[u]] << "\", penwidth=1.6]";
+    } else {
+      os << " [color=\"#bbbbbb\"]";
+    }
+    os << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string to_dot(const Graph& g, const std::string& graph_name) {
+  return to_dot(g, {}, graph_name);
+}
+
+}  // namespace nc

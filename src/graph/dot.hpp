@@ -1,0 +1,26 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/ids.hpp"
+
+namespace nc {
+
+/// Graphviz (DOT) export of a graph with discovered near-cliques
+/// highlighted — a release convenience for inspecting outputs visually
+/// (`dot -Tsvg out.dot`). Each labelled cluster gets a colour; unlabelled
+/// nodes stay grey. Edges inside a cluster are drawn bold.
+///
+/// `clusters` maps an output label to its (sorted) member set, exactly the
+/// shape NearCliqueResult::clusters() returns.
+std::string to_dot(const Graph& g,
+                   const std::map<Label, std::vector<NodeId>>& clusters,
+                   const std::string& graph_name = "near_cliques");
+
+/// Plain export without highlighting.
+std::string to_dot(const Graph& g, const std::string& graph_name = "graph");
+
+}  // namespace nc

@@ -1,0 +1,225 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "graph/builder.hpp"
+
+namespace nc {
+
+namespace {
+
+/// Adds each pair from `pairs` as an edge with probability p.
+void add_bernoulli_pairs(GraphBuilder& b, NodeId lo_a, NodeId hi_a, NodeId lo_b,
+                         NodeId hi_b, double p, Rng& rng) {
+  for (NodeId u = lo_a; u < hi_a; ++u) {
+    const NodeId start = (lo_b > u + 1) ? lo_b : u + 1;
+    for (NodeId v = start; v < hi_b; ++v) {
+      if (rng.next_bernoulli(p)) b.add_edge(u, v);
+    }
+  }
+}
+
+std::vector<NodeId> iota_range(NodeId lo, NodeId hi) {
+  std::vector<NodeId> v;
+  v.reserve(hi - lo);
+  for (NodeId i = lo; i < hi; ++i) v.push_back(i);
+  return v;
+}
+
+}  // namespace
+
+Graph erdos_renyi(NodeId n, double p_edge, Rng& rng) {
+  GraphBuilder b(n);
+  add_bernoulli_pairs(b, 0, n, 0, n, p_edge, rng);
+  return b.build();
+}
+
+Instance permute_instance(const Graph& g, const std::vector<NodeId>& tracked,
+                          Rng& rng) {
+  std::vector<NodeId> perm(g.n());
+  for (NodeId v = 0; v < g.n(); ++v) perm[v] = v;
+  rng.shuffle(perm);
+  GraphBuilder b(g.n());
+  for (const auto& [u, v] : g.edge_list()) b.add_edge(perm[u], perm[v]);
+  std::vector<NodeId> mapped;
+  mapped.reserve(tracked.size());
+  for (const NodeId v : tracked) mapped.push_back(perm[v]);
+  std::sort(mapped.begin(), mapped.end());
+  return {b.build(), std::move(mapped)};
+}
+
+Instance planted_near_clique(const PlantedNearCliqueParams& params, Rng& rng) {
+  assert(params.clique_size <= params.n);
+  const NodeId d = params.clique_size;
+  GraphBuilder b(params.n);
+
+  // Enumerate all undirected pairs inside D = [0, d) and knock out exactly
+  // floor(eps_missing * d * (d-1)) / 2 of them (ordered-pair accounting per
+  // Definition 1: each removed undirected pair removes two ordered pairs).
+  std::vector<std::pair<NodeId, NodeId>> d_pairs;
+  d_pairs.reserve(static_cast<std::size_t>(d) * (d - 1) / 2);
+  for (NodeId u = 0; u < d; ++u) {
+    for (NodeId v = u + 1; v < d; ++v) d_pairs.emplace_back(u, v);
+  }
+  const auto ordered_total = static_cast<std::size_t>(d) * (d - 1);
+  const auto ordered_missing = static_cast<std::size_t>(
+      std::floor(params.eps_missing * static_cast<double>(ordered_total)));
+  const std::size_t pairs_to_remove = ordered_missing / 2;
+  rng.shuffle(d_pairs);
+  for (std::size_t i = pairs_to_remove; i < d_pairs.size(); ++i) {
+    b.add_edge(d_pairs[i].first, d_pairs[i].second);
+  }
+
+  // Background among non-D nodes, halo between D and the rest.
+  add_bernoulli_pairs(b, d, params.n, d, params.n, params.background_p, rng);
+  add_bernoulli_pairs(b, 0, d, d, params.n, params.halo_p, rng);
+
+  const Graph g = b.build();
+  const auto planted = iota_range(0, d);
+  if (!params.permute_ids) return {g, planted};
+  return permute_instance(g, planted, rng);
+}
+
+Instance shingles_counterexample(NodeId n, double delta, Rng& rng,
+                                 bool permute) {
+  // Block sizes: |C1| = |C2| = delta*n/2, |I1| = |I2| = (1-delta)*n/2.
+  // Rounding: make C1, C2 equal, then split the remainder across I1, I2.
+  const auto c_half = static_cast<NodeId>(
+      std::llround(delta * static_cast<double>(n) / 2.0));
+  const NodeId c_total = 2 * c_half;
+  assert(c_total <= n);
+  const NodeId i_total = n - c_total;
+  const NodeId i1 = i_total / 2;
+
+  // Layout: [C1 | C2 | I1 | I2].
+  const NodeId c1_lo = 0, c1_hi = c_half;
+  const NodeId c2_lo = c_half, c2_hi = c_total;
+  const NodeId i1_lo = c_total, i1_hi = c_total + i1;
+  const NodeId i2_lo = i1_hi, i2_hi = n;
+
+  GraphBuilder b(n);
+  b.add_clique(iota_range(c1_lo, c1_hi));
+  b.add_clique(iota_range(c2_lo, c2_hi));
+  b.add_biclique(iota_range(i1_lo, i1_hi), iota_range(c1_lo, c1_hi));
+  b.add_biclique(iota_range(c1_lo, c1_hi), iota_range(c2_lo, c2_hi));
+  b.add_biclique(iota_range(c2_lo, c2_hi), iota_range(i2_lo, i2_hi));
+
+  const Graph g = b.build();
+  const auto planted = iota_range(0, c_total);  // C = C1 ∪ C2
+  if (!permute) return {g, planted};
+  return permute_instance(g, planted, rng);
+}
+
+BarbellLayout barbell_layout(NodeId n) {
+  const NodeId a = n / 2;
+  const NodeId b = n / 4;
+  const NodeId p = n - a - b;
+  return {a, p, b, static_cast<NodeId>(a + p)};
+}
+
+Instance barbell_gadget(NodeId n, bool delete_a_edges) {
+  const auto lay = barbell_layout(n);
+  GraphBuilder b(n);
+  if (!delete_a_edges) b.add_clique(iota_range(0, lay.a_size));
+  // Path from A through P to B. Node a_size-1 is A's port; b_first is B's.
+  std::vector<NodeId> path;
+  path.push_back(lay.a_size - 1);
+  for (NodeId i = 0; i < lay.path_len; ++i) path.push_back(lay.a_size + i);
+  path.push_back(lay.b_first);
+  b.add_path(path);
+  b.add_clique(iota_range(lay.b_first, n));
+  return {b.build(), iota_range(lay.b_first, n)};
+}
+
+Instance sublinear_clique(NodeId n, double alpha, double background_p,
+                          Rng& rng) {
+  const double loglog = std::log2(std::max(4.0, std::log2(std::max(4.0, static_cast<double>(n)))));
+  auto size = static_cast<NodeId>(
+      std::floor(static_cast<double>(n) / std::pow(loglog, alpha)));
+  size = std::max<NodeId>(2, std::min(size, n));
+  PlantedNearCliqueParams params;
+  params.n = n;
+  params.clique_size = size;
+  params.eps_missing = 0.0;  // strict clique, as Corollary 2.3 requires
+  params.background_p = background_p;
+  params.halo_p = background_p;
+  return planted_near_clique(params, rng);
+}
+
+Graph random_geometric(NodeId n, double radius, Rng& rng) {
+  std::vector<std::pair<double, double>> pts(n);
+  for (auto& [x, y] : pts) {
+    x = rng.next_double();
+    y = rng.next_double();
+  }
+  const double r2 = radius * radius;
+  GraphBuilder b(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      const double dx = pts[u].first - pts[v].first;
+      const double dy = pts[u].second - pts[v].second;
+      if (dx * dx + dy * dy <= r2) b.add_edge(u, v);
+    }
+  }
+  return b.build();
+}
+
+Instance planted_partition(NodeId n, unsigned k, double p_in, double p_out,
+                           Rng& rng) {
+  assert(k >= 1);
+  GraphBuilder b(n);
+  const NodeId group_size = n / k;
+  auto group_of = [&](NodeId v) { return std::min(v / group_size, k - 1); };
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      const double p = group_of(u) == group_of(v) ? p_in : p_out;
+      if (rng.next_bernoulli(p)) b.add_edge(u, v);
+    }
+  }
+  const Graph g = b.build();
+  return permute_instance(g, iota_range(0, group_size), rng);
+}
+
+Instance power_law_web(NodeId n, double gamma, double avg_deg,
+                       NodeId community, double eps_missing, Rng& rng) {
+  assert(community <= n);
+  // Chung-Lu: P[edge uv] = min(1, w_u * w_v / W).
+  std::vector<double> w(n);
+  double total = 0.0;
+  for (NodeId i = 0; i < n; ++i) {
+    w[i] = std::pow(static_cast<double>(i + 1), -1.0 / (gamma - 1.0));
+    total += w[i];
+  }
+  const double scale = avg_deg * static_cast<double>(n) / total;
+  for (auto& x : w) x *= scale;
+  const double big_w = avg_deg * static_cast<double>(n);
+
+  GraphBuilder b(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      const double p = std::min(1.0, w[u] * w[v] / big_w);
+      if (rng.next_bernoulli(p)) b.add_edge(u, v);
+    }
+  }
+  // Overlay a dense community on the last `community` nodes (low-degree tail,
+  // so the community is invisible to degree-based heuristics).
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  for (NodeId u = n - community; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) pairs.emplace_back(u, v);
+  }
+  const auto ordered_total =
+      static_cast<std::size_t>(community) * (community - 1);
+  const auto remove = static_cast<std::size_t>(std::floor(
+                          eps_missing * static_cast<double>(ordered_total))) /
+                      2;
+  rng.shuffle(pairs);
+  for (std::size_t i = remove; i < pairs.size(); ++i) {
+    b.add_edge(pairs[i].first, pairs[i].second);
+  }
+  const Graph g = b.build();
+  return permute_instance(g, iota_range(n - community, n), rng);
+}
+
+}  // namespace nc

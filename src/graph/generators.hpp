@@ -1,0 +1,99 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/ids.hpp"
+#include "util/rng.hpp"
+
+namespace nc {
+
+/// A generated instance: the graph plus the planted "interesting" node set
+/// (empty when the family has none). `planted` is sorted ascending.
+struct Instance {
+  Graph graph;
+  std::vector<NodeId> planted;
+};
+
+/// Erdos-Renyi G(n, p): every pair independently an edge.
+Graph erdos_renyi(NodeId n, double p_edge, Rng& rng);
+
+/// Parameters for the planted near-clique family used by most experiments.
+///
+/// A set D of `clique_size` nodes is planted so that D is *exactly* an
+/// eps_missing-near clique: starting from a clique on D, exactly
+/// floor(eps_missing * |D|(|D|-1)) ordered pairs (i.e. half that many
+/// undirected edges) are removed, spread uniformly at random. The rest of
+/// the graph is ER background with edge probability `background_p`, and
+/// each D-to-outside pair is an edge with probability `halo_p` (a "halo"
+/// that makes discovery non-trivial: with halo_p = 0 the component structure
+/// gives D away). Node IDs are randomly permuted so ID-based tie-breaking
+/// cannot favour the planted set.
+struct PlantedNearCliqueParams {
+  NodeId n = 200;
+  NodeId clique_size = 100;
+  double eps_missing = 0.0;   ///< fraction of ordered pairs missing inside D
+  double background_p = 0.1;  ///< ER probability outside D
+  double halo_p = 0.3;        ///< D-to-outside edge probability
+  bool permute_ids = true;
+};
+
+/// Generates a planted near-clique instance; `planted` holds D.
+Instance planted_near_clique(const PlantedNearCliqueParams& params, Rng& rng);
+
+/// The Claim 1 / Figure 1 counterexample family {G_n} for the shingles
+/// algorithm: cliques C1, C2 of size delta*n/2 each, independent sets I1, I2
+/// of size (1-delta)*n/2 each, complete bipartite connections
+/// (I1,C1), (C1,C2), (C2,I2). The planted set is the clique C = C1 ∪ C2 of
+/// size delta*n. Sizes are rounded so the four blocks partition n nodes.
+/// `permute` randomizes IDs (Claim 1 holds for any IDs; the shingles
+/// algorithm draws random IDs anyway).
+Instance shingles_counterexample(NodeId n, double delta, Rng& rng,
+                                 bool permute = true);
+
+/// The Section 6 impossibility gadget: clique A (size n/2), path P
+/// (length n/4) and clique B (size n/4), connected A - P - B in a line.
+/// If `delete_a_edges` is set, A's internal edges are removed (the paper's
+/// second scenario, where B becomes the largest near-clique). `planted`
+/// holds B's nodes. IDs are deterministic: A first, then P, then B, so that
+/// the two scenarios differ only in A's internal edges (as the
+/// indistinguishability argument requires).
+Instance barbell_gadget(NodeId n, bool delete_a_edges);
+
+/// Node count of the B-side clique and the first node of B for a barbell of
+/// size n (exposed so experiment E11 can compare per-node outputs).
+struct BarbellLayout {
+  NodeId a_size;
+  NodeId path_len;
+  NodeId b_size;
+  NodeId b_first;
+};
+BarbellLayout barbell_layout(NodeId n);
+
+/// Corollary 2.3 family: a strict clique of size about n / (log2 log2 n)^alpha
+/// planted in sparse ER background.
+Instance sublinear_clique(NodeId n, double alpha, double background_p,
+                          Rng& rng);
+
+/// Random geometric graph on the unit square: nodes connect iff within
+/// `radius`. Models the radio ad-hoc networks of the paper's motivation [12].
+Graph random_geometric(NodeId n, double radius, Rng& rng);
+
+/// Planted-partition ("community") graph: k equal groups, within-group edge
+/// probability p_in, across-group p_out. `planted` holds group 0. Models the
+/// "tightly knit communities" of the web-analysis motivation [15].
+Instance planted_partition(NodeId n, unsigned k, double p_in, double p_out,
+                           Rng& rng);
+
+/// Chung-Lu style power-law graph with expected degree sequence
+/// w_i ∝ (i+1)^(-1/(gamma-1)) scaled to average degree `avg_deg`, with an
+/// optional planted near-clique community of size `community`. Models web
+/// graphs (PageRank / SALSA motivation).
+Instance power_law_web(NodeId n, double gamma, double avg_deg,
+                       NodeId community, double eps_missing, Rng& rng);
+
+/// Applies a uniformly random relabelling to a graph and a tracked set.
+Instance permute_instance(const Graph& g, const std::vector<NodeId>& tracked,
+                          Rng& rng);
+
+}  // namespace nc

@@ -1,0 +1,53 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace nc {
+
+Graph::Graph(NodeId n, const std::vector<std::pair<NodeId, NodeId>>& edges)
+    : n_(n), offset_(static_cast<std::size_t>(n) + 1, 0) {
+  for (const auto& [u, v] : edges) {
+    assert(u < n && v < n && u != v);
+    ++offset_[u + 1];
+    ++offset_[v + 1];
+  }
+  for (std::size_t i = 1; i < offset_.size(); ++i) offset_[i] += offset_[i - 1];
+  adj_.resize(offset_.back());
+  std::vector<std::size_t> cursor(offset_.begin(), offset_.end() - 1);
+  for (const auto& [u, v] : edges) {
+    adj_[cursor[u]++] = v;
+    adj_[cursor[v]++] = u;
+  }
+  for (NodeId v = 0; v < n_; ++v) {
+    std::sort(adj_.begin() + static_cast<std::ptrdiff_t>(offset_[v]),
+              adj_.begin() + static_cast<std::ptrdiff_t>(offset_[v + 1]));
+  }
+}
+
+bool Graph::has_edge(NodeId u, NodeId v) const noexcept {
+  if (u == v || u >= n_ || v >= n_) return false;
+  // Probe the smaller adjacency list.
+  if (degree(u) > degree(v)) std::swap(u, v);
+  const auto nb = neighbors(u);
+  return std::binary_search(nb.begin(), nb.end(), v);
+}
+
+BitVec Graph::neighbor_mask(NodeId v) const {
+  BitVec mask(n_);
+  for (const NodeId u : neighbors(v)) mask.set(u);
+  return mask;
+}
+
+std::vector<std::pair<NodeId, NodeId>> Graph::edge_list() const {
+  std::vector<std::pair<NodeId, NodeId>> out;
+  out.reserve(m());
+  for (NodeId v = 0; v < n_; ++v) {
+    for (const NodeId u : neighbors(v)) {
+      if (v < u) out.emplace_back(v, u);
+    }
+  }
+  return out;
+}
+
+}  // namespace nc

@@ -1,0 +1,100 @@
+#include "graph/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/bitvec.hpp"
+
+namespace nc {
+
+std::size_t ordered_internal_pairs(const Graph& g,
+                                   const std::vector<NodeId>& d) {
+  BitVec in_d(g.n());
+  for (const NodeId v : d) in_d.set(v);
+  std::size_t ordered = 0;
+  for (const NodeId v : d) {
+    for (const NodeId u : g.neighbors(v)) {
+      if (in_d.test(u)) ++ordered;  // counts (v,u); (u,v) counted at u
+    }
+  }
+  return ordered;
+}
+
+double set_density(const Graph& g, const std::vector<NodeId>& d) {
+  if (d.size() <= 1) return 1.0;
+  const auto pairs = static_cast<double>(d.size()) *
+                     static_cast<double>(d.size() - 1);
+  return static_cast<double>(ordered_internal_pairs(g, d)) / pairs;
+}
+
+bool is_near_clique(const Graph& g, const std::vector<NodeId>& d, double eps) {
+  if (d.size() <= 1) return true;
+  const std::size_t total = d.size() * (d.size() - 1);
+  const std::size_t have = ordered_internal_pairs(g, d);
+  // have >= (1-eps)*total, computed as have + eps*total >= total with a
+  // half-ulp guard: use long double and compare missing pairs instead.
+  const auto missing = static_cast<long double>(total - have);
+  return missing <= static_cast<long double>(eps) *
+                        static_cast<long double>(total) + 1e-9L;
+}
+
+bool is_clique(const Graph& g, const std::vector<NodeId>& d) {
+  return ordered_internal_pairs(g, d) == d.size() * (d.size() - 1);
+}
+
+std::size_t neighbors_in_set(const Graph& g, NodeId v,
+                             const std::vector<NodeId>& sorted_x) {
+  const auto nb = g.neighbors(v);
+  // Merge-count of two sorted ranges.
+  std::size_t i = 0, j = 0, c = 0;
+  while (i < nb.size() && j < sorted_x.size()) {
+    if (nb[i] < sorted_x[j]) {
+      ++i;
+    } else if (nb[i] > sorted_x[j]) {
+      ++j;
+    } else {
+      ++c;
+      ++i;
+      ++j;
+    }
+  }
+  return c;
+}
+
+std::size_t k_threshold(std::size_t x_size, double eps) noexcept {
+  // Smallest integer c with c >= (1-eps)*x_size. Computed via floor of
+  // eps*x_size: c = x_size - floor(eps*x_size + tiny) is the exact
+  // integer form of the paper's inequality |Gamma(v) ∩ X| >= (1-eps)|X|
+  // (allowing at most floor(eps|X|) non-neighbors).
+  const long double allowed =
+      std::floor(static_cast<long double>(eps) *
+                     static_cast<long double>(x_size) +
+                 1e-9L);
+  const auto allowed_sz = static_cast<std::size_t>(allowed);
+  return x_size > allowed_sz ? x_size - allowed_sz : 0;
+}
+
+std::vector<NodeId> k_eps(const Graph& g, const std::vector<NodeId>& x,
+                          double eps) {
+  std::vector<NodeId> sorted_x = x;
+  std::sort(sorted_x.begin(), sorted_x.end());
+  const std::size_t need = k_threshold(sorted_x.size(), eps);
+  std::vector<NodeId> out;
+  for (NodeId v = 0; v < g.n(); ++v) {
+    if (neighbors_in_set(g, v, sorted_x) >= need) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<NodeId> t_eps(const Graph& g, const std::vector<NodeId>& x,
+                          double eps) {
+  const auto k_inner = k_eps(g, x, 2.0 * eps * eps);
+  const auto k_outer = k_eps(g, k_inner, eps);
+  // Intersect (both sorted ascending by construction).
+  std::vector<NodeId> out;
+  std::set_intersection(k_outer.begin(), k_outer.end(), k_inner.begin(),
+                        k_inner.end(), std::back_inserter(out));
+  return out;
+}
+
+}  // namespace nc

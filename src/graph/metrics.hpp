@@ -1,0 +1,48 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/ids.hpp"
+
+namespace nc {
+
+/// Number of *ordered* pairs (u, v) in D x D, u != v, with {u,v} in E.
+/// This is the counting convention of Definition 1 in the paper (each
+/// undirected edge inside D counts twice).
+std::size_t ordered_internal_pairs(const Graph& g,
+                                   const std::vector<NodeId>& d);
+
+/// Density of a node set per Definition 1: ordered internal pairs divided by
+/// |D|(|D|-1). Sets of size <= 1 have density 1 by convention (a clique).
+double set_density(const Graph& g, const std::vector<NodeId>& d);
+
+/// True iff D is an eps-near clique: ordered pairs >= (1-eps)|D|(|D|-1).
+/// Evaluated exactly with integer arithmetic to avoid rounding artifacts.
+bool is_near_clique(const Graph& g, const std::vector<NodeId>& d, double eps);
+
+/// True iff D is a clique (0-near clique).
+bool is_clique(const Graph& g, const std::vector<NodeId>& d);
+
+/// |Gamma(v) ∩ X| where X is given as a sorted vector.
+std::size_t neighbors_in_set(const Graph& g, NodeId v,
+                             const std::vector<NodeId>& sorted_x);
+
+/// K_eps(X) per Eq. (1): all v in V with |Gamma(v) ∩ X| >= (1-eps)|X|.
+/// The comparison is done in exact integer form: deg_X(v) * 1 >= ceil of
+/// (1-eps)|X| computed as (|X| - floor(eps * |X|)) would be inexact, so we
+/// compare deg_X(v) >= (1-eps)*|X| with long doubles and a tie-safe epsilon;
+/// tests pin the boundary cases.
+std::vector<NodeId> k_eps(const Graph& g, const std::vector<NodeId>& x,
+                          double eps);
+
+/// T_eps(X) per Eq. (2): K_eps(K_{2eps^2}(X)) ∩ K_{2eps^2}(X).
+std::vector<NodeId> t_eps(const Graph& g, const std::vector<NodeId>& x,
+                          double eps);
+
+/// The exact integer threshold used for "|Gamma(v) ∩ X| >= (1-eps)|X|":
+/// the smallest integer c such that c >= (1-eps)*|x_size|. Exposed so the
+/// distributed protocol and the oracle use bit-identical arithmetic.
+std::size_t k_threshold(std::size_t x_size, double eps) noexcept;
+
+}  // namespace nc

@@ -1,0 +1,3 @@
+#include "proptest/adjacency_oracle.hpp"
+
+// Header-only; this file anchors the translation unit.

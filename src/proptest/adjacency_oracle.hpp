@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "util/ids.hpp"
+
+namespace nc {
+
+/// Query-counting adjacency oracle: the access model of dense-graph property
+/// testing (Goldreich-Goldwasser-Ron [10]). Testers may only probe "is
+/// {u, v} an edge?"; the oracle counts probes so experiments can verify that
+/// query complexity is poly(1/eps) and independent of n.
+class AdjacencyOracle {
+ public:
+  explicit AdjacencyOracle(const Graph& g) : graph_(&g) {}
+
+  /// Probes the pair {u, v}.
+  [[nodiscard]] bool query(NodeId u, NodeId v) {
+    ++queries_;
+    return graph_->has_edge(u, v);
+  }
+
+  /// Number of vertices (known to the tester).
+  [[nodiscard]] NodeId n() const noexcept { return graph_->n(); }
+
+  /// Probes spent so far.
+  [[nodiscard]] std::uint64_t queries() const noexcept { return queries_; }
+
+  /// Resets the counter.
+  void reset_queries() noexcept { queries_ = 0; }
+
+ private:
+  const Graph* graph_;
+  std::uint64_t queries_ = 0;
+};
+
+}  // namespace nc

@@ -1,0 +1,104 @@
+#include "proptest/rho_clique_tester.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <vector>
+
+#include "graph/metrics.hpp"
+#include "util/bitvec.hpp"
+
+namespace nc {
+
+namespace {
+std::uint32_t auto_m1(double eps) {
+  // Theta(log(1/eps) / eps) sample, capped so 2^m1 stays enumerable.
+  const double m = std::ceil(std::log2(1.0 / eps) / eps * 0.5);
+  return static_cast<std::uint32_t>(std::clamp(m, 4.0, 14.0));
+}
+std::uint32_t auto_m2(double eps) {
+  const double m = std::ceil(std::log2(1.0 / eps) / (eps * eps) * 0.5);
+  return static_cast<std::uint32_t>(std::clamp(m, 16.0, 400.0));
+}
+}  // namespace
+
+RhoCliqueTesterResult rho_clique_test(AdjacencyOracle& oracle,
+                                      const RhoCliqueTesterParams& params,
+                                      Rng& rng) {
+  RhoCliqueTesterResult out;
+  const NodeId n = oracle.n();
+  if (n == 0) return out;
+  const std::uint32_t m1 = params.m1 != 0 ? params.m1 : auto_m1(params.eps);
+  const std::uint32_t m2 = params.m2 != 0 ? params.m2 : auto_m2(params.eps);
+  const auto start_queries = oracle.queries();
+
+  // Sample U and Y (with replacement for Y, as the analysis allows).
+  const auto u_idx = rng.sample_without_replacement(n, std::min(m1, n));
+  std::vector<NodeId> u_set(u_idx.begin(), u_idx.end());
+  const auto s = static_cast<std::uint32_t>(u_set.size());
+  std::vector<NodeId> y_set(m2);
+  for (auto& y : y_set) y = static_cast<NodeId>(rng.next_below(n));
+
+  // Classify Y against U once: adjacency masks (m1 probes per y).
+  std::vector<std::uint64_t> y_mask(y_set.size());
+  for (std::size_t i = 0; i < y_set.size(); ++i) {
+    std::uint64_t mask = 0;
+    for (std::uint32_t j = 0; j < s; ++j) {
+      if (y_set[i] != u_set[j] && oracle.query(y_set[i], u_set[j])) {
+        mask |= 1ULL << j;
+      }
+    }
+    y_mask[i] = mask;
+  }
+  // Pairwise adjacency within Y (m2^2 / 2 probes), reused for every X.
+  std::vector<BitVec> y_adj(y_set.size());
+  for (auto& b : y_adj) b.assign_zero(y_set.size());
+  for (std::size_t i = 0; i < y_set.size(); ++i) {
+    for (std::size_t j = i + 1; j < y_set.size(); ++j) {
+      if (y_set[i] != y_set[j] && oracle.query(y_set[i], y_set[j])) {
+        y_adj[i].set(j);
+        y_adj[j].set(i);
+      }
+    }
+  }
+
+  const double inner = 2.0 * params.eps * params.eps;
+  std::vector<std::size_t> need_inner(s + 1);
+  for (std::uint32_t c = 0; c <= s; ++c) {
+    need_inner[c] = k_threshold(c, inner);
+  }
+
+  const std::uint64_t total = s >= 1 ? (1ULL << s) - 1 : 0;
+  double best_fraction = 0.0;
+  BitVec k_hat(y_set.size());
+  for (std::uint64_t x = 1; x <= total; ++x) {
+    const auto size_x = static_cast<std::uint32_t>(std::popcount(x));
+    // \hat{K}: Y-members estimated to lie in K_{2eps^2}(X).
+    k_hat.assign_zero(y_set.size());
+    std::size_t k_count = 0;
+    for (std::size_t i = 0; i < y_set.size(); ++i) {
+      if (static_cast<std::size_t>(std::popcount(x & y_mask[i])) >=
+          need_inner[size_x]) {
+        k_hat.set(i);
+        ++k_count;
+      }
+    }
+    // \hat{T}: estimated K members adjacent to a (1-eps) fraction of \hat{K}.
+    const std::size_t need_outer = k_threshold(k_count, params.eps);
+    std::size_t t_count = 0;
+    for (std::size_t i = 0; i < y_set.size(); ++i) {
+      if (!k_hat.test(i)) continue;
+      if (y_adj[i].count_and(k_hat) >= need_outer) ++t_count;
+    }
+    const double fraction =
+        static_cast<double>(t_count) / static_cast<double>(y_set.size());
+    best_fraction = std::max(best_fraction, fraction);
+  }
+
+  out.best_t_fraction = best_fraction;
+  out.accept = best_fraction >= params.rho - params.eps;
+  out.queries = oracle.queries() - start_queries;
+  return out;
+}
+
+}  // namespace nc

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+
+#include "proptest/adjacency_oracle.hpp"
+#include "util/rng.hpp"
+
+namespace nc {
+
+/// Sample-based rho-clique property tester in the dense-graph model, in the
+/// style of Goldreich, Goldwasser & Ron [10] (the construction our paper's
+/// Section 4 distributes). The tester:
+///
+///   1. samples a set U of m1 nodes and probes all of its internal pairs;
+///   2. for every subset X of U, classifies a second sample Y of m2 nodes
+///      against X (membership in K_{2eps^2}(X), m1 probes per node);
+///   3. estimates |K| from Y, then estimates T membership on Y by probing
+///      Y x Y pairs among estimated K members;
+///   4. accepts iff some X yields an estimated |T_eps(X)| >= (rho - eps) n.
+///
+/// Query complexity is O(m1^2 + 2^m1 * m2^2) — a function of rho and eps
+/// only, independent of n (experiment-verified in tests). Constants follow
+/// the Theta(log(1/eps)/eps^2)-sample heuristic of [10] rather than the
+/// exact constants of their proof.
+struct RhoCliqueTesterParams {
+  double rho = 0.5;   ///< clique size fraction under test
+  double eps = 0.1;   ///< distance parameter
+  std::uint32_t m1 = 0;  ///< 0 = auto from eps
+  std::uint32_t m2 = 0;  ///< 0 = auto from eps
+};
+
+struct RhoCliqueTesterResult {
+  bool accept = false;
+  double best_t_fraction = 0.0;  ///< max over X of estimated |T|/n
+  std::uint64_t queries = 0;
+};
+
+/// Runs the tester once (constant success probability, as in [10]).
+RhoCliqueTesterResult rho_clique_test(AdjacencyOracle& oracle,
+                                      const RhoCliqueTesterParams& params,
+                                      Rng& rng);
+
+}  // namespace nc

@@ -1,0 +1,24 @@
+#include "proptest/tolerant_tester.hpp"
+
+namespace nc {
+
+TolerantTesterResult tolerant_near_clique_test(
+    AdjacencyOracle& oracle, const TolerantTesterParams& params, Rng& rng) {
+  TolerantTesterResult out;
+  const auto start = oracle.queries();
+  RhoCliqueTesterParams single;
+  single.rho = params.rho;
+  single.eps = params.eps;
+  single.m1 = params.m1;
+  single.m2 = params.m2;
+  for (unsigned i = 0; i < params.repetitions; ++i) {
+    Rng run_rng = rng.derive(i + 1);
+    const auto res = rho_clique_test(oracle, single, run_rng);
+    if (res.accept) ++out.accepting_runs;
+  }
+  out.contains_near_clique = 2 * out.accepting_runs > params.repetitions;
+  out.queries = oracle.queries() - start;
+  return out;
+}
+
+}  // namespace nc

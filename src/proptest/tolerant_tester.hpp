@@ -1,0 +1,32 @@
+#pragma once
+
+#include "proptest/rho_clique_tester.hpp"
+
+namespace nc {
+
+/// The tolerant near-clique tester the paper's construction yields
+/// (Section 1: "our construction is (eps^3, eps)-tolerant"): decide whether
+/// the graph contains an eps^3-near clique of size rho*n (answer YES with
+/// constant probability) or whether no rho*n-node set is an eps-near clique
+/// (answer NO with constant probability). Implemented by majority-voting
+/// `repetitions` independent runs of the sample-based tester, which is the
+/// standard amplification and mirrors the paper's boosting wrapper.
+struct TolerantTesterParams {
+  double rho = 0.5;
+  double eps = 0.2;          ///< the *outer* epsilon; inner promise is eps^3
+  unsigned repetitions = 5;  ///< majority vote
+  std::uint32_t m1 = 0;      ///< 0 = auto
+  std::uint32_t m2 = 0;      ///< 0 = auto
+};
+
+struct TolerantTesterResult {
+  bool contains_near_clique = false;  ///< the tester's verdict
+  unsigned accepting_runs = 0;
+  std::uint64_t queries = 0;  ///< total across repetitions
+};
+
+/// Runs the tolerant tester.
+TolerantTesterResult tolerant_near_clique_test(
+    AdjacencyOracle& oracle, const TolerantTesterParams& params, Rng& rng);
+
+}  // namespace nc

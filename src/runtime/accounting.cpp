@@ -1,0 +1,27 @@
+#include "runtime/accounting.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace nc {
+
+void RunStats::absorb(const RunStats& other) {
+  rounds += other.rounds;
+  messages += other.messages;
+  bits += other.bits;
+  max_message_bits = std::max(max_message_bits, other.max_message_bits);
+  hit_round_limit = hit_round_limit || other.hit_round_limit;
+  stalled = stalled || other.stalled;
+  for (const auto& [kind, b] : other.bits_by_kind) bits_by_kind[kind] += b;
+}
+
+std::string RunStats::summary() const {
+  std::ostringstream os;
+  os << "rounds=" << rounds << " messages=" << messages << " bits=" << bits
+     << " max_msg_bits=" << max_message_bits
+     << (hit_round_limit ? " [round-limit]" : "")
+     << (stalled ? " [stalled]" : "");
+  return os.str();
+}
+
+}  // namespace nc

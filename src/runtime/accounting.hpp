@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace nc {
+
+/// Traffic and progress measurements for one simulated execution.
+///
+/// These are the quantities the paper's complexity statements bound:
+/// `rounds` for Lemma 5.1 / Theorem 5.7, `max_message_bits` for the CONGEST
+/// O(log n) message-size guarantee, and the per-kind bit breakdown for the
+/// stage analysis in the appendix proof of Lemma 5.1.
+struct RunStats {
+  std::uint64_t rounds = 0;            ///< rounds actually executed
+  std::uint64_t messages = 0;          ///< physical messages delivered
+  std::uint64_t bits = 0;              ///< total wire bits (headers included)
+  std::uint64_t max_message_bits = 0;  ///< largest single message
+  bool hit_round_limit = false;        ///< aborted by the time-bound wrapper
+  bool stalled = false;                ///< protocol deadlock (bug guard)
+  std::map<std::uint16_t, std::uint64_t> bits_by_kind;  ///< per message kind
+
+  /// Merges another run's counters into this one (used by multi-phase
+  /// drivers that restart the network, e.g. the boosting wrapper).
+  void absorb(const RunStats& other);
+
+  /// Human-readable one-line summary.
+  [[nodiscard]] std::string summary() const;
+};
+
+}  // namespace nc

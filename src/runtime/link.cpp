@@ -1,0 +1,119 @@
+#include "runtime/link.hpp"
+
+#include <stdexcept>
+
+namespace nc {
+
+void Link::add_stream(const StreamKey& key,
+                      std::shared_ptr<const SymbolBuffer> buf,
+                      std::shared_ptr<const bool> closed) {
+  streams_.push_back(
+      ActiveStream{key, std::move(buf), std::move(closed), 0, 0, false});
+}
+
+bool Link::has_pending() const noexcept {
+  for (const auto& s : streams_) {
+    if (s.pending()) return true;
+  }
+  return false;
+}
+
+void Link::prune_done() {
+  // Streams whose EOS has been delivered can never carry traffic again;
+  // dropping them keeps per-round scheduling proportional to *active*
+  // streams (long executions accumulate thousands of finished one-shot
+  // streams otherwise).
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < streams_.size(); ++i) {
+    if (!streams_[i].eos_needed_done) {
+      if (kept != i) streams_[kept] = std::move(streams_[i]);
+      ++kept;
+    }
+  }
+  if (kept != streams_.size()) {
+    streams_.resize(kept);
+    rr_pos_ = streams_.empty() ? 0 : rr_pos_ % streams_.size();
+  }
+}
+
+std::optional<Delivery> Link::schedule(std::size_t budget_bits,
+                                       unsigned header_bits) {
+  prune_done();
+  if (streams_.empty()) return std::nullopt;
+  // Round-robin: find the next stream with pending work.
+  const std::size_t count = streams_.size();
+  std::size_t chosen = count;
+  for (std::size_t step = 0; step < count; ++step) {
+    const std::size_t i = (rr_pos_ + step) % count;
+    if (streams_[i].pending()) {
+      chosen = i;
+      break;
+    }
+  }
+  if (chosen == count) return std::nullopt;
+  rr_pos_ = (chosen + 1) % count;
+
+  ActiveStream& s = streams_[chosen];
+  Delivery d;
+  d.key = s.key;
+  d.wire_bits = header_bits;
+  if (budget_bits < header_bits) {
+    throw std::runtime_error(
+        "CONGEST violation: bandwidth smaller than stream header");
+  }
+  std::size_t room = budget_bits - header_bits;
+  while (s.pending_symbols() > 0) {
+    const unsigned w = s.buf->width_at(s.next_symbol);
+    if (w > room) {
+      if (d.symbols.empty() && w > budget_bits - header_bits) {
+        throw std::runtime_error(
+            "CONGEST violation: symbol wider than message budget");
+      }
+      break;
+    }
+    d.symbols.emplace_back(s.buf->value_at(s.bit_off, w),
+                           static_cast<std::uint8_t>(w));
+    d.wire_bits += w;
+    room -= w;
+    s.bit_off += w;
+    ++s.next_symbol;
+  }
+  // EOS piggybacks once the stream is fully drained and producer closed it.
+  if (*s.closed && s.pending_symbols() == 0 && !s.eos_needed_done) {
+    d.eos = true;
+    s.eos_needed_done = true;
+  }
+  if (d.symbols.empty() && !d.eos) {
+    // Nothing fit (symbol wider than remaining room can't happen with empty
+    // payload — handled above) or state raced; treat as idle.
+    return std::nullopt;
+  }
+  return d;
+}
+
+std::optional<std::vector<Delivery>> Link::drain_all(unsigned header_bits) {
+  std::vector<Delivery> out;
+  for (auto& s : streams_) {
+    if (!s.pending()) continue;
+    Delivery d;
+    d.key = s.key;
+    d.wire_bits = header_bits;
+    while (s.pending_symbols() > 0) {
+      const unsigned w = s.buf->width_at(s.next_symbol);
+      d.symbols.emplace_back(s.buf->value_at(s.bit_off, w),
+                             static_cast<std::uint8_t>(w));
+      d.wire_bits += w;
+      s.bit_off += w;
+      ++s.next_symbol;
+    }
+    if (*s.closed && !s.eos_needed_done) {
+      d.eos = true;
+      s.eos_needed_done = true;
+    }
+    out.push_back(std::move(d));
+  }
+  if (out.empty()) return std::nullopt;
+  return out;
+}
+
+}  // namespace nc

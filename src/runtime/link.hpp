@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "runtime/message.hpp"
+#include "runtime/stream.hpp"
+
+namespace nc {
+
+/// One physical message scheduled on a directed edge in one round.
+struct Delivery {
+  StreamKey key;
+  std::vector<std::pair<std::uint64_t, std::uint8_t>> symbols;  // value,width
+  bool eos = false;
+  std::size_t wire_bits = 0;  // header + payload, what the accountant charges
+};
+
+/// Outbound side of one directed edge.
+///
+/// Holds the set of active streams and schedules at most one message per
+/// round: the scheduler walks the streams round-robin (so concurrent
+/// components and boosting versions share the edge fairly, and no stream is
+/// starved), packs as many pending symbols of the chosen stream as fit into
+/// the bit budget, and piggybacks the EOS flag when the stream is drained
+/// and closed. FIFO order within a stream is preserved by construction.
+class Link {
+ public:
+  /// Registers a stream on this edge. The buffer/closed-flag are shared with
+  /// the producer's OutChannel (and possibly with sibling links).
+  void add_stream(const StreamKey& key,
+                  std::shared_ptr<const SymbolBuffer> buf,
+                  std::shared_ptr<const bool> closed);
+
+  /// True if any stream has undelivered symbols or an undelivered EOS.
+  [[nodiscard]] bool has_pending() const noexcept;
+
+  /// Schedules one message within `budget_bits` total (header included).
+  /// Returns nullopt when nothing is pending. Throws std::runtime_error if a
+  /// single symbol cannot fit even in an otherwise empty message (CONGEST
+  /// violation — the protocol used a symbol wider than the model allows).
+  std::optional<Delivery> schedule(std::size_t budget_bits,
+                                   unsigned header_bits);
+
+  /// Removes streams whose EOS has been delivered (internal housekeeping;
+  /// called by schedule()).
+  void prune_done();
+
+  /// Drains *all* pending streams into a single unbounded message — the LOCAL
+  /// model of Peleg [20], used by the neighbours-of-neighbours baseline.
+  /// Returns nullopt when nothing is pending.
+  std::optional<std::vector<Delivery>> drain_all(unsigned header_bits);
+
+ private:
+  struct ActiveStream {
+    StreamKey key;
+    std::shared_ptr<const SymbolBuffer> buf;
+    std::shared_ptr<const bool> closed;
+    std::size_t next_symbol = 0;
+    std::size_t bit_off = 0;
+
+    [[nodiscard]] std::size_t pending_symbols() const noexcept {
+      return buf->size() - next_symbol;
+    }
+    [[nodiscard]] bool pending() const noexcept {
+      return pending_symbols() > 0 || (*closed && !eos_needed_done);
+    }
+    bool eos_needed_done = false;  // EOS already delivered
+  };
+
+  std::vector<ActiveStream> streams_;
+  std::size_t rr_pos_ = 0;
+};
+
+}  // namespace nc

@@ -1,0 +1,43 @@
+#include "runtime/message.hpp"
+
+#include <cassert>
+
+#include "util/bitio.hpp"
+
+namespace nc {
+
+unsigned stream_header_bits(unsigned id_bits) noexcept {
+  return 5u + id_bits + 4u + 1u;
+}
+
+void SymbolBuffer::put(std::uint64_t value, unsigned width) {
+  assert(width >= 1 && width <= 64);
+  assert(width == 64 || value < (1ULL << width));
+  const std::size_t word = total_bits_ >> 6;
+  const unsigned off = static_cast<unsigned>(total_bits_ & 63);
+  if (word >= words_.size()) words_.push_back(0);
+  words_[word] |= value << off;
+  if (off + width > 64) words_.push_back(value >> (64 - off));
+  total_bits_ += width;
+  widths_.push_back(static_cast<std::uint8_t>(width));
+}
+
+std::uint64_t SymbolBuffer::value_at(std::size_t bit_off,
+                                     unsigned width) const noexcept {
+  const std::size_t word = bit_off >> 6;
+  const unsigned off = static_cast<unsigned>(bit_off & 63);
+  std::uint64_t v = words_[word] >> off;
+  if (off + width > 64) v |= words_[word + 1] << (64 - off);
+  if (width < 64) v &= (1ULL << width) - 1;
+  return v;
+}
+
+std::uint64_t SymbolCursor::pop() noexcept {
+  const unsigned width = buf_->width_at(index_);
+  const std::uint64_t v = buf_->value_at(bit_off_, width);
+  bit_off_ += width;
+  ++index_;
+  return v;
+}
+
+}  // namespace nc

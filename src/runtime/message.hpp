@@ -1,0 +1,95 @@
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/ids.hpp"
+
+namespace nc {
+
+/// Identifies a logical stream of symbols between two adjacent nodes.
+///
+/// `kind` is a protocol-defined message kind (goes on the wire in 5 bits),
+/// `tag` is protocol context — almost always the ID of the component root the
+/// stream belongs to (id_width(n) bits on the wire) — and `version` is the
+/// boosting version index of Section 4.1 (4 bits on the wire, so up to 16
+/// interleaved versions).
+struct StreamKey {
+  std::uint16_t kind = 0;
+  NodeId tag = 0;
+  std::uint16_t version = 0;
+
+  auto operator<=>(const StreamKey&) const = default;
+};
+
+/// Number of header bits a physical message spends identifying its stream:
+/// kind (5) + tag (id bits) + version (4) + end-of-stream flag (1).
+/// FIFO links neither lose nor reorder, so no sequence number is needed.
+unsigned stream_header_bits(unsigned id_bits) noexcept;
+
+/// Append-only packed buffer of variable-width symbols.
+///
+/// A symbol is an unsigned value together with its width in bits; the width
+/// is what the CONGEST accountant charges for it. Buffers are immutable once
+/// handed to the runtime and may be shared among many outgoing links (a
+/// broadcast writes its payload once). Reading is strictly sequential via
+/// SymbolCursor.
+class SymbolBuffer {
+ public:
+  /// Appends a symbol of `width` bits (1..64). Precondition: value < 2^width.
+  void put(std::uint64_t value, unsigned width);
+
+  /// Appends a single bit.
+  void put_bit(bool b) { put(b ? 1 : 0, 1); }
+
+  /// Number of symbols stored.
+  [[nodiscard]] std::size_t size() const noexcept { return widths_.size(); }
+
+  /// Total payload width in bits.
+  [[nodiscard]] std::size_t bit_size() const noexcept { return total_bits_; }
+
+  /// Width of the idx-th symbol.
+  [[nodiscard]] unsigned width_at(std::size_t idx) const noexcept {
+    return widths_[idx];
+  }
+
+  /// Value of the symbol starting at bit offset `bit_off` with given width.
+  /// (Sequential readers track offsets themselves; see SymbolCursor.)
+  [[nodiscard]] std::uint64_t value_at(std::size_t bit_off,
+                                       unsigned width) const noexcept;
+
+ private:
+  std::vector<std::uint64_t> words_;
+  std::vector<std::uint8_t> widths_;
+  std::size_t total_bits_ = 0;
+};
+
+/// Sequential reader over a (possibly still growing) SymbolBuffer.
+class SymbolCursor {
+ public:
+  SymbolCursor() = default;
+  explicit SymbolCursor(std::shared_ptr<const SymbolBuffer> buf)
+      : buf_(std::move(buf)) {}
+
+  /// Symbols left to read.
+  [[nodiscard]] std::size_t available() const noexcept {
+    return buf_ ? buf_->size() - index_ : 0;
+  }
+
+  /// Reads the next symbol value (advances). Precondition: available() > 0.
+  std::uint64_t pop() noexcept;
+
+  /// Width of the next symbol. Precondition: available() > 0.
+  [[nodiscard]] unsigned peek_width() const noexcept {
+    return buf_->width_at(index_);
+  }
+
+ private:
+  std::shared_ptr<const SymbolBuffer> buf_;
+  std::size_t index_ = 0;
+  std::size_t bit_off_ = 0;
+};
+
+}  // namespace nc

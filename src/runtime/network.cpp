@@ -1,0 +1,213 @@
+#include "runtime/network.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "util/bitio.hpp"
+
+namespace nc {
+
+// ---------------------------------------------------------------------------
+// NodeApi
+// ---------------------------------------------------------------------------
+
+NodeId NodeApi::n() const noexcept { return net_->n_; }
+
+std::uint64_t NodeApi::round() const noexcept { return net_->round_; }
+
+std::span<const NodeId> NodeApi::neighbors() const {
+  return net_->graph_->neighbors(id_);
+}
+
+std::size_t NodeApi::neighbor_index(NodeId v) const {
+  const auto nb = neighbors();
+  const auto it = std::lower_bound(nb.begin(), nb.end(), v);
+  if (it == nb.end() || *it != v) return std::numeric_limits<std::size_t>::max();
+  return static_cast<std::size_t>(it - nb.begin());
+}
+
+Rng& NodeApi::rng() { return net_->states_[id_].rng; }
+
+OutChannel NodeApi::open_stream(const StreamKey& key,
+                                std::span<const std::size_t> neighbor_indices) {
+  OutChannel ch;
+  auto& links = net_->states_[id_].out_links;
+  for (const std::size_t ni : neighbor_indices) {
+    assert(ni < links.size());
+    links[ni].add_stream(key, ch.buffer(), ch.closed_flag());
+  }
+  return ch;
+}
+
+OutChannel NodeApi::open_stream_all(const StreamKey& key) {
+  std::vector<std::size_t> all(degree());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+  return open_stream(key, all);
+}
+
+OutChannel NodeApi::open_stream_one(const StreamKey& key,
+                                    std::size_t neighbor_index) {
+  const std::size_t idx[1] = {neighbor_index};
+  return open_stream(key, idx);
+}
+
+InStream* NodeApi::find_in(std::size_t ni, const StreamKey& key) {
+  auto& inbox = net_->states_[id_].inbox;
+  const auto it = inbox.find({ni, key});
+  return it == inbox.end() ? nullptr : &it->second;
+}
+
+void NodeApi::for_each_in(
+    std::uint16_t kind,
+    const std::function<void(std::size_t, const StreamKey&, InStream&)>& fn) {
+  auto& inbox = net_->states_[id_].inbox;
+  for (auto& [addr, stream] : inbox) {
+    if (addr.second.kind == kind) fn(addr.first, addr.second, stream);
+  }
+}
+
+std::uint64_t NodeApi::rx_count(std::uint16_t kind) const {
+  return net_->states_[id_].rx_by_kind[kind & 31u];
+}
+
+void NodeApi::set_alarm(std::uint64_t round) {
+  net_->states_[id_].alarm = round;
+}
+
+void NodeApi::set_done() {
+  auto& st = net_->states_[id_];
+  if (!st.done) {
+    st.done = true;
+    st.alarm = Network::kNoAlarm;
+    ++net_->done_count_;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Network
+// ---------------------------------------------------------------------------
+
+Network::Network(const Graph& g, const NetConfig& config,
+                 const std::function<std::unique_ptr<INode>(NodeId)>& factory)
+    : graph_(&g),
+      config_(config),
+      n_(g.n()),
+      id_bits_(id_width(g.n())),
+      header_bits_(stream_header_bits(id_bits_)) {
+  bandwidth_bits_ = config.mode == NetConfig::Mode::kLocal
+                        ? std::numeric_limits<std::size_t>::max()
+                        : static_cast<std::size_t>(config.bandwidth_factor) *
+                              id_bits_;
+  const Rng master(config.seed);
+  nodes_.reserve(n_);
+  states_.reserve(n_);
+  for (NodeId v = 0; v < n_; ++v) {
+    NodeState st{master.derive(v), std::vector<Link>(g.degree(v)), {}, {},
+                 kNoAlarm, false};
+    states_.push_back(std::move(st));
+    nodes_.push_back(factory(v));
+  }
+  for (NodeId v = 0; v < n_; ++v) {
+    NodeApi api(*this, v);
+    nodes_[v]->on_start(api);
+  }
+}
+
+bool Network::any_link_pending() const noexcept {
+  for (const auto& st : states_) {
+    for (const auto& link : st.out_links) {
+      if (link.has_pending()) return true;
+    }
+  }
+  return false;
+}
+
+std::uint64_t Network::min_alarm() const noexcept {
+  std::uint64_t next = kNoAlarm;
+  for (const auto& st : states_) {
+    if (!st.done) next = std::min(next, st.alarm);
+  }
+  return next;
+}
+
+void Network::deliver(NodeId from, std::size_t ni, const Delivery& d) {
+  const NodeId to = graph_->neighbors(from)[ni];
+  NodeApi to_api(*this, to);
+  const std::size_t back_index = to_api.neighbor_index(from);
+  states_[to].rx_by_kind[d.key.kind & 31u] += 1;
+  auto& stream = states_[to].inbox[{back_index, d.key}];
+  for (const auto& [value, width] : d.symbols) stream.deliver(value, width);
+  if (d.eos) stream.deliver_eos();
+  stats_.messages += 1;
+  stats_.bits += d.wire_bits;
+  stats_.max_message_bits = std::max<std::uint64_t>(stats_.max_message_bits,
+                                                    d.wire_bits);
+  stats_.bits_by_kind[d.key.kind] += d.wire_bits;
+}
+
+void Network::deliver_round() {
+  for (NodeId v = 0; v < n_; ++v) {
+    auto& links = states_[v].out_links;
+    for (std::size_t ni = 0; ni < links.size(); ++ni) {
+      if (config_.mode == NetConfig::Mode::kLocal) {
+        if (auto ds = links[ni].drain_all(header_bits_)) {
+          for (const auto& d : *ds) deliver(v, ni, d);
+        }
+      } else {
+        if (auto d = links[ni].schedule(bandwidth_bits_, header_bits_)) {
+          deliver(v, ni, *d);
+        }
+      }
+    }
+  }
+}
+
+bool Network::step(bool allow_fast_forward) {
+  if (all_done()) return false;
+  if (!any_link_pending()) {
+    const std::uint64_t next = min_alarm();
+    // Alarms are one-shot: an alarm at or before the current round already
+    // had its wake-up, so an idle network with only stale alarms is stuck.
+    if (next == kNoAlarm || next <= round_) {
+      stats_.stalled = true;
+      stats_.rounds = round_;
+      return false;
+    }
+    if (allow_fast_forward && next > round_ + 1) {
+      round_ = next - 1;  // skipped rounds are idle but still counted
+    }
+  }
+  if (round_ >= config_.max_rounds) {
+    stats_.hit_round_limit = true;
+    stats_.rounds = round_;
+    return false;
+  }
+  ++round_;
+  deliver_round();
+  for (NodeId v = 0; v < n_; ++v) {
+    if (states_[v].done) continue;
+    // One-shot alarm: clear before the callback so a set_alarm inside it
+    // re-arms for a future round.
+    if (states_[v].alarm <= round_) states_[v].alarm = kNoAlarm;
+    NodeApi api(*this, v);
+    nodes_[v]->on_round(api);
+  }
+  stats_.rounds = round_;
+  return !all_done();
+}
+
+RunStats Network::run() {
+  while (step(/*allow_fast_forward=*/true)) {
+  }
+  return stats_;
+}
+
+bool Network::run_rounds(std::uint64_t rounds) {
+  for (std::uint64_t i = 0; i < rounds; ++i) {
+    if (!step(/*allow_fast_forward=*/false)) break;
+  }
+  return all_done();
+}
+
+}  // namespace nc

@@ -1,0 +1,192 @@
+#pragma once
+
+#include <array>
+#include <functional>
+#include <map>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "runtime/accounting.hpp"
+#include "runtime/link.hpp"
+#include "runtime/stream.hpp"
+#include "util/ids.hpp"
+#include "util/rng.hpp"
+
+namespace nc {
+
+class Network;
+class NodeApi;
+
+/// A processor in the synchronous message-passing model of Section 2.
+///
+/// `on_start` runs once before round 1 (local initialization; any messages
+/// enqueued are delivered in round 1). `on_round` runs every executed round
+/// after that round's deliveries. A node signals completion via
+/// NodeApi::set_done(); `on_round` keeps being invoked until the whole
+/// network finishes, so it must be idempotent once done.
+class INode {
+ public:
+  virtual ~INode() = default;
+  virtual void on_start(NodeApi& api) = 0;
+  virtual void on_round(NodeApi& api) = 0;
+};
+
+/// Execution model: CONGEST (B = bandwidth_factor * ceil(log2(n+1)) bits per
+/// edge per direction per round) or LOCAL (unbounded messages, one per edge
+/// per round) as defined in [20].
+struct NetConfig {
+  enum class Mode { kCongest, kLocal };
+  Mode mode = Mode::kCongest;
+  unsigned bandwidth_factor = 8;
+  std::uint64_t max_rounds = 1'000'000;
+  std::uint64_t seed = 1;
+};
+
+/// The per-node view of the runtime: identity, topology (restricted to the
+/// node's own neighbourhood, as the model requires), randomness, stream I/O
+/// and the done flag. Handed to INode callbacks; never retained.
+class NodeApi {
+ public:
+  NodeApi(Network& net, NodeId id) : net_(&net), id_(id) {}
+
+  /// This node's ID (unique, O(log n) bits).
+  [[nodiscard]] NodeId id() const noexcept { return id_; }
+
+  /// Number of nodes in the network (known to all nodes, per Section 2).
+  [[nodiscard]] NodeId n() const noexcept;
+
+  /// Current round (0 during on_start).
+  [[nodiscard]] std::uint64_t round() const noexcept;
+
+  /// Sorted IDs of this node's neighbours.
+  [[nodiscard]] std::span<const NodeId> neighbors() const;
+
+  /// Degree.
+  [[nodiscard]] std::size_t degree() const { return neighbors().size(); }
+
+  /// Index of neighbour `v` in neighbors(), or SIZE_MAX if not adjacent.
+  [[nodiscard]] std::size_t neighbor_index(NodeId v) const;
+
+  /// This node's private random stream (derived from the network seed).
+  [[nodiscard]] Rng& rng();
+
+  /// Opens an outgoing stream to the given neighbour indices. The returned
+  /// channel may be appended to across rounds; close() ends it. The payload
+  /// buffer is shared across all listed links (broadcasts store data once).
+  OutChannel open_stream(const StreamKey& key,
+                         std::span<const std::size_t> neighbor_indices);
+
+  /// Opens an outgoing stream to every neighbour.
+  OutChannel open_stream_all(const StreamKey& key);
+
+  /// Opens an outgoing stream to a single neighbour.
+  OutChannel open_stream_one(const StreamKey& key, std::size_t neighbor_index);
+
+  /// Incoming stream from neighbour index `ni` with the given key, or
+  /// nullptr if nothing with that key has arrived yet.
+  [[nodiscard]] InStream* find_in(std::size_t ni, const StreamKey& key);
+
+  /// Invokes `fn(ni, key, stream)` for every incoming stream of `kind`.
+  void for_each_in(std::uint16_t kind,
+                   const std::function<void(std::size_t, const StreamKey&,
+                                            InStream&)>& fn);
+
+  /// Number of deliveries (messages) received so far whose kind is `kind`.
+  /// Protocol code uses this to skip inbox scans on rounds where nothing of
+  /// that kind arrived.
+  [[nodiscard]] std::uint64_t rx_count(std::uint16_t kind) const;
+
+  /// Requests a wake-up: the node is idle until the given (absolute) round.
+  /// This is how protocol code waits on the synchronous round counter (the
+  /// only global signal in the model — Section 4.1's deterministic time
+  /// bounds are defined in terms of it). The simulator may fast-forward
+  /// through rounds where no node has traffic and all waiters' alarms are in
+  /// the future; skipped rounds still count toward round complexity.
+  void set_alarm(std::uint64_t round);
+
+  /// Marks this node finished.
+  void set_done();
+
+ private:
+  Network* net_;
+  NodeId id_;
+};
+
+/// Synchronous network simulator.
+///
+/// Executes rounds: (1) every directed edge delivers at most one message of
+/// at most B bits (CONGEST) or drains completely (LOCAL); (2) every node's
+/// on_round runs, in ID order. Execution stops when every node is done, when
+/// max_rounds is hit (sets RunStats::hit_round_limit — the deterministic
+/// time-bound wrapper of Section 4.1), or when no traffic is pending and no
+/// alarm is set (sets RunStats::stalled; a liveness guard that protocol bugs
+/// and fault-injection tests exercise).
+class Network {
+ public:
+  /// Builds a network over communication graph `g`. `factory(v)` constructs
+  /// the protocol instance for node v.
+  Network(const Graph& g, const NetConfig& config,
+          const std::function<std::unique_ptr<INode>(NodeId)>& factory);
+
+  /// Runs to completion and returns traffic statistics.
+  RunStats run();
+
+  /// Runs at most `rounds` additional rounds without fast-forwarding (for
+  /// step-by-step tests and the Section 6 indistinguishability experiment).
+  /// Returns true if the network finished within them.
+  bool run_rounds(std::uint64_t rounds);
+
+  /// Statistics so far.
+  [[nodiscard]] const RunStats& stats() const noexcept { return stats_; }
+
+  /// Access to a protocol node (post-run inspection by drivers and tests).
+  [[nodiscard]] INode& node(NodeId v) { return *nodes_[v]; }
+
+  /// The communication graph.
+  [[nodiscard]] const Graph& graph() const noexcept { return *graph_; }
+
+  /// Bandwidth per edge per direction per round, in bits (SIZE_MAX in LOCAL
+  /// mode).
+  [[nodiscard]] std::size_t bandwidth_bits() const noexcept {
+    return bandwidth_bits_;
+  }
+
+  /// True when every node has set_done().
+  [[nodiscard]] bool all_done() const noexcept { return done_count_ == n_; }
+
+ private:
+  friend class NodeApi;
+
+  struct NodeState {
+    Rng rng;
+    std::vector<Link> out_links;  // by neighbour index
+    std::map<std::pair<std::size_t, StreamKey>, InStream> inbox;
+    std::array<std::uint64_t, 32> rx_by_kind{};
+    std::uint64_t alarm = kNoAlarm;
+    bool done = false;
+  };
+  static constexpr std::uint64_t kNoAlarm = ~0ULL;
+
+  /// Executes one round; returns false when execution must stop.
+  bool step(bool allow_fast_forward);
+  void deliver_round();
+  void deliver(NodeId from, std::size_t ni, const Delivery& d);
+  [[nodiscard]] bool any_link_pending() const noexcept;
+  [[nodiscard]] std::uint64_t min_alarm() const noexcept;
+
+  const Graph* graph_;
+  NetConfig config_;
+  NodeId n_;
+  unsigned id_bits_;
+  unsigned header_bits_;
+  std::size_t bandwidth_bits_;
+  std::uint64_t round_ = 0;
+  NodeId done_count_ = 0;
+  std::vector<std::unique_ptr<INode>> nodes_;
+  std::vector<NodeState> states_;
+  RunStats stats_;
+};
+
+}  // namespace nc

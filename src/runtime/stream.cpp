@@ -1,0 +1,4 @@
+#include "runtime/stream.hpp"
+
+// All members are defined inline; this translation unit anchors the header
+// so build systems that require one source file per module stay happy.

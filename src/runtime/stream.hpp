@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "runtime/message.hpp"
+
+namespace nc {
+
+/// Producer handle for an outgoing logical stream.
+///
+/// The backing SymbolBuffer is shared with every link the stream was opened
+/// on (and with the accountant), so a broadcast to many neighbours stores its
+/// payload once. Appending after the runtime has started draining the stream
+/// is allowed — that is what makes the coordinate-pipelined convergecasts of
+/// Lemma 5.1 possible — and `close()` marks the logical end of stream, which
+/// links deliver to receivers as an EOS flag.
+class OutChannel {
+ public:
+  OutChannel()
+      : buf_(std::make_shared<SymbolBuffer>()),
+        closed_(std::make_shared<bool>(false)) {}
+
+  /// Appends one symbol. Precondition: not closed.
+  void put(std::uint64_t value, unsigned width) { buf_->put(value, width); }
+
+  /// Appends one bit.
+  void put_bit(bool b) { buf_->put_bit(b); }
+
+  /// Marks end of stream; links will deliver EOS after the last symbol.
+  void close() { *closed_ = true; }
+
+  /// True once close() has been called.
+  [[nodiscard]] bool closed() const noexcept { return *closed_; }
+
+  /// Symbols written so far.
+  [[nodiscard]] std::size_t size() const noexcept { return buf_->size(); }
+
+  /// Shared state, used by links.
+  [[nodiscard]] std::shared_ptr<const SymbolBuffer> buffer() const noexcept {
+    return buf_;
+  }
+  [[nodiscard]] std::shared_ptr<const bool> closed_flag() const noexcept {
+    return closed_;
+  }
+
+ private:
+  std::shared_ptr<SymbolBuffer> buf_;
+  std::shared_ptr<bool> closed_;
+};
+
+/// Receiver side of a logical stream: a growing buffer of delivered symbols
+/// plus the EOS flag. Protocol code consumes it strictly sequentially.
+class InStream {
+ public:
+  /// Appends a delivered symbol (runtime use).
+  void deliver(std::uint64_t value, unsigned width) { buf_.put(value, width); }
+
+  /// Marks EOS delivered (runtime use).
+  void deliver_eos() noexcept { closed_ = true; }
+
+  /// Symbols delivered but not yet consumed.
+  [[nodiscard]] std::size_t available() const noexcept {
+    return buf_.size() - read_idx_;
+  }
+
+  /// Consumes the next symbol. Precondition: available() > 0.
+  std::uint64_t pop() noexcept {
+    const unsigned w = buf_.width_at(read_idx_);
+    const std::uint64_t v = buf_.value_at(read_bit_, w);
+    read_bit_ += w;
+    ++read_idx_;
+    return v;
+  }
+
+  /// True if EOS was delivered.
+  [[nodiscard]] bool closed() const noexcept { return closed_; }
+
+  /// True if EOS was delivered and everything has been consumed.
+  [[nodiscard]] bool finished() const noexcept {
+    return closed_ && available() == 0;
+  }
+
+  /// Total symbols ever delivered (consumed or not).
+  [[nodiscard]] std::size_t delivered() const noexcept { return buf_.size(); }
+
+ private:
+  SymbolBuffer buf_;
+  std::size_t read_idx_ = 0;
+  std::size_t read_bit_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace nc

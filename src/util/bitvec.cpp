@@ -1,0 +1,69 @@
+#include "util/bitvec.hpp"
+
+#include <bit>
+
+namespace nc {
+
+void BitVec::assign_zero(std::size_t n) {
+  n_ = n;
+  words_.assign((n + 63) / 64, 0);
+}
+
+std::size_t BitVec::count() const noexcept {
+  std::size_t c = 0;
+  for (const auto w : words_) c += static_cast<std::size_t>(std::popcount(w));
+  return c;
+}
+
+std::size_t BitVec::count_and(const BitVec& other) const noexcept {
+  std::size_t c = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    c += static_cast<std::size_t>(std::popcount(words_[i] & other.words_[i]));
+  }
+  return c;
+}
+
+BitVec& BitVec::operator|=(const BitVec& other) noexcept {
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  return *this;
+}
+
+BitVec& BitVec::operator&=(const BitVec& other) noexcept {
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  return *this;
+}
+
+BitVec& BitVec::subtract(const BitVec& other) noexcept {
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+  return *this;
+}
+
+bool BitVec::none() const noexcept {
+  for (const auto w : words_) {
+    if (w != 0) return false;
+  }
+  return true;
+}
+
+std::vector<std::uint32_t> BitVec::to_indices() const {
+  std::vector<std::uint32_t> out;
+  out.reserve(count());
+  for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+    std::uint64_t w = words_[wi];
+    while (w != 0) {
+      const int b = std::countr_zero(w);
+      out.push_back(static_cast<std::uint32_t>(wi * 64 + b));
+      w &= w - 1;
+    }
+  }
+  return out;
+}
+
+BitVec BitVec::from_indices(std::size_t n,
+                            const std::vector<std::uint32_t>& indices) {
+  BitVec v(n);
+  for (const auto i : indices) v.set(i);
+  return v;
+}
+
+}  // namespace nc

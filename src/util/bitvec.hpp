@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace nc {
+
+/// Fixed-capacity dynamic bit vector with word-level operations.
+///
+/// Used for adjacency masks, K/T membership vectors indexed by subset, and
+/// node-set indicators. Unlike std::vector<bool> it exposes popcount,
+/// intersection counting and word access, which the exploration stage's
+/// subset enumeration relies on (Step 4a computes |Gamma(u) ∩ X| as a masked
+/// popcount).
+class BitVec {
+ public:
+  BitVec() = default;
+
+  /// Constructs an all-zero vector with `n` bits.
+  explicit BitVec(std::size_t n) : n_(n), words_((n + 63) / 64, 0) {}
+
+  /// Number of bits.
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+
+  /// Resets to all-zero with a (possibly new) size.
+  void assign_zero(std::size_t n);
+
+  /// Tests bit `i`. Precondition: i < size().
+  [[nodiscard]] bool test(std::size_t i) const noexcept {
+    return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+
+  /// Sets bit `i` to `v`. Precondition: i < size().
+  void set(std::size_t i, bool v = true) noexcept {
+    const std::uint64_t mask = 1ULL << (i & 63);
+    if (v)
+      words_[i >> 6] |= mask;
+    else
+      words_[i >> 6] &= ~mask;
+  }
+
+  /// Number of set bits.
+  [[nodiscard]] std::size_t count() const noexcept;
+
+  /// Number of set bits in the intersection with `other`.
+  /// Precondition: same size.
+  [[nodiscard]] std::size_t count_and(const BitVec& other) const noexcept;
+
+  /// In-place union / intersection / difference. Precondition: same size.
+  BitVec& operator|=(const BitVec& other) noexcept;
+  BitVec& operator&=(const BitVec& other) noexcept;
+  BitVec& subtract(const BitVec& other) noexcept;
+
+  /// True if no bit is set.
+  [[nodiscard]] bool none() const noexcept;
+
+  /// Equality compares sizes and bit contents.
+  friend bool operator==(const BitVec& a, const BitVec& b) noexcept {
+    return a.n_ == b.n_ && a.words_ == b.words_;
+  }
+
+  /// Indices of set bits, ascending.
+  [[nodiscard]] std::vector<std::uint32_t> to_indices() const;
+
+  /// Builds a vector of `n` bits with the given indices set.
+  static BitVec from_indices(std::size_t n,
+                             const std::vector<std::uint32_t>& indices);
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace nc

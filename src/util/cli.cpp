@@ -1,0 +1,44 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+
+namespace nc {
+
+Args::Args(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) continue;
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos) {
+      kv_[arg] = "1";
+    } else {
+      kv_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    }
+  }
+}
+
+std::string Args::get(const std::string& key, const std::string& def) const {
+  const auto it = kv_.find(key);
+  return it == kv_.end() ? def : it->second;
+}
+
+std::int64_t Args::get_int(const std::string& key, std::int64_t def) const {
+  const auto it = kv_.find(key);
+  return it == kv_.end() ? def : std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Args::get_double(const std::string& key, double def) const {
+  const auto it = kv_.find(key);
+  return it == kv_.end() ? def : std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Args::get_bool(const std::string& key, bool def) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return def;
+  return it->second != "0" && it->second != "false";
+}
+
+bool Args::has(const std::string& key) const { return kv_.count(key) > 0; }
+
+}  // namespace nc

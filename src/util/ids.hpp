@@ -1,0 +1,24 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace nc {
+
+/// Node identifier. The CONGEST model assumes unique O(log n)-bit IDs;
+/// we use the dense range [0, n) so an ID always fits in ceil(log2 n) bits.
+using NodeId = std::uint32_t;
+
+/// Sentinel for "no node" (the paper's NULL parent pointer / bottom label).
+inline constexpr NodeId kNoNode = std::numeric_limits<NodeId>::max();
+
+/// Output label of the algorithm: either a near-clique identifier or kBottom.
+/// Labels are root IDs (possibly extended with a boosting version index, see
+/// core/boosting.hpp), so a 64-bit value is used to avoid aliasing.
+using Label = std::uint64_t;
+
+/// The special label the paper writes as bottom: "not associated with any
+/// near-clique".
+inline constexpr Label kBottom = std::numeric_limits<Label>::max();
+
+}  // namespace nc

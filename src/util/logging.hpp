@@ -1,0 +1,53 @@
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace nc {
+
+/// Severity levels for the library logger.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are discarded.
+/// Defaults to kWarn so tests and benches stay quiet unless asked.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Emits one log line (thread-compatible: the simulator is single-threaded,
+/// so no locking is required; benches run trials sequentially).
+void log_line(LogLevel level, const std::string& msg);
+
+namespace detail {
+/// RAII line builder: streams into a buffer, emits on destruction.
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_line(level_, os_.str()); }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace nc
+
+/// Streaming log macros; evaluation of the stream expression is skipped
+/// entirely when the level is filtered out.
+#define NC_LOG(level)                      \
+  if (static_cast<int>(level) < static_cast<int>(::nc::log_level())) { \
+  } else                                   \
+    ::nc::detail::LogStream(level)
+
+#define NC_DEBUG NC_LOG(::nc::LogLevel::kDebug)
+#define NC_INFO NC_LOG(::nc::LogLevel::kInfo)
+#define NC_WARN NC_LOG(::nc::LogLevel::kWarn)
+#define NC_ERROR NC_LOG(::nc::LogLevel::kError)

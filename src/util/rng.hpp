@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace nc {
+
+/// Deterministic, splittable pseudo-random generator.
+///
+/// The simulator must be fully reproducible from a single 64-bit seed: every
+/// node (and every boosting version at every node) derives an independent
+/// stream via `Rng::derive`, so executions are bit-identical across runs and
+/// independent of scheduling order. The core generator is xoshiro256**, seeded
+/// through SplitMix64 as recommended by its authors.
+class Rng {
+ public:
+  /// Constructs a generator from a 64-bit seed (expanded via SplitMix64).
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  /// Returns the next 64 uniformly random bits.
+  std::uint64_t next_u64() noexcept;
+
+  /// Returns a uniform integer in [0, bound). bound == 0 yields 0.
+  /// Uses Lemire's unbiased multiply-shift rejection method.
+  std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+  /// Returns a uniform double in [0, 1) with 53 bits of precision.
+  double next_double() noexcept;
+
+  /// Returns true with probability `p` (clamped to [0,1]).
+  bool next_bernoulli(double p) noexcept;
+
+  /// Returns a uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t next_in_range(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Derives an independent child generator. Streams derived with distinct
+  /// `stream` values (e.g. node IDs) are statistically independent; the
+  /// derivation is a keyed SplitMix64 hash of (state, stream).
+  [[nodiscard]] Rng derive(std::uint64_t stream) const noexcept;
+
+  /// Fisher-Yates shuffle of a vector, in place.
+  template <typename T>
+  void shuffle(std::vector<T>& v) noexcept {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Samples `k` distinct indices from [0, n) (k > n returns all of [0,n)).
+  [[nodiscard]] std::vector<std::uint32_t> sample_without_replacement(
+      std::uint32_t n, std::uint32_t k) noexcept;
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// SplitMix64 step: the standard 64-bit finalizer-based generator, also used
+/// as a hash for seed derivation.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+}  // namespace nc

@@ -1,0 +1,56 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <ostream>
+#include <sstream>
+
+namespace nc {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int prec) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(prec);
+  os << v;
+  return os.str();
+}
+
+std::string Table::num(std::uint64_t v) { return std::to_string(v); }
+std::string Table::num(std::int64_t v) { return std::to_string(v); }
+
+std::string Table::str() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << "| " << cells[c] << std::string(width[c] - cells[c].size() + 1, ' ');
+    }
+    os << "|\n";
+  };
+  emit(headers_);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << "|" << std::string(width[c] + 2, '-');
+  }
+  os << "|\n";
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Table& t) {
+  return os << t.str();
+}
+
+}  // namespace nc

@@ -1,0 +1,244 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "baselines/ggr_find.hpp"
+#include "baselines/grasp.hpp"
+#include "baselines/neighbors2.hpp"
+#include "baselines/peeling.hpp"
+#include "baselines/shingles.hpp"
+#include "graph/generators.hpp"
+#include "graph/metrics.hpp"
+#include "test_helpers.hpp"
+#include "util/bitio.hpp"
+
+namespace nc {
+namespace {
+
+// ------------------------------------------------------------- Shingles ---
+
+TEST(Shingles, FindsPureCliqueGraph) {
+  const Graph g = testing::complete_graph(20);
+  ShinglesParams params;
+  params.eps = 0.1;
+  params.min_size = 10;
+  const auto res = run_shingles(g, params, 7);
+  const auto best = res.largest_cluster();
+  EXPECT_EQ(best.size(), 20u);  // everyone shares the global min ID's label
+  EXPECT_LE(res.stats.rounds, 8u);  // constant rounds
+}
+
+TEST(Shingles, ConstantRoundsAndSmallMessages) {
+  Rng rng(3);
+  const Graph g = erdos_renyi(150, 0.1, rng);
+  const auto res = run_shingles(g, ShinglesParams{}, 11);
+  EXPECT_LE(res.stats.rounds, 8u);
+  EXPECT_LE(res.stats.max_message_bits, 12u * id_width(150));
+}
+
+TEST(Shingles, FailsOnCounterexampleFamily) {
+  // Claim 1: on G_n with delta = 0.5, the shingles algorithm cannot output
+  // an eps-near clique of size >= (1-eps) * delta * n for eps < min{1/3,1/9}.
+  const double delta = 0.5;
+  const double eps = 0.1;
+  int ok_trials = 0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed);
+    const auto inst = shingles_counterexample(200, delta, rng);
+    ShinglesParams params;
+    params.eps = eps;
+    params.min_size = 2;
+    const auto res = run_shingles(inst.graph, params, seed * 13);
+    // Every surviving candidate set must be small or sparse; in particular
+    // none reaches (1 - eps) * delta * n = 90 nodes at density >= 1 - eps.
+    for (const auto& [label, members] : res.clusters()) {
+      (void)label;
+      const bool big = members.size() >= (1 - eps) * delta * 200;
+      const bool dense = is_near_clique(inst.graph, members, eps);
+      EXPECT_FALSE(big && dense)
+          << "shingles found size " << members.size() << " density "
+          << set_density(inst.graph, members);
+    }
+    ++ok_trials;
+  }
+  EXPECT_EQ(ok_trials, 10);
+}
+
+TEST(Shingles, SurvivorsMeetThresholds) {
+  Rng rng(9);
+  PlantedNearCliqueParams pp;
+  pp.n = 100;
+  pp.clique_size = 30;
+  pp.background_p = 0.05;
+  pp.halo_p = 0.1;
+  const auto inst = planted_near_clique(pp, rng);
+  ShinglesParams params;
+  params.eps = 0.3;
+  params.min_size = 5;
+  const auto res = run_shingles(inst.graph, params, 21);
+  for (const auto& [label, members] : res.clusters()) {
+    (void)label;
+    EXPECT_GE(members.size(), params.min_size);
+    EXPECT_TRUE(is_near_clique(inst.graph, members, params.eps));
+  }
+}
+
+TEST(Shingles, IsolatedNodesDoNotCrash) {
+  GraphBuilder b(6);
+  b.add_edge(0, 1);
+  const auto res = run_shingles(b.build(), ShinglesParams{}, 4);
+  EXPECT_FALSE(res.stats.stalled);
+}
+
+// ----------------------------------------------------------- Neighbors2 ---
+
+TEST(Neighbors2, FindsExactCliqueAndIsConsistent) {
+  const auto g = testing::clique_with_pendant();
+  const auto res = run_neighbors2(g, Neighbors2Params{}, 5);
+  const auto best = res.largest_cluster();
+  EXPECT_EQ(best, (std::vector<NodeId>{0, 1, 2, 3, 4}));
+  EXPECT_LE(res.stats.rounds, 4u);
+}
+
+TEST(Neighbors2, MessageSizeGrowsWithDegree) {
+  // The LOCAL-model message carries whole adjacency lists: max message bits
+  // must scale with Delta * log n, far beyond the CONGEST budget.
+  Rng rng(5);
+  const Graph dense = erdos_renyi(80, 0.5, rng);
+  const auto res = run_neighbors2(dense, Neighbors2Params{}, 6);
+  EXPECT_GT(res.stats.max_message_bits, 8u * id_width(80));
+  EXPECT_GT(res.total_expansions, 0u);
+}
+
+TEST(Neighbors2, PlantedCliqueRecovered) {
+  Rng rng(8);
+  PlantedNearCliqueParams pp;
+  pp.n = 60;
+  pp.clique_size = 20;
+  pp.background_p = 0.05;
+  pp.halo_p = 0.1;
+  const auto inst = planted_near_clique(pp, rng);
+  const auto res = run_neighbors2(inst.graph, Neighbors2Params{}, 7);
+  const auto best = res.largest_cluster();
+  EXPECT_GE(best.size(), 18u);
+  EXPECT_TRUE(is_clique(inst.graph, best));
+}
+
+// -------------------------------------------------------------- Peeling ---
+
+TEST(Peeling, StepsCoverWholeGraph) {
+  const Graph g = testing::complete_graph(6);
+  const auto peel = greedy_peel(g);
+  ASSERT_EQ(peel.steps.size(), 6u);
+  EXPECT_EQ(peel.steps.back().size_after, 0u);
+  EXPECT_EQ(peel.steps.back().ordered_pairs_after, 0u);
+  // After removing one node from K6, 5*4 ordered pairs remain.
+  EXPECT_EQ(peel.steps.front().ordered_pairs_after, 20u);
+  EXPECT_DOUBLE_EQ(peel.density_at(5), 1.0);
+}
+
+TEST(Peeling, RecoversPlantedNearClique) {
+  Rng rng(6);
+  PlantedNearCliqueParams pp;
+  pp.n = 150;
+  pp.clique_size = 50;
+  pp.eps_missing = 0.02;
+  pp.background_p = 0.05;
+  pp.halo_p = 0.15;
+  const auto inst = planted_near_clique(pp, rng);
+  const auto found = largest_near_clique_by_peeling(inst.graph, 0.05);
+  EXPECT_GE(found.size(), 45u);
+  EXPECT_TRUE(is_near_clique(inst.graph, found, 0.05));
+}
+
+TEST(Peeling, DensestSubgraphNonEmpty) {
+  const Graph g = testing::clique_with_pendant();
+  const auto densest = densest_subgraph_by_peeling(g);
+  EXPECT_EQ(densest, (std::vector<NodeId>{0, 1, 2, 3, 4}));
+}
+
+TEST(Peeling, EmptyGraphHandled) {
+  GraphBuilder b(4);
+  const Graph g = b.build();
+  EXPECT_TRUE(largest_near_clique_by_peeling(g, 0.1).empty());
+}
+
+// ---------------------------------------------------------------- GRASP ---
+
+TEST(Grasp, FindsQuasiCliqueMeetingGamma) {
+  Rng rng(4);
+  PlantedNearCliqueParams pp;
+  pp.n = 100;
+  pp.clique_size = 30;
+  pp.eps_missing = 0.05;
+  pp.background_p = 0.08;
+  pp.halo_p = 0.2;
+  const auto inst = planted_near_clique(pp, rng);
+  GraspParams params;
+  params.gamma = 0.9;
+  params.iterations = 24;
+  Rng search_rng(11);
+  const auto found = grasp_quasi_clique(inst.graph, params, search_rng);
+  EXPECT_GE(found.size(), 15u);
+  EXPECT_GE(set_density(inst.graph, found), params.gamma - 1e-9);
+}
+
+TEST(Grasp, EmptyAndTinyGraphs) {
+  GraphBuilder b(0);
+  Rng rng(1);
+  EXPECT_TRUE(grasp_quasi_clique(b.build(), GraspParams{}, rng).empty());
+  const auto single = grasp_quasi_clique(testing::complete_graph(1),
+                                         GraspParams{}, rng);
+  EXPECT_LE(single.size(), 1u);
+}
+
+TEST(Grasp, RespectsGammaOnSparseGraph) {
+  const Graph g = testing::path_graph(20);
+  GraspParams params;
+  params.gamma = 0.99;
+  Rng rng(2);
+  const auto found = grasp_quasi_clique(g, params, rng);
+  // Only edges (2-sets) qualify at this density.
+  EXPECT_LE(found.size(), 2u);
+}
+
+// ------------------------------------------------------------- GGR find ---
+
+TEST(GgrFind, RecoversPlantedClique) {
+  Rng rng(3);
+  PlantedNearCliqueParams pp;
+  pp.n = 120;
+  pp.clique_size = 60;
+  pp.background_p = 0.08;
+  pp.halo_p = 0.2;
+  const auto inst = planted_near_clique(pp, rng);
+  Rng search(5);
+  const auto res = ggr_approximate_find(inst.graph, 0.2, 8, search);
+  EXPECT_GE(res.found.size(), 50u);
+  EXPECT_GE(set_density(inst.graph, res.found), 0.9);
+  EXPECT_GT(res.pair_queries, 0u);
+}
+
+TEST(GgrFind, QueryCountScalesLinearlyInN) {
+  Rng rng(4);
+  const Graph small = erdos_renyi(100, 0.1, rng);
+  const Graph large = erdos_renyi(300, 0.1, rng);
+  Rng s1(1), s2(1);
+  const auto a = ggr_approximate_find(small, 0.2, 6, s1);
+  const auto b = ggr_approximate_find(large, 0.2, 6, s2);
+  // The classification pass is n * m probes; the T pass adds data-dependent
+  // work, so just check super-constant growth and a sane lower bound.
+  EXPECT_GE(a.pair_queries, 100u * 6u);
+  EXPECT_GE(b.pair_queries, 300u * 6u);
+  EXPECT_GT(b.pair_queries, a.pair_queries);
+}
+
+TEST(GgrFind, EmptyGraphAndZeroSample) {
+  GraphBuilder b(0);
+  Rng rng(1);
+  const auto res = ggr_approximate_find(b.build(), 0.2, 5, rng);
+  EXPECT_TRUE(res.found.empty());
+}
+
+}  // namespace
+}  // namespace nc

@@ -1,0 +1,325 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "core/boosting.hpp"
+#include "core/driver.hpp"
+#include "core/oracle.hpp"
+#include "core/subsets.hpp"
+#include "graph/generators.hpp"
+#include "graph/metrics.hpp"
+#include "util/bitio.hpp"
+#include "test_helpers.hpp"
+
+namespace nc {
+namespace {
+
+DriverConfig base_config(double eps, double p, std::uint64_t seed) {
+  DriverConfig cfg;
+  cfg.proto.eps = eps;
+  cfg.proto.p = p;
+  cfg.net.seed = seed;
+  cfg.net.max_rounds = 4'000'000;
+  return cfg;
+}
+
+Instance planted(NodeId n, NodeId d, double eps3, std::uint64_t seed) {
+  Rng rng(seed);
+  PlantedNearCliqueParams pp;
+  pp.n = n;
+  pp.clique_size = d;
+  pp.eps_missing = eps3;
+  pp.background_p = 0.08;
+  pp.halo_p = 0.25;
+  return planted_near_clique(pp, rng);
+}
+
+// ------------------------------------------------ differential testing ----
+
+struct DiffCase {
+  NodeId n;
+  NodeId d;
+  double eps;
+  double p;
+  std::uint64_t seed;
+};
+
+class DifferentialTest : public ::testing::TestWithParam<DiffCase> {};
+
+TEST_P(DifferentialTest, DistributedMatchesOracleExactly) {
+  const auto c = GetParam();
+  const auto inst = planted(c.n, c.d, 0.0, c.seed * 31);
+  const auto cfg = base_config(c.eps, c.p, c.seed);
+  const auto dist = run_dist_near_clique(inst.graph, cfg);
+  ASSERT_FALSE(dist.aborted()) << dist.stats.summary();
+  const auto orc = run_oracle(inst.graph, cfg.proto, cfg.net.seed);
+  for (NodeId v = 0; v < inst.graph.n(); ++v) {
+    ASSERT_EQ(dist.labels[v], orc.labels[v]) << "node " << v;
+  }
+  // Candidate diagnostics agree too (roots report the same X*, |T|).
+  ASSERT_EQ(dist.candidates.size(), orc.candidates.size());
+  auto sorted_cands = [](std::vector<RootCandidate> cs) {
+    std::sort(cs.begin(), cs.end(), [](const auto& a, const auto& b) {
+      return std::tie(a.version, a.root) < std::tie(b.version, b.root);
+    });
+    return cs;
+  };
+  const auto dc = sorted_cands(dist.candidates);
+  const auto oc = sorted_cands(orc.candidates);
+  for (std::size_t i = 0; i < dc.size(); ++i) {
+    EXPECT_EQ(dc[i].root, oc[i].root);
+    EXPECT_EQ(dc[i].component_size, oc[i].component_size);
+    EXPECT_EQ(dc[i].live, oc[i].live);
+    if (dc[i].live) {
+      EXPECT_EQ(dc[i].x_star, oc[i].x_star);
+      EXPECT_EQ(dc[i].t_size, oc[i].t_size);
+      EXPECT_EQ(dc[i].survived, oc[i].survived);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, DifferentialTest,
+    ::testing::Values(DiffCase{40, 16, 0.25, 0.10, 1},
+                      DiffCase{60, 24, 0.20, 0.08, 2},
+                      DiffCase{60, 30, 0.30, 0.12, 3},
+                      DiffCase{80, 32, 0.20, 0.06, 4},
+                      DiffCase{100, 40, 0.15, 0.05, 5},
+                      DiffCase{100, 50, 0.25, 0.08, 6},
+                      DiffCase{120, 48, 0.20, 0.05, 7},
+                      DiffCase{150, 60, 0.20, 0.04, 8}));
+
+TEST(Differential, BoostedVersionsMatchOracle) {
+  const auto inst = planted(80, 32, 0.0, 99);
+  auto cfg = base_config(0.2, 0.05, 17);
+  cfg.net.max_rounds = 20'000'000;
+  const auto dist = run_boosted(inst.graph, cfg, 3, 500'000);
+  ASSERT_FALSE(dist.aborted());
+  auto proto = cfg.proto;
+  proto.versions = 3;
+  const auto orc = run_oracle(inst.graph, proto, cfg.net.seed);
+  for (NodeId v = 0; v < inst.graph.n(); ++v) {
+    ASSERT_EQ(dist.labels[v], orc.labels[v]) << "node " << v;
+  }
+}
+
+// ------------------------------------------------------- output checks ----
+
+TEST(Integration, FindsPlantedCliqueWithGoodSample) {
+  // With a generous p, at least one trial in a small batch must recover
+  // almost all of the planted clique (constant success probability).
+  int found = 0;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const auto inst = planted(100, 50, 0.0, seed);
+    const auto cfg = base_config(0.2, 0.07, seed);
+    const auto res = run_dist_near_clique(inst.graph, cfg);
+    ASSERT_FALSE(res.aborted());
+    const auto best = res.largest_cluster();
+    if (best.size() >= 40 && set_density(inst.graph, best) >= 0.95) ++found;
+  }
+  EXPECT_GE(found, 2);
+}
+
+TEST(Integration, OutputClustersAreDisjointAndConsistent) {
+  for (std::uint64_t seed = 11; seed <= 14; ++seed) {
+    const auto inst = planted(120, 40, 0.01, seed);
+    const auto cfg = base_config(0.2, 0.06, seed);
+    const auto res = run_dist_near_clique(inst.graph, cfg);
+    ASSERT_FALSE(res.aborted());
+    std::set<NodeId> seen;
+    for (const auto& [label, members] : res.clusters()) {
+      (void)label;
+      for (const NodeId v : members) {
+        EXPECT_TRUE(seen.insert(v).second) << "node in two clusters";
+      }
+    }
+  }
+}
+
+TEST(Integration, Lemma53EveryOutputClusterIsNearClique) {
+  // Lemma 5.3: every T_eps(X) of size t is an (n*eps/t)-near clique; the
+  // output clusters are such sets, so they satisfy the bound.
+  for (std::uint64_t seed = 21; seed <= 26; ++seed) {
+    const auto inst = planted(90, 36, 0.01, seed);
+    const double eps = 0.2;
+    const auto cfg = base_config(eps, 0.07, seed);
+    const auto res = run_dist_near_clique(inst.graph, cfg);
+    ASSERT_FALSE(res.aborted());
+    for (const auto& [label, members] : res.clusters()) {
+      (void)label;
+      const double t = static_cast<double>(members.size());
+      const double bound = static_cast<double>(inst.graph.n()) * eps / t;
+      EXPECT_TRUE(is_near_clique(inst.graph, members, bound))
+          << "cluster size " << members.size() << " density "
+          << set_density(inst.graph, members);
+    }
+  }
+}
+
+TEST(Integration, TinyAutoBudgetFreezesGracefullyToAllBottom) {
+  // With a tiny round limit the auto schedule collapses the version window;
+  // the run freezes immediately, terminates cleanly and outputs all-bottom
+  // (the wrapper's "give up deterministically" behaviour).
+  const auto inst = planted(100, 40, 0.0, 5);
+  auto cfg = base_config(0.2, 0.3, 5);
+  cfg.net.max_rounds = 60;
+  const auto res = run_dist_near_clique(inst.graph, cfg);
+  for (const auto label : res.labels) EXPECT_EQ(label, kBottom);
+  EXPECT_TRUE(res.candidates.empty() || !res.aborted() || res.aborted());
+}
+
+TEST(Integration, TimeBoundWrapperAbortsToAllBottom) {
+  // Force a long exploration window that cannot fit in max_rounds: the
+  // network hits the hard limit and the driver reports an aborted all-bottom
+  // run, exactly like the paper's whole-run abort.
+  const auto inst = planted(100, 40, 0.0, 5);
+  auto cfg = base_config(0.2, 0.3, 5);  // huge sample -> exponential work
+  cfg.proto.version_budget = 1'000'000;
+  // Any execution with a non-empty sample needs more than 10 rounds just for
+  // the election and gather waves, so the network must hit the hard limit.
+  cfg.net.max_rounds = 10;
+  const auto res = run_dist_near_clique(inst.graph, cfg);
+  EXPECT_TRUE(res.aborted());
+  for (const auto label : res.labels) EXPECT_EQ(label, kBottom);
+}
+
+TEST(Integration, OversizedComponentsAbstain) {
+  const auto inst = planted(60, 30, 0.0, 6);
+  auto cfg = base_config(0.2, 0.5, 6);  // sample half the graph
+  cfg.proto.max_subsets = 255;          // cap at 2^8 - 1
+  cfg.net.max_rounds = 500'000;
+  const auto res = run_dist_near_clique(inst.graph, cfg);
+  ASSERT_FALSE(res.aborted());
+  for (const auto& rc : res.candidates) {
+    if (rc.component_size > 8) {
+      EXPECT_FALSE(rc.live);
+      EXPECT_FALSE(rc.survived);
+    }
+  }
+}
+
+TEST(Integration, EstimateMode4fStillFindsClique) {
+  int found = 0;
+  for (std::uint64_t seed = 41; seed <= 46; ++seed) {
+    const auto inst = planted(100, 50, 0.0, seed);
+    auto cfg = base_config(0.2, 0.06, seed);
+    cfg.proto.sample_4f = 24;  // Section 5.3 estimate mode
+    const auto res = run_dist_near_clique(inst.graph, cfg);
+    ASSERT_FALSE(res.aborted());
+    const auto best = res.largest_cluster();
+    if (best.size() >= 35 && set_density(inst.graph, best) >= 0.9) ++found;
+  }
+  EXPECT_GE(found, 1);
+}
+
+TEST(Integration, EstimateModeUsesFewerLocalOps) {
+  const auto inst = planted(120, 60, 0.0, 7);
+  auto exact_cfg = base_config(0.2, 0.06, 7);
+  auto est_cfg = exact_cfg;
+  est_cfg.proto.sample_4f = 8;
+  const auto exact = run_dist_near_clique(inst.graph, exact_cfg);
+  const auto est = run_dist_near_clique(inst.graph, est_cfg);
+  ASSERT_FALSE(exact.aborted());
+  ASSERT_FALSE(est.aborted());
+  EXPECT_LT(est.total_local_ops, exact.total_local_ops);
+}
+
+TEST(Integration, DeterministicAcrossRuns) {
+  const auto inst = planted(80, 30, 0.01, 3);
+  const auto cfg = base_config(0.2, 0.06, 12);
+  const auto a = run_dist_near_clique(inst.graph, cfg);
+  const auto b = run_dist_near_clique(inst.graph, cfg);
+  EXPECT_EQ(a.labels, b.labels);
+  EXPECT_EQ(a.stats.rounds, b.stats.rounds);
+  EXPECT_EQ(a.stats.bits, b.stats.bits);
+}
+
+TEST(Integration, CongestMessageSizeIsLogarithmic) {
+  // Max message bits must stay within B = factor * ceil(log2(n+1)) for all n
+  // and must be *independent of eps and p* (Theorem 2.1's remark).
+  for (const NodeId n : {50u, 100u, 200u}) {
+    const auto inst = planted(n, n / 2, 0.0, n);
+    const auto cfg = base_config(0.25, 6.0 / n, n);
+    const auto res = run_dist_near_clique(inst.graph, cfg);
+    ASSERT_FALSE(res.aborted());
+    EXPECT_LE(res.stats.max_message_bits,
+              8u * id_width(n));
+  }
+}
+
+TEST(Integration, EmptySampleYieldsAllBottomAndTerminates) {
+  const auto inst = planted(50, 20, 0.0, 8);
+  auto cfg = base_config(0.2, 0.0, 8);  // nobody samples
+  const auto res = run_dist_near_clique(inst.graph, cfg);
+  ASSERT_FALSE(res.aborted());
+  for (const auto label : res.labels) EXPECT_EQ(label, kBottom);
+  EXPECT_TRUE(res.candidates.empty());
+}
+
+TEST(Integration, FullSampleTinyGraphStillWorks) {
+  const Graph g = testing::complete_graph(6);
+  DriverConfig cfg = base_config(0.2, 1.0, 9);
+  cfg.net.max_rounds = 200'000;
+  const auto res = run_dist_near_clique(g, cfg);
+  ASSERT_FALSE(res.aborted());
+  const auto best = res.largest_cluster();
+  EXPECT_GE(best.size(), 4u);
+  EXPECT_TRUE(is_clique(g, best));
+}
+
+TEST(Integration, DisconnectedGraphProducesPerComponentCandidates) {
+  GraphBuilder b(20);
+  b.add_clique({0, 1, 2, 3, 4, 5, 6, 7});
+  b.add_clique({10, 11, 12, 13, 14, 15, 16, 17});
+  const Graph g = b.build();
+  DriverConfig cfg = base_config(0.2, 0.5, 10);
+  cfg.net.max_rounds = 2'000'000;
+  const auto res = run_dist_near_clique(g, cfg);
+  ASSERT_FALSE(res.aborted());
+  // Both cliques can survive: their participant sets are disjoint, so each
+  // survives its own vote ("more than one near-clique in the output").
+  const auto clusters = res.clusters();
+  EXPECT_GE(clusters.size(), 1u);
+  for (const auto& [label, members] : clusters) {
+    (void)label;
+    EXPECT_TRUE(is_near_clique(g, members, 0.35));
+  }
+}
+
+TEST(Integration, IsolatedNodesTerminate) {
+  GraphBuilder b(5);
+  b.add_edge(0, 1);  // nodes 2,3,4 isolated
+  const Graph g = b.build();
+  DriverConfig cfg = base_config(0.2, 0.5, 11);
+  const auto res = run_dist_near_clique(g, cfg);
+  ASSERT_FALSE(res.aborted());
+  EXPECT_FALSE(res.stats.stalled);
+}
+
+// Oracle self-checks -------------------------------------------------------
+
+TEST(Oracle, SampleIsDeterministicAndBernoulli) {
+  const Graph g = testing::complete_graph(200);
+  const auto s1 = oracle_sample(g, 0.3, 42, 1);
+  const auto s2 = oracle_sample(g, 0.3, 42, 1);
+  EXPECT_EQ(s1, s2);
+  const auto s3 = oracle_sample(g, 0.3, 42, 2);
+  EXPECT_NE(s1, s3);  // different version, different coins
+  EXPECT_NEAR(static_cast<double>(s1.size()), 60.0, 25.0);
+  const auto empty = oracle_sample(g, 0.0, 42, 1);
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(Oracle, TSetHelperMatchesMetrics) {
+  const auto inst = planted(60, 30, 0.0, 12);
+  const std::vector<NodeId> members{2, 9, 17, 33};
+  const auto a = oracle_t_set(inst.graph, 0.2, members, 0b1011);
+  const auto x = subset_members(members, 0b1011);
+  const auto b = t_eps(inst.graph, x, 0.2);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace nc

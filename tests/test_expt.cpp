@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "expt/report.hpp"
+#include "expt/trial.hpp"
+#include "expt/workloads.hpp"
+#include "graph/metrics.hpp"
+
+namespace nc {
+namespace {
+
+TEST(Workloads, TheoremInstanceMeetsPremise) {
+  const double eps = 0.2;
+  const auto inst = make_theorem_instance(150, 0.4, eps, 0.08, 0.2, 7);
+  EXPECT_EQ(inst.planted.size(), 60u);
+  // The premise of Theorem 5.7: D is an eps^3-near clique of size delta*n.
+  EXPECT_TRUE(is_near_clique(inst.graph, inst.planted, eps * eps * eps));
+}
+
+TEST(Workloads, DeterministicInSeed) {
+  const auto a = make_theorem_instance(100, 0.5, 0.2, 0.1, 0.2, 3);
+  const auto b = make_theorem_instance(100, 0.5, 0.2, 0.1, 0.2, 3);
+  EXPECT_EQ(a.graph.edge_list(), b.graph.edge_list());
+  EXPECT_EQ(a.planted, b.planted);
+  const auto c = make_theorem_instance(100, 0.5, 0.2, 0.1, 0.2, 4);
+  EXPECT_NE(a.graph.edge_list(), c.graph.edge_list());
+}
+
+TEST(Workloads, FamiliesProduceExpectedShapes) {
+  EXPECT_EQ(make_linear_instance(100, 0.2, 1).planted.size(), 50u);
+  const auto sub = make_sublinear_instance(500, 0.5, 2);
+  EXPECT_GT(sub.planted.size(), 200u);
+  EXPECT_LT(sub.planted.size(), 500u);
+  const auto ce = make_counterexample_instance(100, 0.5, 3);
+  EXPECT_EQ(ce.planted.size(), 50u);
+  const auto barbell = make_barbell_instance(64, false);
+  EXPECT_EQ(barbell.planted.size(), 16u);
+  const auto web = make_web_instance(200, 30, 0.2, 4);
+  EXPECT_EQ(web.planted.size(), 30u);
+  EXPECT_FALSE(describe_instance("planted", 100, 0.5).empty());
+}
+
+TEST(Theorem57, BoundsFormula) {
+  // (1 - 13/2 eps)|D| - eps^{-2}: with eps=0.1, |D|=1000 this is 250.
+  const auto b = theorem57_bounds(0.1, 0.5, 1000);
+  EXPECT_NEAR(b.min_size, 0.35 * 1000 - 100.0, 1e-9);
+  EXPECT_NEAR(b.max_eps_out, (1.0 / 0.35) * (0.1 / 0.5), 1e-9);
+  // Small planted sets: the -eps^{-2} term dominates and the floor applies.
+  EXPECT_DOUBLE_EQ(theorem57_bounds(0.1, 0.5, 10).min_size, 2.0);
+  EXPECT_DOUBLE_EQ(theorem57_bounds(0.1, 0.5, 100).min_size, 2.0);
+}
+
+TEST(TrialRunner, AggregatesDeterministically) {
+  TrialSpec spec;
+  spec.make_instance = [](std::uint64_t seed) {
+    return make_theorem_instance(60, 0.5, 0.2, 0.08, 0.2, seed);
+  };
+  spec.run = [](const Graph& g, std::uint64_t seed) {
+    DriverConfig cfg;
+    cfg.proto.eps = 0.2;
+    cfg.proto.p = 0.08;
+    cfg.net.seed = seed;
+    cfg.net.max_rounds = 2'000'000;
+    return run_dist_near_clique(g, cfg);
+  };
+  spec.success = [](const Instance& inst, const NearCliqueResult& res) {
+    return theorem57_success(inst, res, 0.2, 0.5);
+  };
+  const auto a = run_trials(spec, 5, 1000);
+  const auto b = run_trials(spec, 5, 1000);
+  EXPECT_EQ(a.trials, 5u);
+  EXPECT_EQ(a.successes, b.successes);
+  EXPECT_DOUBLE_EQ(a.rounds.mean(), b.rounds.mean());
+  EXPECT_GE(a.success_rate(), 0.0);
+  EXPECT_LE(a.success_rate(), 1.0);
+  const auto iv = a.success_interval();
+  EXPECT_LE(iv.lo, a.success_rate());
+  EXPECT_GE(iv.hi, a.success_rate());
+}
+
+TEST(Report, HeaderAndCellsAlign) {
+  const auto headers = stats_headers();
+  TrialStats stats;
+  stats.trials = 4;
+  stats.successes = 2;
+  stats.rounds.add(10);
+  stats.out_size.add(5);
+  stats.out_density.add(0.9);
+  stats.recall.add(0.8);
+  stats.max_msg_bits.add(40);
+  std::vector<std::string> row;
+  append_stats_cells(row, stats);
+  EXPECT_EQ(row.size(), headers.size());
+}
+
+}  // namespace
+}  // namespace nc

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/builder.hpp"
+#include "graph/graph.hpp"
+#include "test_helpers.hpp"
+
+namespace nc {
+namespace {
+
+TEST(Graph, EmptyGraph) {
+  GraphBuilder b(5);
+  const Graph g = b.build();
+  EXPECT_EQ(g.n(), 5u);
+  EXPECT_EQ(g.m(), 0u);
+  for (NodeId v = 0; v < 5; ++v) EXPECT_EQ(g.degree(v), 0u);
+}
+
+TEST(Graph, AdjacencyIsSortedAndSymmetric) {
+  GraphBuilder b(5);
+  b.add_edge(3, 1);
+  b.add_edge(0, 3);
+  b.add_edge(3, 4);
+  const Graph g = b.build();
+  const auto nb = g.neighbors(3);
+  EXPECT_TRUE(std::is_sorted(nb.begin(), nb.end()));
+  EXPECT_EQ(nb.size(), 3u);
+  EXPECT_TRUE(g.has_edge(1, 3));
+  EXPECT_TRUE(g.has_edge(3, 1));
+  EXPECT_FALSE(g.has_edge(1, 4));
+  EXPECT_FALSE(g.has_edge(2, 2));
+}
+
+TEST(Graph, HasEdgeRejectsSelfAndOutOfRange) {
+  const Graph g = testing::two_triangles();
+  EXPECT_FALSE(g.has_edge(0, 0));
+  EXPECT_FALSE(g.has_edge(0, 17));
+  EXPECT_FALSE(g.has_edge(17, 0));
+}
+
+TEST(GraphBuilder, DeduplicatesAndDropsSelfLoops) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(1, 0);  // duplicate reversed
+  b.add_edge(0, 1);  // duplicate
+  b.add_edge(2, 2);  // self loop
+  EXPECT_EQ(b.raw_edge_count(), 3u);
+  const Graph g = b.build();
+  EXPECT_EQ(g.m(), 1u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(2), 0u);
+}
+
+TEST(GraphBuilder, CliqueAndBicliqueAndPath) {
+  GraphBuilder b(9);
+  b.add_clique({0, 1, 2, 3});          // 6 edges
+  b.add_biclique({4, 5}, {6, 7});      // 4 edges
+  b.add_path({8, 7, 6});               // 2 edges
+  const Graph g = b.build();
+  EXPECT_EQ(g.m(), 12u);
+  EXPECT_TRUE(g.has_edge(0, 3));
+  EXPECT_TRUE(g.has_edge(4, 7));
+  EXPECT_FALSE(g.has_edge(4, 5));
+  EXPECT_TRUE(g.has_edge(6, 7));
+  EXPECT_TRUE(g.has_edge(8, 7));
+}
+
+TEST(Graph, EdgeListIsCanonical) {
+  const Graph g = testing::two_triangles();
+  const auto edges = g.edge_list();
+  EXPECT_EQ(edges.size(), g.m());
+  EXPECT_TRUE(std::is_sorted(edges.begin(), edges.end()));
+  for (const auto& [u, v] : edges) EXPECT_LT(u, v);
+}
+
+TEST(Graph, NeighborMaskMatchesAdjacency) {
+  const Graph g = testing::clique_with_pendant();
+  const auto mask = g.neighbor_mask(4);
+  for (NodeId v = 0; v < g.n(); ++v) {
+    EXPECT_EQ(mask.test(v), g.has_edge(4, v)) << "v=" << v;
+  }
+  EXPECT_EQ(mask.count(), g.degree(4));
+}
+
+TEST(Graph, DegreeSumsToTwiceEdges) {
+  const Graph g = testing::complete_graph(7);
+  std::size_t sum = 0;
+  for (NodeId v = 0; v < g.n(); ++v) sum += g.degree(v);
+  EXPECT_EQ(sum, 2 * g.m());
+  EXPECT_EQ(g.m(), 21u);
+}
+
+}  // namespace
+}  // namespace nc

@@ -1,0 +1,58 @@
+#include "graph/dot.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/protocol.hpp"
+#include "test_helpers.hpp"
+
+namespace nc {
+namespace {
+
+TEST(Dot, PlainExportContainsAllNodesAndEdges) {
+  const Graph g = testing::two_triangles();
+  const std::string dot = to_dot(g);
+  for (NodeId v = 0; v < g.n(); ++v) {
+    EXPECT_NE(dot.find("n" + std::to_string(v) + " ["), std::string::npos);
+  }
+  EXPECT_NE(dot.find("n0 -- n1"), std::string::npos);
+  EXPECT_NE(dot.find("n3 -- n4"), std::string::npos);
+  EXPECT_EQ(dot.find("n0 -- n3"), std::string::npos);  // no cross edge
+  EXPECT_NE(dot.find("graph graph {"), std::string::npos);
+}
+
+TEST(Dot, ClustersAreColoredAndInternalEdgesBold) {
+  const Graph g = testing::two_triangles();
+  std::map<Label, std::vector<NodeId>> clusters;
+  clusters[make_label(0, 1)] = {0, 1, 2};
+  const std::string dot = to_dot(g, clusters, "result");
+  // Cluster members carry a palette colour; outsiders are grey.
+  EXPECT_NE(dot.find("#e41a1c"), std::string::npos);
+  EXPECT_NE(dot.find("#dddddd"), std::string::npos);
+  // Internal edges are bold.
+  EXPECT_NE(dot.find("penwidth=1.6"), std::string::npos);
+  EXPECT_NE(dot.find("graph result {"), std::string::npos);
+}
+
+TEST(Dot, ManyClustersCyclePalette) {
+  const Graph g = testing::complete_graph(18);
+  std::map<Label, std::vector<NodeId>> clusters;
+  for (NodeId i = 0; i < 9; ++i) {
+    clusters[make_label(i, 1)] = {static_cast<NodeId>(2 * i),
+                                  static_cast<NodeId>(2 * i + 1)};
+  }
+  const std::string dot = to_dot(g, clusters);
+  EXPECT_FALSE(dot.empty());  // palette wrap must not crash or skip nodes
+  for (NodeId v = 0; v < g.n(); ++v) {
+    EXPECT_NE(dot.find("n" + std::to_string(v) + " ["), std::string::npos);
+  }
+}
+
+TEST(Dot, EmptyGraph) {
+  GraphBuilder b(0);
+  const std::string dot = to_dot(b.build());
+  EXPECT_NE(dot.find("graph graph {"), std::string::npos);
+  EXPECT_NE(dot.find("}"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nc

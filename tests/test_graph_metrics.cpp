@@ -1,0 +1,144 @@
+#include "graph/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "util/rng.hpp"
+#include "test_helpers.hpp"
+
+namespace nc {
+namespace {
+
+TEST(Metrics, OrderedPairsCountsBothDirections) {
+  const Graph g = testing::two_triangles();
+  EXPECT_EQ(ordered_internal_pairs(g, {0, 1, 2}), 6u);   // 3 edges * 2
+  EXPECT_EQ(ordered_internal_pairs(g, {0, 1}), 2u);
+  EXPECT_EQ(ordered_internal_pairs(g, {0, 3}), 0u);      // across triangles
+  EXPECT_EQ(ordered_internal_pairs(g, {0}), 0u);
+}
+
+TEST(Metrics, DensityDefinitionOne) {
+  const Graph g = testing::two_triangles();
+  EXPECT_DOUBLE_EQ(set_density(g, {0, 1, 2}), 1.0);
+  EXPECT_DOUBLE_EQ(set_density(g, {0, 1, 3}), 2.0 / 6.0);
+  EXPECT_DOUBLE_EQ(set_density(g, {0}), 1.0);   // convention
+  EXPECT_DOUBLE_EQ(set_density(g, {}), 1.0);    // convention
+}
+
+TEST(Metrics, NearCliquePredicateBoundaries) {
+  // 4 nodes, 5 of 6 edges: density = 10/12, i.e. exactly 1/6-near clique.
+  GraphBuilder b(4);
+  b.add_clique({0, 1, 2, 3});
+  const Graph full = b.build();
+  GraphBuilder b2(4);
+  b2.add_edge(0, 1);
+  b2.add_edge(0, 2);
+  b2.add_edge(0, 3);
+  b2.add_edge(1, 2);
+  b2.add_edge(1, 3);
+  const Graph missing_one = b2.build();
+  const std::vector<NodeId> all{0, 1, 2, 3};
+  EXPECT_TRUE(is_near_clique(full, all, 0.0));
+  EXPECT_TRUE(is_clique(full, all));
+  EXPECT_FALSE(is_clique(missing_one, all));
+  EXPECT_TRUE(is_near_clique(missing_one, all, 1.0 / 6.0));  // boundary
+  EXPECT_TRUE(is_near_clique(missing_one, all, 0.2));
+  EXPECT_FALSE(is_near_clique(missing_one, all, 0.16));
+}
+
+TEST(Metrics, NeighborsInSetMergeCount) {
+  const Graph g = testing::clique_with_pendant();
+  EXPECT_EQ(neighbors_in_set(g, 4, {0, 1, 2, 3, 5}), 5u);
+  EXPECT_EQ(neighbors_in_set(g, 5, {0, 1, 2, 3}), 0u);
+  EXPECT_EQ(neighbors_in_set(g, 5, {4}), 1u);
+  EXPECT_EQ(neighbors_in_set(g, 0, {}), 0u);
+}
+
+TEST(Metrics, KThresholdExactIntegerSemantics) {
+  // need = |X| - floor(eps |X|): allow at most floor(eps|X|) non-neighbours.
+  EXPECT_EQ(k_threshold(10, 0.0), 10u);
+  EXPECT_EQ(k_threshold(10, 0.1), 9u);
+  EXPECT_EQ(k_threshold(10, 0.19), 9u);
+  EXPECT_EQ(k_threshold(10, 0.2), 8u);
+  EXPECT_EQ(k_threshold(10, 1.0), 0u);
+  EXPECT_EQ(k_threshold(0, 0.5), 0u);
+  EXPECT_EQ(k_threshold(1, 0.5), 1u);   // floor(0.5) = 0 allowed misses
+  EXPECT_EQ(k_threshold(2, 0.5), 1u);
+  // Float-boundary robustness: eps*|X| that is "almost" an integer.
+  EXPECT_EQ(k_threshold(3, 0.1 + 0.2), 3u - 0u);  // 0.3*3 = 0.8999.. -> 0
+}
+
+TEST(Metrics, KEpsOnCliqueWithPendant) {
+  const Graph g = testing::clique_with_pendant();
+  // X = clique {0..4}: with eps=0 every member must see all of X except
+  // itself — impossible under Eq. (1)'s no-self-exclusion, so K_0(X) = {}.
+  EXPECT_TRUE(k_eps(g, {0, 1, 2, 3, 4}, 0.0).empty());
+  // eps = 0.2 allows one miss: every clique member qualifies (4 of 5 >= 4).
+  const auto k = k_eps(g, {0, 1, 2, 3, 4}, 0.2);
+  EXPECT_EQ(k, (std::vector<NodeId>{0, 1, 2, 3, 4}));
+  // The pendant 5 sees only node 4: 1 of 5 < 4.
+  // Singleton X = {4}: neighbours of 4 qualify, 4 itself does not.
+  const auto k_single = k_eps(g, {4}, 0.0);
+  EXPECT_EQ(k_single, (std::vector<NodeId>{0, 1, 2, 3, 5}));
+}
+
+TEST(Metrics, TEpsOnSmallCliqueIsEmptiedBySelfExclusion) {
+  // K5 + pendant, X = {0,1}, eps = 0.2: K_{0.08}(X) = common neighbours
+  // {2,3,4}; K_{0.2}({2,3,4}) needs 3 of 3 neighbours, which no member of
+  // {2,3,4} can satisfy (no self-adjacency), so T = {} — this is exactly the
+  // small-set slack the paper's -eps^{-2} size term absorbs.
+  const Graph g = testing::clique_with_pendant();
+  EXPECT_TRUE(t_eps(g, {0, 1}, 0.2).empty());
+}
+
+TEST(Metrics, TEpsRecoversCliqueFromSubsetSample) {
+  // K9 + pendant: X = {0,1}, eps = 0.2. K_{0.08}(X) = common neighbours
+  // {2..8} (7 nodes); K_{0.2} of that needs ceil((1-0.2)*7) = 6 in-set
+  // neighbours, satisfied by 0..8 but not the pendant. T = {2..8}.
+  GraphBuilder b(10);
+  b.add_clique({0, 1, 2, 3, 4, 5, 6, 7, 8});
+  b.add_edge(8, 9);
+  const Graph g = b.build();
+  const auto t = t_eps(g, {0, 1}, 0.2);
+  EXPECT_EQ(t, (std::vector<NodeId>{2, 3, 4, 5, 6, 7, 8}));
+}
+
+TEST(Metrics, TEpsEmptyWhenGraphSparse) {
+  const Graph g = testing::path_graph(10);
+  const auto t = t_eps(g, {0, 5, 9}, 0.1);
+  // No node is adjacent to >= (1 - 0.02)*3 -> 3 of the scattered X.
+  EXPECT_TRUE(t.empty());
+}
+
+// Property sweep: for every eps in a grid, K_eps is monotone in eps
+// (larger eps only adds members) and T_eps(X) is always inside K_{2eps^2}(X).
+class MetricsPropertyTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(MetricsPropertyTest, KMonotoneAndTContained) {
+  const double eps = GetParam();
+  Rng rng(1234);
+  GraphBuilder b(40);
+  for (NodeId u = 0; u < 40; ++u) {
+    for (NodeId v = u + 1; v < 40; ++v) {
+      if (rng.next_bernoulli(0.3)) b.add_edge(u, v);
+    }
+  }
+  const Graph g = b.build();
+  const std::vector<NodeId> x{1, 5, 9, 20, 33};
+  const auto k_small = k_eps(g, x, eps);
+  const auto k_big = k_eps(g, x, std::min(1.0, eps + 0.2));
+  for (const NodeId v : k_small) {
+    EXPECT_TRUE(std::binary_search(k_big.begin(), k_big.end(), v));
+  }
+  const auto inner = k_eps(g, x, 2 * eps * eps);
+  for (const NodeId v : t_eps(g, x, eps)) {
+    EXPECT_TRUE(std::binary_search(inner.begin(), inner.end(), v));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(EpsGrid, MetricsPropertyTest,
+                         ::testing::Values(0.05, 0.1, 0.15, 0.2, 0.25, 0.3,
+                                           0.4, 0.5));
+
+}  // namespace
+}  // namespace nc

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/cliques.hpp"
+#include "graph/components.hpp"
+#include "util/rng.hpp"
+#include "test_helpers.hpp"
+
+namespace nc {
+namespace {
+
+// ---------------------------------------------------------- Components ----
+
+TEST(Components, WholeGraphSingleComponent) {
+  const Graph g = testing::complete_graph(5);
+  std::vector<NodeId> all{0, 1, 2, 3, 4};
+  const auto comps = induced_components(g, all);
+  ASSERT_EQ(comps.size(), 1u);
+  EXPECT_EQ(comps[0], all);
+}
+
+TEST(Components, InducedSubsetSplits) {
+  const Graph g = testing::path_graph(6);  // 0-1-2-3-4-5
+  const auto comps = induced_components(g, {0, 1, 3, 4, 5});
+  ASSERT_EQ(comps.size(), 2u);
+  EXPECT_EQ(comps[0], (std::vector<NodeId>{0, 1}));
+  EXPECT_EQ(comps[1], (std::vector<NodeId>{3, 4, 5}));
+}
+
+TEST(Components, SingletonsAndEmpty) {
+  const Graph g = testing::path_graph(5);
+  const auto comps = induced_components(g, {0, 2, 4});
+  ASSERT_EQ(comps.size(), 3u);
+  for (const auto& c : comps) EXPECT_EQ(c.size(), 1u);
+  EXPECT_TRUE(induced_components(g, {}).empty());
+}
+
+TEST(Components, OrderedByMinimumElement) {
+  const Graph g = testing::two_triangles();
+  const auto comps = induced_components(g, {5, 4, 3, 2, 1, 0});
+  ASSERT_EQ(comps.size(), 2u);
+  EXPECT_EQ(comps[0].front(), 0u);
+  EXPECT_EQ(comps[1].front(), 3u);
+}
+
+TEST(Components, BfsDistances) {
+  const Graph g = testing::path_graph(5);
+  std::vector<NodeId> all{0, 1, 2, 3, 4};
+  const auto dist = induced_bfs_distances(g, all, 0);
+  for (NodeId v = 0; v < 5; ++v) EXPECT_EQ(dist[v], v);
+  // Restricting members cuts paths.
+  const auto dist2 = induced_bfs_distances(g, {0, 1, 3, 4}, 0);
+  EXPECT_EQ(dist2[1], 1u);
+  EXPECT_EQ(dist2[3], kUnreachable);
+  // Source outside members.
+  const auto dist3 = induced_bfs_distances(g, {1, 2}, 0);
+  EXPECT_EQ(dist3[1], kUnreachable);
+}
+
+TEST(Components, Diameter) {
+  EXPECT_EQ(graph_diameter(testing::path_graph(7)), 6u);
+  EXPECT_EQ(graph_diameter(testing::complete_graph(5)), 1u);
+  EXPECT_EQ(graph_diameter(testing::cycle_graph(8)), 4u);
+  EXPECT_EQ(graph_diameter(testing::two_triangles()), kUnreachable);
+}
+
+// -------------------------------------------------------------- Cliques ---
+
+TEST(Cliques, FindsMaxCliqueInSmallGraphs) {
+  EXPECT_EQ(max_clique(testing::complete_graph(6)).size(), 6u);
+  EXPECT_EQ(max_clique(testing::path_graph(6)).size(), 2u);
+  EXPECT_EQ(max_clique(testing::two_triangles()).size(), 3u);
+  EXPECT_EQ(max_clique(testing::clique_with_pendant()),
+            (std::vector<NodeId>{0, 1, 2, 3, 4}));
+}
+
+TEST(Cliques, EmptyAndTrivialGraphs) {
+  GraphBuilder b(3);
+  const Graph g = b.build();
+  EXPECT_LE(max_clique(g).size(), 1u);  // isolated vertex counts as clique
+  GraphBuilder b0(0);
+  EXPECT_TRUE(max_clique(b0.build()).empty());
+}
+
+TEST(Cliques, PlantedCliqueInNoise) {
+  Rng rng(5);
+  GraphBuilder b(40);
+  b.add_clique({3, 8, 13, 21, 30, 34, 39});
+  for (NodeId u = 0; u < 40; ++u) {
+    for (NodeId v = u + 1; v < 40; ++v) {
+      if (rng.next_bernoulli(0.15)) b.add_edge(u, v);
+    }
+  }
+  const auto clique = max_clique(b.build());
+  EXPECT_GE(clique.size(), 7u);
+}
+
+TEST(Cliques, MaxCliqueContainingRespectsAnchor) {
+  const Graph g = testing::clique_with_pendant();
+  const auto with5 = max_clique_containing(g, 5, {0, 1, 2, 3, 4, 5}, 100000);
+  EXPECT_EQ(with5, (std::vector<NodeId>{4, 5}));
+  const auto with0 = max_clique_containing(g, 0, {0, 1, 2, 3, 4, 5}, 100000);
+  EXPECT_EQ(with0, (std::vector<NodeId>{0, 1, 2, 3, 4}));
+}
+
+TEST(Cliques, MaxCliqueContainingRespectsAllowedSet) {
+  const Graph g = testing::complete_graph(6);
+  const auto restricted = max_clique_containing(g, 0, {0, 1, 2}, 100000);
+  EXPECT_EQ(restricted, (std::vector<NodeId>{0, 1, 2}));
+}
+
+TEST(Cliques, BudgetExhaustionReportsAndReturnsSomething) {
+  Rng rng(9);
+  GraphBuilder b(60);
+  for (NodeId u = 0; u < 60; ++u) {
+    for (NodeId v = u + 1; v < 60; ++v) {
+      if (rng.next_bernoulli(0.5)) b.add_edge(u, v);
+    }
+  }
+  bool exhausted = false;
+  const auto clique = max_clique(b.build(), 10, &exhausted);
+  EXPECT_TRUE(exhausted);
+  EXPECT_GE(clique.size(), 0u);  // best-effort result
+  EXPECT_GT(last_clique_search_expansions(), 0u);
+}
+
+}  // namespace
+}  // namespace nc

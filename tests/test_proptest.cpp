@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "proptest/adjacency_oracle.hpp"
+#include "proptest/rho_clique_tester.hpp"
+#include "proptest/tolerant_tester.hpp"
+#include "test_helpers.hpp"
+
+namespace nc {
+namespace {
+
+TEST(AdjacencyOracle, CountsQueries) {
+  const Graph g = testing::complete_graph(5);
+  AdjacencyOracle oracle(g);
+  EXPECT_EQ(oracle.queries(), 0u);
+  EXPECT_TRUE(oracle.query(0, 1));
+  EXPECT_FALSE(oracle.query(0, 0));
+  EXPECT_EQ(oracle.queries(), 2u);
+  oracle.reset_queries();
+  EXPECT_EQ(oracle.queries(), 0u);
+  EXPECT_EQ(oracle.n(), 5u);
+}
+
+TEST(RhoCliqueTester, AcceptsGraphWithLargeClique) {
+  Rng gen(1);
+  PlantedNearCliqueParams pp;
+  pp.n = 400;
+  pp.clique_size = 240;  // rho = 0.6
+  pp.background_p = 0.05;
+  pp.halo_p = 0.1;
+  const auto inst = planted_near_clique(pp, gen);
+  AdjacencyOracle oracle(inst.graph);
+  RhoCliqueTesterParams params;
+  params.rho = 0.5;
+  params.eps = 0.2;
+  int accepts = 0;
+  for (std::uint64_t seed = 1; seed <= 7; ++seed) {
+    Rng rng(seed);
+    if (rho_clique_test(oracle, params, rng).accept) ++accepts;
+  }
+  EXPECT_GE(accepts, 4);  // constant success probability
+}
+
+TEST(RhoCliqueTester, RejectsSparseRandomGraph) {
+  Rng gen(2);
+  const Graph g = erdos_renyi(400, 0.2, gen);
+  AdjacencyOracle oracle(g);
+  RhoCliqueTesterParams params;
+  params.rho = 0.5;
+  params.eps = 0.2;
+  int accepts = 0;
+  for (std::uint64_t seed = 1; seed <= 7; ++seed) {
+    Rng rng(seed);
+    if (rho_clique_test(oracle, params, rng).accept) ++accepts;
+  }
+  EXPECT_LE(accepts, 3);
+}
+
+TEST(RhoCliqueTester, QueryComplexityIndependentOfN) {
+  RhoCliqueTesterParams params;
+  params.rho = 0.5;
+  params.eps = 0.25;
+  std::uint64_t q_small = 0, q_large = 0;
+  {
+    Rng gen(3), rng(9);
+    const Graph g = erdos_renyi(200, 0.3, gen);
+    AdjacencyOracle oracle(g);
+    q_small = rho_clique_test(oracle, params, rng).queries;
+  }
+  {
+    Rng gen(3), rng(9);
+    const Graph g = erdos_renyi(800, 0.3, gen);
+    AdjacencyOracle oracle(g);
+    q_large = rho_clique_test(oracle, params, rng).queries;
+  }
+  EXPECT_EQ(q_small, q_large);  // same samples, same probes — no n term
+  EXPECT_GT(q_small, 0u);
+}
+
+TEST(RhoCliqueTester, MoreQueriesForSmallerEps) {
+  Rng gen(4);
+  const Graph g = erdos_renyi(300, 0.3, gen);
+  AdjacencyOracle oracle(g);
+  Rng r1(1), r2(1);
+  RhoCliqueTesterParams coarse;
+  coarse.eps = 0.3;
+  RhoCliqueTesterParams fine;
+  fine.eps = 0.1;
+  const auto qc = rho_clique_test(oracle, coarse, r1).queries;
+  const auto qf = rho_clique_test(oracle, fine, r2).queries;
+  EXPECT_GT(qf, qc);
+}
+
+TEST(RhoCliqueTester, EmptyGraphRejects) {
+  GraphBuilder b(0);
+  const Graph g = b.build();
+  AdjacencyOracle oracle(g);
+  Rng rng(1);
+  const auto res = rho_clique_test(oracle, RhoCliqueTesterParams{}, rng);
+  EXPECT_FALSE(res.accept);
+}
+
+TEST(TolerantTester, SeparatesPromiseCases) {
+  // YES case: eps^3-near clique of half the graph.
+  Rng gen(5);
+  PlantedNearCliqueParams pp;
+  pp.n = 400;
+  pp.clique_size = 240;
+  pp.eps_missing = 0.2 * 0.2 * 0.2;
+  pp.background_p = 0.05;
+  pp.halo_p = 0.1;
+  const auto yes_inst = planted_near_clique(pp, gen);
+  // NO case: G(n, 0.3) — whp no 200-node set is 0.2-near clique (would need
+  // density 0.8 where the expected density is 0.3).
+  const Graph no_graph = erdos_renyi(400, 0.3, gen);
+
+  TolerantTesterParams params;
+  params.rho = 0.5;
+  params.eps = 0.2;
+  params.repetitions = 7;
+
+  AdjacencyOracle yes_oracle(yes_inst.graph);
+  Rng r1(7);
+  const auto yes = tolerant_near_clique_test(yes_oracle, params, r1);
+  EXPECT_TRUE(yes.contains_near_clique);
+
+  AdjacencyOracle no_oracle(no_graph);
+  Rng r2(7);
+  const auto no = tolerant_near_clique_test(no_oracle, params, r2);
+  EXPECT_FALSE(no.contains_near_clique);
+  EXPECT_GT(no.queries, 0u);
+}
+
+}  // namespace
+}  // namespace nc

@@ -1,0 +1,260 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/boosting.hpp"
+#include "core/driver.hpp"
+#include "core/oracle.hpp"
+#include "core/protocol.hpp"
+#include "graph/generators.hpp"
+#include "graph/metrics.hpp"
+#include "runtime/network.hpp"
+#include "test_helpers.hpp"
+#include "util/bitio.hpp"
+
+// Robustness and extension coverage beyond the happy path:
+// fault injection (a silent node), bandwidth sweeps, special topologies,
+// the near-clique (eps^3 > 0) premise, the min_report_size filter, and
+// boosted differential sweeps.
+
+namespace nc {
+namespace {
+
+Instance planted(NodeId n, NodeId d, double eps3, std::uint64_t seed) {
+  Rng rng(seed);
+  PlantedNearCliqueParams pp;
+  pp.n = n;
+  pp.clique_size = d;
+  pp.eps_missing = eps3;
+  pp.background_p = 0.08;
+  pp.halo_p = 0.25;
+  return planted_near_clique(pp, rng);
+}
+
+// --------------------------------------------------- fault injection ------
+
+/// A crashed-from-the-start processor: never sends, never finishes.
+class SilentNode : public INode {
+ public:
+  void on_start(NodeApi&) override {}
+  void on_round(NodeApi&) override {}
+};
+
+TEST(FaultInjection, SilentNodeStallsOnlyItsNeighborhood) {
+  // The paper assumes no crashes; this test documents the failure mode the
+  // implementation provides anyway: with one dead node, every OTHER node
+  // still terminates by the decision deadline (the dead node's neighbours
+  // simply never see its kSampled bit and stay unfinalized until the
+  // deadline force-resolves them). Once they are all done the only
+  // remaining node is the dead one, so the liveness guard reports a stall
+  // instead of burning rounds to the hard limit.
+  const auto inst = planted(60, 24, 0.0, 3);
+  const NodeId dead = 7;
+  ProtocolParams proto;
+  proto.eps = 0.2;
+  proto.p = 0.08;
+  NetConfig net_cfg;
+  net_cfg.seed = 3;
+  net_cfg.max_rounds = 300'000;
+  const Schedule schedule =
+      make_schedule(proto, inst.graph.n(), net_cfg.max_rounds);
+  Network net(inst.graph, net_cfg, [&](NodeId v) -> std::unique_ptr<INode> {
+    if (v == dead) return std::make_unique<SilentNode>();
+    return std::make_unique<DistNearCliqueNode>(proto, schedule);
+  });
+  const auto stats = net.run();
+  EXPECT_TRUE(stats.stalled);  // only the dead node remains unfinished
+  EXPECT_FALSE(stats.hit_round_limit);
+  std::size_t finished = 0;
+  for (NodeId v = 0; v < inst.graph.n(); ++v) {
+    if (v == dead) continue;
+    if (static_cast<DistNearCliqueNode&>(net.node(v)).finished()) ++finished;
+  }
+  EXPECT_EQ(finished, inst.graph.n() - 1u);
+}
+
+// ----------------------------------------------------- bandwidth sweep ----
+
+class BandwidthSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(BandwidthSweep, ProtocolWorksAtAnyConstantFactor) {
+  const unsigned factor = GetParam();
+  const auto inst = planted(80, 32, 0.0, 11);
+  DriverConfig cfg;
+  cfg.proto.eps = 0.2;
+  cfg.proto.p = 0.08;
+  cfg.net.seed = 11;
+  cfg.net.bandwidth_factor = factor;
+  cfg.net.max_rounds = 16'000'000;
+  const auto res = run_dist_near_clique(inst.graph, cfg);
+  ASSERT_FALSE(res.aborted());
+  EXPECT_LE(res.stats.max_message_bits,
+            static_cast<std::uint64_t>(factor) * id_width(inst.graph.n()));
+  // Output is identical regardless of bandwidth (only latency changes).
+  const auto orc = run_oracle(inst.graph, cfg.proto, cfg.net.seed);
+  for (NodeId v = 0; v < inst.graph.n(); ++v) {
+    EXPECT_EQ(res.labels[v], orc.labels[v]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Factors, BandwidthSweep,
+                         ::testing::Values(6u, 8u, 12u, 20u));
+
+TEST(Bandwidth, NarrowerLinksTakeMoreRounds) {
+  // Make the exploration payload large enough that per-edge bandwidth is
+  // the bottleneck (a sample of ~12 gives thousands of subset coordinates).
+  const auto inst = planted(100, 50, 0.0, 11);
+  auto run_with = [&](unsigned factor) {
+    DriverConfig cfg;
+    cfg.proto.eps = 0.2;
+    cfg.proto.p = 0.12;
+    cfg.net.seed = 11;
+    cfg.net.bandwidth_factor = factor;
+    cfg.net.max_rounds = 64'000'000;
+    const auto res = run_dist_near_clique(inst.graph, cfg);
+    EXPECT_FALSE(res.aborted());
+    return res.stats.rounds;
+  };
+  EXPECT_GT(run_with(6), run_with(32));
+}
+
+// ----------------------------------------------- special topologies -------
+
+TEST(Topologies, ProtocolTerminatesOnDegenerateGraphs) {
+  for (const auto& g :
+       {testing::path_graph(30), testing::cycle_graph(30),
+        testing::star_graph(29), testing::complete_graph(16)}) {
+    DriverConfig cfg;
+    cfg.proto.eps = 0.2;
+    cfg.proto.p = 0.2;
+    cfg.net.seed = 5;
+    cfg.net.max_rounds = 8'000'000;
+    const auto res = run_dist_near_clique(g, cfg);
+    EXPECT_FALSE(res.stats.stalled);
+    EXPECT_FALSE(res.stats.hit_round_limit);
+    // Whatever is output satisfies Lemma 5.3's bound.
+    for (const auto& [label, members] : res.clusters()) {
+      (void)label;
+      const double bound = static_cast<double>(g.n()) * 0.2 /
+                           static_cast<double>(members.size());
+      EXPECT_TRUE(is_near_clique(g, members, bound));
+    }
+  }
+}
+
+// --------------------------------- near-clique premise differentials ------
+
+struct NearCase {
+  double eps3_fraction;  // of eps^3
+  std::uint64_t seed;
+};
+
+class NearCliquePremise
+    : public ::testing::TestWithParam<std::tuple<double, int>> {};
+
+TEST_P(NearCliquePremise, DifferentialWithMissingEdges) {
+  const double eps = 0.25;
+  const double eps3 = std::get<0>(GetParam()) * eps * eps * eps;
+  const auto seed = static_cast<std::uint64_t>(std::get<1>(GetParam()));
+  const auto inst = planted(90, 40, eps3, seed * 97);
+  DriverConfig cfg;
+  cfg.proto.eps = eps;
+  cfg.proto.p = 0.07;
+  cfg.net.seed = seed;
+  cfg.net.max_rounds = 8'000'000;
+  const auto dist = run_dist_near_clique(inst.graph, cfg);
+  ASSERT_FALSE(dist.aborted());
+  const auto orc = run_oracle(inst.graph, cfg.proto, cfg.net.seed);
+  for (NodeId v = 0; v < inst.graph.n(); ++v) {
+    ASSERT_EQ(dist.labels[v], orc.labels[v]) << "node " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, NearCliquePremise,
+    ::testing::Combine(::testing::Values(0.5, 1.0),
+                       ::testing::Values(1, 2, 3, 4)));
+
+// -------------------------------------------------- min_report filter -----
+
+TEST(MinReportFilter, SmallCandidatesAreDisqualified) {
+  // Two far-apart cliques of different sizes; with min_report_size above the
+  // small one, only the big one can ever be labelled.
+  GraphBuilder b(40);
+  b.add_clique({0, 1, 2, 3, 4, 5, 6, 7, 8, 9});
+  b.add_clique({20, 21, 22, 23});
+  const Graph g = b.build();
+  DriverConfig cfg;
+  cfg.proto.eps = 0.2;
+  cfg.proto.p = 0.5;
+  cfg.proto.min_report_size = 6;
+  cfg.net.seed = 13;
+  cfg.net.max_rounds = 8'000'000;
+  const auto res = run_dist_near_clique(g, cfg);
+  ASSERT_FALSE(res.aborted());
+  for (const auto& [label, members] : res.clusters()) {
+    (void)label;
+    EXPECT_GE(members.size(), 6u);
+    for (const NodeId v : members) EXPECT_LE(v, 9u);  // only the big clique
+  }
+}
+
+// -------------------------------------------------- boosted sweeps --------
+
+class BoostedDifferential : public ::testing::TestWithParam<int> {};
+
+TEST_P(BoostedDifferential, MatchesOracleAcrossLambdas) {
+  const auto lambda = static_cast<std::uint16_t>(GetParam());
+  const auto inst = planted(70, 28, 0.0, 1000 + lambda);
+  DriverConfig cfg;
+  cfg.proto.eps = 0.2;
+  cfg.proto.p = 0.06;
+  cfg.net.seed = 21;
+  cfg.net.max_rounds = 40'000'000;
+  const auto dist = run_boosted(inst.graph, cfg, lambda, 400'000);
+  ASSERT_FALSE(dist.aborted());
+  auto proto = cfg.proto;
+  proto.versions = lambda;
+  const auto orc = run_oracle(inst.graph, proto, cfg.net.seed);
+  for (NodeId v = 0; v < inst.graph.n(); ++v) {
+    ASSERT_EQ(dist.labels[v], orc.labels[v]) << "node " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lambdas, BoostedDifferential,
+                         ::testing::Values(2, 3, 4, 5));
+
+// ---------------------------------------------- version window freeze -----
+
+TEST(Freeze, TinyWindowYieldsBottomButCleanTermination) {
+  const auto inst = planted(60, 24, 0.0, 9);
+  DriverConfig cfg;
+  cfg.proto.eps = 0.2;
+  cfg.proto.p = 0.1;
+  cfg.proto.version_budget = 4;  // far too small to even elect roots
+  cfg.net.seed = 9;
+  cfg.net.max_rounds = 100'000;
+  const auto res = run_dist_near_clique(inst.graph, cfg);
+  EXPECT_FALSE(res.stats.stalled);
+  EXPECT_FALSE(res.stats.hit_round_limit);
+  for (const auto label : res.labels) EXPECT_EQ(label, kBottom);
+}
+
+TEST(Freeze, WindowLargerThanNeededChangesNothing) {
+  const auto inst = planted(60, 24, 0.0, 10);
+  auto run_with = [&](std::uint64_t budget) {
+    DriverConfig cfg;
+    cfg.proto.eps = 0.2;
+    cfg.proto.p = 0.08;
+    cfg.proto.version_budget = budget;
+    cfg.net.seed = 10;
+    cfg.net.max_rounds = 60'000'000;
+    return run_dist_near_clique(inst.graph, cfg);
+  };
+  const auto a = run_with(2'000'000);
+  const auto b = run_with(20'000'000);
+  EXPECT_EQ(a.labels, b.labels);
+}
+
+}  // namespace
+}  // namespace nc

@@ -1,0 +1,331 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "runtime/network.hpp"
+#include "test_helpers.hpp"
+#include "util/bitio.hpp"
+
+namespace nc {
+namespace {
+
+constexpr std::uint16_t kData = 1;
+constexpr std::uint16_t kOther = 2;
+
+/// Node that sends a fixed payload to every neighbour in round 1 and records
+/// what it receives, with the round number of each arrival.
+class EchoNode : public INode {
+ public:
+  explicit EchoNode(std::size_t payload_symbols, unsigned width = 8)
+      : payload_(payload_symbols), width_(width) {}
+
+  void on_start(NodeApi& api) override {
+    auto ch = api.open_stream_all(StreamKey{kData, api.id(), 0});
+    for (std::size_t i = 0; i < payload_; ++i) {
+      ch.put(i % (1ULL << width_), width_);
+    }
+    ch.close();
+  }
+
+  void on_round(NodeApi& api) override {
+    bool all_done = true;
+    for (std::size_t ni = 0; ni < api.degree(); ++ni) {
+      const NodeId from = api.neighbors()[ni];
+      InStream* in = api.find_in(ni, StreamKey{kData, from, 0});
+      if (in == nullptr) {
+        all_done = false;
+        continue;
+      }
+      while (in->available() > 0) {
+        received_.emplace_back(api.round(), in->pop());
+      }
+      if (!in->finished()) all_done = false;
+    }
+    if (all_done) api.set_done();
+  }
+
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> received_;
+
+ private:
+  std::size_t payload_;
+  unsigned width_;
+};
+
+TEST(Runtime, OneRoundLatency) {
+  const Graph g = testing::path_graph(2);
+  NetConfig cfg;
+  cfg.bandwidth_factor = 16;  // n=2: header is 12 bits; leave room for data
+  Network net(g, cfg, [](NodeId) { return std::make_unique<EchoNode>(1); });
+  const auto stats = net.run();
+  EXPECT_FALSE(stats.stalled);
+  auto& n0 = static_cast<EchoNode&>(net.node(0));
+  ASSERT_EQ(n0.received_.size(), 1u);
+  EXPECT_EQ(n0.received_[0].first, 1u);  // sent in on_start -> round 1
+}
+
+TEST(Runtime, LongStreamIsChunkedAcrossRounds) {
+  const Graph g = testing::path_graph(2);
+  NetConfig cfg;
+  cfg.bandwidth_factor = 16;  // B = 32 bits; header 12 -> two symbols/round
+  Network net(g, cfg,
+              [](NodeId) { return std::make_unique<EchoNode>(100, 8); });
+  const auto stats = net.run();
+  auto& n0 = static_cast<EchoNode&>(net.node(0));
+  ASSERT_EQ(n0.received_.size(), 100u);
+  EXPECT_GE(stats.rounds, 50u);  // 100 symbols at two per round
+  // FIFO order preserved.
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(n0.received_[i].second, i % 256);
+  }
+  // Arrival rounds are non-decreasing.
+  for (std::size_t i = 1; i < 100; ++i) {
+    EXPECT_GE(n0.received_[i].first, n0.received_[i - 1].first);
+  }
+}
+
+TEST(Runtime, CongestEnforcesMaxMessageBits) {
+  const Graph g = testing::complete_graph(8);
+  NetConfig cfg;
+  cfg.bandwidth_factor = 8;
+  Network net(g, cfg,
+              [](NodeId) { return std::make_unique<EchoNode>(64, 3); });
+  const auto stats = net.run();
+  EXPECT_LE(stats.max_message_bits, 8u * id_width(8));
+  EXPECT_GT(stats.messages, 0u);
+  EXPECT_GT(stats.bits, 0u);
+}
+
+TEST(Runtime, OversizedSymbolThrows) {
+  const Graph g = testing::path_graph(2);
+  NetConfig cfg;
+  cfg.bandwidth_factor = 4;  // B = 8 bits; header alone exceeds it
+  class BigSymbolNode : public INode {
+   public:
+    void on_start(NodeApi& api) override {
+      auto ch = api.open_stream_all(StreamKey{kData, 0, 0});
+      ch.put(0xffffffffffULL, 40);  // 40-bit symbol can never fit
+      ch.close();
+    }
+    void on_round(NodeApi& api) override { api.set_done(); }
+  };
+  Network net(g, cfg, [](NodeId) { return std::make_unique<BigSymbolNode>(); });
+  EXPECT_THROW(net.run(), std::runtime_error);
+}
+
+TEST(Runtime, LocalModeDrainsEverythingInOneRound) {
+  const Graph g = testing::path_graph(2);
+  NetConfig cfg;
+  cfg.mode = NetConfig::Mode::kLocal;
+  Network net(g, cfg,
+              [](NodeId) { return std::make_unique<EchoNode>(5000, 16); });
+  const auto stats = net.run();
+  EXPECT_LE(stats.rounds, 2u);
+  auto& n0 = static_cast<EchoNode&>(net.node(0));
+  EXPECT_EQ(n0.received_.size(), 5000u);
+  EXPECT_GT(stats.max_message_bits, 5000u);  // one giant message
+}
+
+TEST(Runtime, RoundRobinSharesEdgeBetweenStreams) {
+  // One sender, two streams on the same edge: both must finish in roughly
+  // interleaved fashion rather than one starving the other.
+  const Graph g = testing::path_graph(2);
+  class TwoStreamSender : public INode {
+   public:
+    void on_start(NodeApi& api) override {
+      if (api.id() != 0) return;
+      auto a = api.open_stream_all(StreamKey{kData, 1, 0});
+      auto b = api.open_stream_all(StreamKey{kOther, 2, 0});
+      for (int i = 0; i < 50; ++i) {
+        a.put(1, 8);
+        b.put(2, 8);
+      }
+      a.close();
+      b.close();
+    }
+    void on_round(NodeApi& api) override {
+      if (api.id() == 0) {
+        api.set_done();
+        return;
+      }
+      InStream* a = api.find_in(0, StreamKey{kData, 1, 0});
+      InStream* b = api.find_in(0, StreamKey{kOther, 2, 0});
+      if (a != nullptr) {
+        while (a->available() > 0) {
+          a->pop();
+          if (!first_done_round_a_) first_a_ = api.round();
+        }
+        if (a->finished()) done_a_ = api.round();
+      }
+      if (b != nullptr) {
+        while (b->available() > 0) b->pop();
+        if (b->finished()) done_b_ = api.round();
+      }
+      if (a != nullptr && b != nullptr && a->finished() && b->finished()) {
+        api.set_done();
+      }
+    }
+    std::uint64_t first_a_ = 0, done_a_ = 0, done_b_ = 0;
+    bool first_done_round_a_ = false;
+  };
+  NetConfig cfg;
+  cfg.bandwidth_factor = 10;
+  Network net(g, cfg,
+              [](NodeId) { return std::make_unique<TwoStreamSender>(); });
+  net.run();
+  auto& n1 = static_cast<TwoStreamSender&>(net.node(1));
+  EXPECT_GT(n1.done_a_, 0u);
+  EXPECT_GT(n1.done_b_, 0u);
+  // Fair sharing: completion rounds within 2 rounds of each other.
+  const auto diff = n1.done_a_ > n1.done_b_ ? n1.done_a_ - n1.done_b_
+                                            : n1.done_b_ - n1.done_a_;
+  EXPECT_LE(diff, 2u);
+}
+
+TEST(Runtime, StallDetectionFiresOnDeadlockedProtocol) {
+  const Graph g = testing::path_graph(2);
+  class WaitsForever : public INode {
+   public:
+    void on_start(NodeApi&) override {}
+    void on_round(NodeApi&) override {}  // never sends, never done
+  };
+  NetConfig cfg;
+  Network net(g, cfg, [](NodeId) { return std::make_unique<WaitsForever>(); });
+  const auto stats = net.run();
+  EXPECT_TRUE(stats.stalled);
+}
+
+TEST(Runtime, AlarmWakesAndFastForwardCountsRounds) {
+  const Graph g = testing::path_graph(2);
+  class Sleeper : public INode {
+   public:
+    void on_start(NodeApi& api) override { api.set_alarm(5000); }
+    void on_round(NodeApi& api) override {
+      if (api.round() >= 5000) {
+        woke_at_ = api.round();
+        api.set_done();
+      } else {
+        api.set_alarm(5000);
+      }
+    }
+    std::uint64_t woke_at_ = 0;
+  };
+  NetConfig cfg;
+  Network net(g, cfg, [](NodeId) { return std::make_unique<Sleeper>(); });
+  const auto stats = net.run();
+  EXPECT_FALSE(stats.stalled);
+  EXPECT_EQ(stats.rounds, 5000u);
+  EXPECT_EQ(static_cast<Sleeper&>(net.node(0)).woke_at_, 5000u);
+}
+
+TEST(Runtime, MaxRoundsAborts) {
+  const Graph g = testing::path_graph(2);
+  class Chatter : public INode {
+   public:
+    void on_start(NodeApi& api) override { api.set_alarm(1); }
+    void on_round(NodeApi& api) override {
+      auto ch = api.open_stream_all(
+          StreamKey{kData, static_cast<NodeId>(api.round() % 1000), 0});
+      ch.put_bit(true);
+      ch.close();
+    }
+  };
+  NetConfig cfg;
+  cfg.max_rounds = 50;
+  Network net(g, cfg, [](NodeId) { return std::make_unique<Chatter>(); });
+  const auto stats = net.run();
+  EXPECT_TRUE(stats.hit_round_limit);
+  EXPECT_LE(stats.rounds, 50u);
+}
+
+TEST(Runtime, RunRoundsIsExactWithoutFastForward) {
+  const Graph g = testing::path_graph(2);
+  class Sleeper : public INode {
+   public:
+    void on_start(NodeApi& api) override { api.set_alarm(100); }
+    void on_round(NodeApi& api) override {
+      if (api.round() >= 100) {
+        api.set_done();
+      } else {
+        api.set_alarm(100);
+      }
+    }
+  };
+  NetConfig cfg;
+  Network net(g, cfg, [](NodeId) { return std::make_unique<Sleeper>(); });
+  EXPECT_FALSE(net.run_rounds(10));
+  EXPECT_EQ(net.stats().rounds, 10u);
+  EXPECT_FALSE(net.all_done());
+  EXPECT_TRUE(net.run_rounds(95));
+  EXPECT_TRUE(net.all_done());
+}
+
+TEST(Runtime, StatsAreDeterministicGivenSeed) {
+  const Graph g = testing::complete_graph(6);
+  auto run_once = [&]() {
+    NetConfig cfg;
+    cfg.seed = 99;
+    Network net(g, cfg, [](NodeId) { return std::make_unique<EchoNode>(20); });
+    return net.run();
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.bits, b.bits);
+  EXPECT_EQ(a.max_message_bits, b.max_message_bits);
+}
+
+TEST(Runtime, BitsByKindAttribution) {
+  const Graph g = testing::path_graph(2);
+  NetConfig cfg;
+  cfg.bandwidth_factor = 16;
+  Network net(g, cfg, [](NodeId) { return std::make_unique<EchoNode>(4); });
+  const auto stats = net.run();
+  ASSERT_TRUE(stats.bits_by_kind.count(kData));
+  EXPECT_EQ(stats.bits_by_kind.at(kData), stats.bits);
+}
+
+TEST(Runtime, NodeApiNeighborIndex) {
+  const Graph g = testing::star_graph(3);  // center 0, leaves 1,2,3
+  class Checker : public INode {
+   public:
+    void on_start(NodeApi& api) override {
+      if (api.id() == 0) {
+        EXPECT_EQ(api.degree(), 3u);
+        EXPECT_EQ(api.neighbor_index(2), 1u);
+        EXPECT_EQ(api.neighbor_index(0), SIZE_MAX);  // not own neighbour
+      } else {
+        EXPECT_EQ(api.neighbor_index(0), 0u);
+      }
+    }
+    void on_round(NodeApi& api) override { api.set_done(); }
+  };
+  NetConfig cfg;
+  Network net(g, cfg, [](NodeId) { return std::make_unique<Checker>(); });
+  net.run();
+}
+
+TEST(Runtime, RunStatsAbsorbMerges) {
+  RunStats a, b;
+  a.rounds = 10;
+  a.bits = 100;
+  a.max_message_bits = 40;
+  a.bits_by_kind[1] = 100;
+  b.rounds = 5;
+  b.bits = 50;
+  b.max_message_bits = 60;
+  b.hit_round_limit = true;
+  b.bits_by_kind[1] = 30;
+  b.bits_by_kind[2] = 20;
+  a.absorb(b);
+  EXPECT_EQ(a.rounds, 15u);
+  EXPECT_EQ(a.bits, 150u);
+  EXPECT_EQ(a.max_message_bits, 60u);
+  EXPECT_TRUE(a.hit_round_limit);
+  EXPECT_EQ(a.bits_by_kind[1], 130u);
+  EXPECT_EQ(a.bits_by_kind[2], 20u);
+  EXPECT_NE(a.summary().find("rounds=15"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nc

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/bitio.hpp"
+#include "util/bitvec.hpp"
+
+namespace nc {
+namespace {
+
+// ---------------------------------------------------------------- BitVec --
+
+TEST(BitVec, StartsAllZero) {
+  BitVec v(130);
+  EXPECT_EQ(v.size(), 130u);
+  EXPECT_EQ(v.count(), 0u);
+  EXPECT_TRUE(v.none());
+  for (std::size_t i = 0; i < 130; ++i) EXPECT_FALSE(v.test(i));
+}
+
+TEST(BitVec, SetAndClear) {
+  BitVec v(100);
+  v.set(0);
+  v.set(63);
+  v.set(64);
+  v.set(99);
+  EXPECT_TRUE(v.test(0));
+  EXPECT_TRUE(v.test(63));
+  EXPECT_TRUE(v.test(64));
+  EXPECT_TRUE(v.test(99));
+  EXPECT_EQ(v.count(), 4u);
+  v.set(63, false);
+  EXPECT_FALSE(v.test(63));
+  EXPECT_EQ(v.count(), 3u);
+}
+
+TEST(BitVec, CountAndAcrossWords) {
+  BitVec a(200), b(200);
+  for (std::size_t i = 0; i < 200; i += 3) a.set(i);
+  for (std::size_t i = 0; i < 200; i += 5) b.set(i);
+  std::size_t expected = 0;
+  for (std::size_t i = 0; i < 200; i += 15) ++expected;
+  EXPECT_EQ(a.count_and(b), expected);
+}
+
+TEST(BitVec, UnionIntersectDifference) {
+  BitVec a(70), b(70);
+  a.set(1);
+  a.set(65);
+  b.set(65);
+  b.set(2);
+  BitVec u = a;
+  u |= b;
+  EXPECT_EQ(u.count(), 3u);
+  BitVec i = a;
+  i &= b;
+  EXPECT_EQ(i.count(), 1u);
+  EXPECT_TRUE(i.test(65));
+  BitVec d = a;
+  d.subtract(b);
+  EXPECT_EQ(d.count(), 1u);
+  EXPECT_TRUE(d.test(1));
+}
+
+TEST(BitVec, IndicesRoundTrip) {
+  const std::vector<std::uint32_t> idx{0, 5, 63, 64, 127, 128};
+  const BitVec v = BitVec::from_indices(200, idx);
+  EXPECT_EQ(v.to_indices(), idx);
+}
+
+TEST(BitVec, EqualityIncludesSize) {
+  BitVec a(10), b(10), c(11);
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  a.set(3);
+  EXPECT_FALSE(a == b);
+  b.set(3);
+  EXPECT_EQ(a, b);
+}
+
+TEST(BitVec, AssignZeroResizes) {
+  BitVec v(10);
+  v.set(5);
+  v.assign_zero(300);
+  EXPECT_EQ(v.size(), 300u);
+  EXPECT_TRUE(v.none());
+}
+
+// --------------------------------------------------------------- Bit I/O --
+
+TEST(BitIo, SingleValueRoundTrip) {
+  BitWriter w;
+  w.put(0x2a, 7);
+  BitReader r(w.words(), w.bit_size());
+  EXPECT_EQ(r.get(7), 0x2au);
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(BitIo, MixedWidthsRoundTrip) {
+  BitWriter w;
+  w.put_bit(true);
+  w.put(0x1234, 16);
+  w.put_bit(false);
+  w.put(0xdeadbeefcafeULL, 48);
+  w.put(0xffffffffffffffffULL, 64);
+  BitReader r(w.words(), w.bit_size());
+  EXPECT_TRUE(r.get_bit());
+  EXPECT_EQ(r.get(16), 0x1234u);
+  EXPECT_FALSE(r.get_bit());
+  EXPECT_EQ(r.get(48), 0xdeadbeefcafeULL);
+  EXPECT_EQ(r.get(64), 0xffffffffffffffffULL);
+}
+
+TEST(BitIo, CrossesWordBoundaries) {
+  BitWriter w;
+  for (int i = 0; i < 13; ++i) w.put(static_cast<std::uint64_t>(i), 13);
+  EXPECT_EQ(w.bit_size(), 13u * 13u);
+  BitReader r(w.words(), w.bit_size());
+  for (int i = 0; i < 13; ++i) {
+    EXPECT_EQ(r.get(13), static_cast<std::uint64_t>(i));
+  }
+}
+
+TEST(BitIo, ManyBitsStressRoundTrip) {
+  BitWriter w;
+  std::vector<std::pair<std::uint64_t, unsigned>> data;
+  std::uint64_t x = 0x9e3779b97f4a7c15ULL;
+  for (int i = 0; i < 1000; ++i) {
+    const unsigned width = 1 + (x % 64);
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    const std::uint64_t value = width == 64 ? x : (x & ((1ULL << width) - 1));
+    data.emplace_back(value, width);
+    w.put(value, width);
+  }
+  BitReader r(w.words(), w.bit_size());
+  for (const auto& [value, width] : data) EXPECT_EQ(r.get(width), value);
+}
+
+TEST(BitIo, IdWidthBounds) {
+  EXPECT_EQ(id_width(0), 1u);
+  EXPECT_EQ(id_width(1), 1u);
+  EXPECT_EQ(id_width(2), 2u);
+  EXPECT_EQ(id_width(3), 2u);
+  EXPECT_EQ(id_width(4), 3u);
+  EXPECT_EQ(id_width(255), 8u);
+  EXPECT_EQ(id_width(256), 9u);
+  EXPECT_EQ(id_width(1000), 10u);
+  // Any value in [0, n] must fit in id_width(n) bits.
+  for (std::uint64_t n : {1ULL, 7ULL, 100ULL, 4097ULL}) {
+    const unsigned w = id_width(n);
+    EXPECT_GE((w == 64 ? ~0ULL : (1ULL << w) - 1), n);
+  }
+}
+
+}  // namespace
+}  // namespace nc

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "util/cli.hpp"
+#include "util/logging.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace nc {
+namespace {
+
+// --------------------------------------------------------------- Stats ----
+
+TEST(RunningStat, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStat, MeanVarianceMatchClosedForm) {
+  RunningStat s;
+  const std::vector<double> xs{2, 4, 4, 4, 5, 5, 7, 9};
+  for (const double x : xs) s.add(x);
+  EXPECT_EQ(s.count(), xs.size());
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStat, SingleObservation) {
+  RunningStat s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(Quantile, NearestRank) {
+  std::vector<double> xs{5, 1, 4, 2, 3};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile({}, 0.5), 0.0);
+}
+
+TEST(WilsonInterval, BracketsPointEstimate) {
+  const auto iv = wilson_interval(30, 100);
+  EXPECT_LT(iv.lo, 0.3);
+  EXPECT_GT(iv.hi, 0.3);
+  EXPECT_GE(iv.lo, 0.0);
+  EXPECT_LE(iv.hi, 1.0);
+}
+
+TEST(WilsonInterval, EdgeCases) {
+  const auto zero = wilson_interval(0, 50);
+  EXPECT_DOUBLE_EQ(zero.lo, 0.0);
+  EXPECT_GT(zero.hi, 0.0);
+  const auto all = wilson_interval(50, 50);
+  EXPECT_LT(all.lo, 1.0);
+  EXPECT_DOUBLE_EQ(all.hi, 1.0);
+  const auto empty = wilson_interval(0, 0);
+  EXPECT_DOUBLE_EQ(empty.lo, 0.0);
+  EXPECT_DOUBLE_EQ(empty.hi, 1.0);
+}
+
+TEST(WilsonInterval, ShrinksWithSamples) {
+  const auto small = wilson_interval(5, 10);
+  const auto large = wilson_interval(500, 1000);
+  EXPECT_LT(large.hi - large.lo, small.hi - small.lo);
+}
+
+TEST(LeastSquares, RecoversSlope) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 20; ++i) {
+    x.push_back(i);
+    y.push_back(3.0 * i + 1.0);
+  }
+  EXPECT_NEAR(least_squares_slope(x, y), 3.0, 1e-9);
+}
+
+TEST(LeastSquares, DegenerateInputs) {
+  EXPECT_EQ(least_squares_slope({}, {}), 0.0);
+  EXPECT_EQ(least_squares_slope({1.0}, {2.0}), 0.0);
+  EXPECT_EQ(least_squares_slope({2.0, 2.0}, {1.0, 5.0}), 0.0);  // vertical
+}
+
+// --------------------------------------------------------------- Table ----
+
+TEST(Table, AlignsColumns) {
+  Table t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "22"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("| name   | value |"), std::string::npos);
+  EXPECT_NE(s.find("| longer | 22    |"), std::string::npos);
+}
+
+TEST(Table, PadsShortRows) {
+  Table t({"a", "b", "c"});
+  t.add_row({"1"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("| 1 |"), std::string::npos);
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(Table::num(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::num(static_cast<std::uint64_t>(42)), "42");
+  EXPECT_EQ(Table::num(static_cast<std::int64_t>(-7)), "-7");
+}
+
+TEST(Table, StreamsViaOperator) {
+  Table t({"h"});
+  t.add_row({"v"});
+  std::ostringstream os;
+  os << t;
+  EXPECT_EQ(os.str(), t.str());
+}
+
+// ----------------------------------------------------------------- CLI ----
+
+TEST(Args, ParsesKeyValueAndFlags) {
+  const char* argv[] = {"prog", "--n=100", "--verbose", "positional",
+                        "--eps=0.25"};
+  Args args(5, argv);
+  EXPECT_EQ(args.get_int("n", 0), 100);
+  EXPECT_TRUE(args.get_bool("verbose"));
+  EXPECT_DOUBLE_EQ(args.get_double("eps", 0.0), 0.25);
+  EXPECT_FALSE(args.has("positional"));
+}
+
+TEST(Args, DefaultsWhenAbsent) {
+  const char* argv[] = {"prog"};
+  Args args(1, argv);
+  EXPECT_EQ(args.get("missing", "d"), "d");
+  EXPECT_EQ(args.get_int("missing", -3), -3);
+  EXPECT_FALSE(args.get_bool("missing"));
+  EXPECT_TRUE(args.get_bool("missing", true));
+}
+
+TEST(Args, BooleanFalseSpellings) {
+  const char* argv[] = {"prog", "--a=0", "--b=false", "--c=true"};
+  Args args(4, argv);
+  EXPECT_FALSE(args.get_bool("a"));
+  EXPECT_FALSE(args.get_bool("b"));
+  EXPECT_TRUE(args.get_bool("c"));
+}
+
+// ------------------------------------------------------------- Logging ----
+
+TEST(Logging, LevelFiltering) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  // Macro below must not evaluate its stream expression when filtered.
+  int evals = 0;
+  auto count = [&]() {
+    ++evals;
+    return "x";
+  };
+  NC_DEBUG << count();
+  EXPECT_EQ(evals, 0);
+  set_log_level(before);
+}
+
+}  // namespace
+}  // namespace nc

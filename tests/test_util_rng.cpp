@@ -1,0 +1,181 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace nc {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(12345), b(12345);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Rng, ZeroSeedIsValid) {
+  Rng r(0);
+  std::set<std::uint64_t> vals;
+  for (int i = 0; i < 100; ++i) vals.insert(r.next_u64());
+  EXPECT_GT(vals.size(), 95u);  // not stuck
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng r(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 17ULL, 1000ULL}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(r.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowZeroReturnsZero) {
+  Rng r(7);
+  EXPECT_EQ(r.next_below(0), 0u);
+}
+
+TEST(Rng, NextBelowIsRoughlyUniform) {
+  Rng r(99);
+  std::vector<int> counts(10, 0);
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) ++counts[r.next_below(10)];
+  for (const int c : counts) {
+    EXPECT_NEAR(c, trials / 10, trials / 100);  // within 10% relative
+  }
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng r(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = r.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng r(3);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(r.next_bernoulli(0.0));
+    EXPECT_TRUE(r.next_bernoulli(1.0));
+    EXPECT_FALSE(r.next_bernoulli(-0.5));
+    EXPECT_TRUE(r.next_bernoulli(1.5));
+  }
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng r(11);
+  const int trials = 50000;
+  int heads = 0;
+  for (int i = 0; i < trials; ++i) heads += r.next_bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(heads) / trials, 0.3, 0.02);
+}
+
+TEST(Rng, NextInRangeInclusive) {
+  Rng r(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto x = r.next_in_range(-3, 3);
+    EXPECT_GE(x, -3);
+    EXPECT_LE(x, 3);
+    saw_lo |= x == -3;
+    saw_hi |= x == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, DeriveIsConstAndDeterministic) {
+  const Rng parent(42);
+  Rng a = parent.derive(7);
+  Rng b = parent.derive(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DerivedStreamsAreIndependent) {
+  const Rng parent(42);
+  Rng a = parent.derive(1);
+  Rng b = parent.derive(2);
+  int equal = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Rng, DeriveDoesNotAdvanceParent) {
+  Rng parent(42);
+  Rng copy = parent;
+  (void)parent.derive(1);
+  (void)parent.derive(2);
+  EXPECT_EQ(parent.next_u64(), copy.next_u64());
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng r(8);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto sorted = v;
+  r.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, ShuffleActuallyPermutes) {
+  Rng r(8);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[i] = i;
+  const auto before = v;
+  r.shuffle(v);
+  EXPECT_NE(v, before);  // probability of identity is astronomically small
+}
+
+TEST(Rng, SampleWithoutReplacementDistinctSorted) {
+  Rng r(17);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto s = r.sample_without_replacement(100, 20);
+    ASSERT_EQ(s.size(), 20u);
+    EXPECT_TRUE(std::is_sorted(s.begin(), s.end()));
+    const std::set<std::uint32_t> uniq(s.begin(), s.end());
+    EXPECT_EQ(uniq.size(), 20u);
+    for (const auto x : s) EXPECT_LT(x, 100u);
+  }
+}
+
+TEST(Rng, SampleWithoutReplacementWholeRange) {
+  Rng r(17);
+  const auto s = r.sample_without_replacement(10, 10);
+  ASSERT_EQ(s.size(), 10u);
+  for (std::uint32_t i = 0; i < 10; ++i) EXPECT_EQ(s[i], i);
+  const auto t = r.sample_without_replacement(5, 50);
+  EXPECT_EQ(t.size(), 5u);
+}
+
+TEST(Rng, SampleWithoutReplacementUniform) {
+  Rng r(23);
+  std::vector<int> hits(10, 0);
+  for (int trial = 0; trial < 20000; ++trial) {
+    for (const auto x : r.sample_without_replacement(10, 3)) ++hits[x];
+  }
+  for (const int h : hits) EXPECT_NEAR(h, 6000, 600);
+}
+
+TEST(SplitMix, KnownSequenceIsStable) {
+  std::uint64_t s = 0;
+  const auto a = splitmix64(s);
+  const auto b = splitmix64(s);
+  EXPECT_NE(a, b);
+  std::uint64_t s2 = 0;
+  EXPECT_EQ(splitmix64(s2), a);
+  EXPECT_EQ(splitmix64(s2), b);
+}
+
+}  // namespace
+}  // namespace nc
