@@ -15,6 +15,7 @@
 #include "core/driver.hpp"
 #include "core/oracle.hpp"
 #include "core/protocol.hpp"
+#include "expt/report.hpp"
 #include "expt/workloads.hpp"
 #include "util/stats.hpp"
 
@@ -54,11 +55,8 @@ void BM_RoundsVsSampleSize(benchmark::State& state) {
     s_size.add(static_cast<double>(sample.size()));
     rounds.add(static_cast<double>(res.stats.rounds));
     log_rounds.add(std::log2(static_cast<double>(res.stats.rounds) + 1));
-    std::uint64_t explore_bits = 0;
-    for (const auto kind : {kKBitvec, kKSum, kKCount, kTSum}) {
-      const auto it = res.stats.bits_by_kind.find(kind);
-      if (it != res.stats.bits_by_kind.end()) explore_bits += it->second;
-    }
+    const std::uint64_t explore_bits =
+        bits_for_kinds(res.stats, {kKBitvec, kKSum, kKCount, kTSum});
     explore_share.add(static_cast<double>(explore_bits) /
                       static_cast<double>(res.stats.bits));
     g_s_sizes.push_back(static_cast<double>(sample.size()));

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Builds the Release preset, runs the benchmark binaries and collects the
+# BENCH_*.json artifacts into the repository root.
+#
+# Usage: bench/run_benches.sh [--full] [--experiments]
+#   --full         run bench_runtime_scale with the 500k-node configuration
+#   --experiments  also run the (slow) E1..E12 google-benchmark experiments
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+REPO_ROOT=$(pwd)
+BUILD_DIR=build-release
+
+FULL_FLAG=""
+RUN_EXPERIMENTS=0
+for arg in "$@"; do
+  case "$arg" in
+    --full) FULL_FLAG="--full" ;;
+    --experiments) RUN_EXPERIMENTS=1 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+cmake --preset release -DNC_BUILD_TESTS=OFF
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+"$BUILD_DIR/bench_runtime_scale" $FULL_FLAG --json "$REPO_ROOT/BENCH_runtime.json"
+
+if [[ "$RUN_EXPERIMENTS" -eq 1 ]]; then
+  for bin in "$BUILD_DIR"/bench_e*; do
+    [[ -x "$bin" ]] || continue
+    name=$(basename "$bin")
+    echo "=== $name ==="
+    "$bin" "--benchmark_out=$REPO_ROOT/BENCH_${name#bench_}.json" \
+           --benchmark_out_format=json
+  done
+fi
+
+echo "artifacts:"
+ls -1 "$REPO_ROOT"/BENCH_*.json

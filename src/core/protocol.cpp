@@ -19,8 +19,8 @@ DistNearCliqueNode::DistNearCliqueNode(const ProtocolParams& params,
 bool DistNearCliqueNode::fresh(NodeApi& api, VersionState& vs,
                                std::uint16_t kind) {
   const std::uint64_t now = api.rx_count(kind);
-  if (now == vs.seen_rx[kind & 31u]) return false;
-  vs.seen_rx[kind & 31u] = now;
+  if (now == vs.seen_rx[kind]) return false;
+  vs.seen_rx[kind] = now;
   return true;
 }
 

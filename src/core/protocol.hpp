@@ -36,6 +36,12 @@ enum MsgKind : std::uint16_t {
   kVerdict = 17,     ///< survive bit broadcast down (decision 4)
 };
 
+// Every kind must fit the wire format's 5-bit kind field; the runtime's
+// fixed-size per-kind tables (rx counters, bits_by_kind, inbox buckets) are
+// sized by kMaxMsgKinds and open_stream rejects anything beyond it.
+static_assert(kVerdict < kMaxMsgKinds,
+              "MsgKind range exceeds the runtime's per-kind tables");
+
 /// Encodes the output label of a surviving candidate: the paper labels a
 /// near-clique by its component's root ID; the boosting wrapper extends the
 /// label with the version index so two surviving versions rooted at the same
@@ -192,7 +198,7 @@ struct VersionState {
   /// their inbox walk when nothing of the kind arrived since their last
   /// *successful* scan (guard-blocked handlers leave the counter untouched
   /// so the scan re-fires once unblocked).
-  std::array<std::uint64_t, 32> seen_rx{};
+  std::array<std::uint64_t, kMaxMsgKinds> seen_rx{};
 
   std::map<NodeId, PairState> pairs;  ///< by root
 };

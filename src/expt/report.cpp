@@ -28,4 +28,13 @@ void print_table(const std::string& title, const Table& table) {
   std::cout << "\n=== " << title << " ===\n" << table << "\n";
 }
 
+std::uint64_t bits_for_kinds(const RunStats& stats,
+                             std::initializer_list<std::uint16_t> kinds) {
+  std::uint64_t total = 0;
+  for (const std::uint16_t k : kinds) {
+    if (k < stats.bits_by_kind.size()) total += stats.bits_by_kind[k];
+  }
+  return total;
+}
+
 }  // namespace nc

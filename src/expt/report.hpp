@@ -1,5 +1,6 @@
 #pragma once
 
+#include <initializer_list>
 #include <string>
 
 #include "expt/trial.hpp"
@@ -18,5 +19,10 @@ std::vector<std::string> stats_headers();
 
 /// Prints a titled table to stdout with a blank line around it.
 void print_table(const std::string& title, const Table& table);
+
+/// Sum of RunStats::bits_by_kind over the listed kinds (out-of-range kinds
+/// contribute zero). Shared by the stage-breakdown experiments.
+[[nodiscard]] std::uint64_t bits_for_kinds(
+    const RunStats& stats, std::initializer_list<std::uint16_t> kinds);
 
 }  // namespace nc

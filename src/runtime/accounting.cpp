@@ -12,7 +12,9 @@ void RunStats::absorb(const RunStats& other) {
   max_message_bits = std::max(max_message_bits, other.max_message_bits);
   hit_round_limit = hit_round_limit || other.hit_round_limit;
   stalled = stalled || other.stalled;
-  for (const auto& [kind, b] : other.bits_by_kind) bits_by_kind[kind] += b;
+  for (std::size_t k = 0; k < bits_by_kind.size(); ++k) {
+    bits_by_kind[k] += other.bits_by_kind[k];
+  }
 }
 
 std::string RunStats::summary() const {

@@ -1,8 +1,10 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
-#include <map>
 #include <string>
+
+#include "runtime/message.hpp"
 
 namespace nc {
 
@@ -19,7 +21,11 @@ struct RunStats {
   std::uint64_t max_message_bits = 0;  ///< largest single message
   bool hit_round_limit = false;        ///< aborted by the time-bound wrapper
   bool stalled = false;                ///< protocol deadlock (bug guard)
-  std::map<std::uint16_t, std::uint64_t> bits_by_kind;  ///< per message kind
+
+  /// Wire bits per message kind, indexed by kind. A fixed array (not a map):
+  /// kinds are bounded by the 5-bit header field, the hot path increments a
+  /// slot per delivery, and the layout matches the runtime's rx counters.
+  std::array<std::uint64_t, kMaxMsgKinds> bits_by_kind{};
 
   /// Merges another run's counters into this one (used by multi-phase
   /// drivers that restart the network, e.g. the boosting wrapper).

@@ -1,0 +1,99 @@
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "runtime/message.hpp"
+#include "runtime/stream.hpp"
+
+namespace nc {
+
+/// Flat, kind-bucketed store of a node's incoming streams.
+///
+/// The previous implementation was a `std::map<(ni, StreamKey), InStream>`:
+/// every delivery paid a red-black-tree walk and `for_each_in` scanned the
+/// whole inbox to filter one kind. Here each of the kMaxMsgKinds kinds owns a
+/// contiguous vector kept sorted by (neighbour index, tag, version), so
+///  - per-kind iteration touches exactly that kind's streams, in the same
+///    deterministic (ni, key) order the old map produced (kind is fixed
+///    within a bucket, so (ni, tag, version) order == (ni, StreamKey) order);
+///  - lookups are a binary search in a small contiguous bucket;
+///  - insertion (rare: first delivery of a stream) is a vector insert.
+/// Protocol code observes identical iteration order, which the simulator's
+/// bit-for-bit determinism guarantee depends on.
+class Inbox {
+ public:
+  /// Stream from neighbour index `ni` with key `key`, or nullptr.
+  [[nodiscard]] InStream* find(std::size_t ni, const StreamKey& key) {
+    auto& bucket = buckets_[check_kind(key.kind)];
+    const auto it = lower_bound(bucket, ni, key);
+    if (it == bucket.end() || it->ni != ni || it->tag != key.tag ||
+        it->version != key.version) {
+      return nullptr;
+    }
+    return &it->stream;
+  }
+
+  /// Stream from `ni` with key `key`, created empty if absent (runtime use,
+  /// on delivery).
+  [[nodiscard]] InStream& open(std::size_t ni, const StreamKey& key) {
+    auto& bucket = buckets_[check_kind(key.kind)];
+    auto it = lower_bound(bucket, ni, key);
+    if (it == bucket.end() || it->ni != ni || it->tag != key.tag ||
+        it->version != key.version) {
+      it = bucket.insert(it, Entry{ni, key.tag, key.version, InStream{}});
+    }
+    return it->stream;
+  }
+
+  /// Invokes `fn(ni, key, stream)` for every stream of `kind`, in ascending
+  /// (ni, tag, version) order.
+  template <typename Fn>
+  void for_each(std::uint16_t kind, Fn&& fn) {
+    for (auto& e : buckets_[check_kind(kind)]) {
+      const StreamKey key{kind, e.tag, e.version};
+      fn(e.ni, key, e.stream);
+    }
+  }
+
+  /// Total streams stored (all kinds).
+  [[nodiscard]] std::size_t size() const noexcept {
+    std::size_t total = 0;
+    for (const auto& b : buckets_) total += b.size();
+    return total;
+  }
+
+ private:
+  struct Entry {
+    std::size_t ni;
+    NodeId tag;
+    std::uint16_t version;
+    InStream stream;
+  };
+
+  static std::uint16_t check_kind(std::uint16_t kind) {
+    if (kind >= kMaxMsgKinds) {
+      throw std::invalid_argument("message kind out of range (>= 32)");
+    }
+    return kind;
+  }
+
+  static std::vector<Entry>::iterator lower_bound(std::vector<Entry>& bucket,
+                                                  std::size_t ni,
+                                                  const StreamKey& key) {
+    return std::lower_bound(
+        bucket.begin(), bucket.end(), Entry{ni, key.tag, key.version, {}},
+        [](const Entry& a, const Entry& b) {
+          if (a.ni != b.ni) return a.ni < b.ni;
+          if (a.tag != b.tag) return a.tag < b.tag;
+          return a.version < b.version;
+        });
+  }
+
+  std::array<std::vector<Entry>, kMaxMsgKinds> buckets_;
+};
+
+}  // namespace nc

@@ -5,10 +5,8 @@
 namespace nc {
 
 void Link::add_stream(const StreamKey& key,
-                      std::shared_ptr<const SymbolBuffer> buf,
-                      std::shared_ptr<const bool> closed) {
-  streams_.push_back(
-      ActiveStream{key, std::move(buf), std::move(closed), 0, 0, false});
+                      std::shared_ptr<const OutStreamState> state) {
+  streams_.push_back(ActiveStream{key, std::move(state), 0, 0, false});
 }
 
 bool Link::has_pending() const noexcept {
@@ -22,10 +20,10 @@ void Link::prune_done() {
   // Streams whose EOS has been delivered can never carry traffic again;
   // dropping them keeps per-round scheduling proportional to *active*
   // streams (long executions accumulate thousands of finished one-shot
-  // streams otherwise).
+  // streams otherwise) and releases their shared payload buffers.
   std::size_t kept = 0;
   for (std::size_t i = 0; i < streams_.size(); ++i) {
-    if (!streams_[i].eos_needed_done) {
+    if (!streams_[i].eos_done) {
       if (kept != i) streams_[kept] = std::move(streams_[i]);
       ++kept;
     }
@@ -36,10 +34,10 @@ void Link::prune_done() {
   }
 }
 
-std::optional<Delivery> Link::schedule(std::size_t budget_bits,
-                                       unsigned header_bits) {
+bool Link::schedule_into(std::size_t budget_bits, unsigned header_bits,
+                         Delivery& out) {
   prune_done();
-  if (streams_.empty()) return std::nullopt;
+  if (streams_.empty()) return false;
   // Round-robin: find the next stream with pending work.
   const std::size_t count = streams_.size();
   std::size_t chosen = count;
@@ -50,69 +48,89 @@ std::optional<Delivery> Link::schedule(std::size_t budget_bits,
       break;
     }
   }
-  if (chosen == count) return std::nullopt;
+  if (chosen == count) return false;
   rr_pos_ = (chosen + 1) % count;
 
   ActiveStream& s = streams_[chosen];
-  Delivery d;
-  d.key = s.key;
-  d.wire_bits = header_bits;
+  out.key = s.key;
+  out.symbols.clear();
+  out.eos = false;
+  out.wire_bits = header_bits;
   if (budget_bits < header_bits) {
     throw std::runtime_error(
         "CONGEST violation: bandwidth smaller than stream header");
   }
   std::size_t room = budget_bits - header_bits;
   while (s.pending_symbols() > 0) {
-    const unsigned w = s.buf->width_at(s.next_symbol);
+    const unsigned w = s.state->buf.width_at(s.next_symbol);
     if (w > room) {
-      if (d.symbols.empty() && w > budget_bits - header_bits) {
+      if (out.symbols.empty() && w > budget_bits - header_bits) {
         throw std::runtime_error(
             "CONGEST violation: symbol wider than message budget");
       }
       break;
     }
-    d.symbols.emplace_back(s.buf->value_at(s.bit_off, w),
-                           static_cast<std::uint8_t>(w));
-    d.wire_bits += w;
+    out.symbols.emplace_back(s.state->buf.value_at(s.bit_off, w),
+                             static_cast<std::uint8_t>(w));
+    out.wire_bits += w;
     room -= w;
     s.bit_off += w;
     ++s.next_symbol;
   }
   // EOS piggybacks once the stream is fully drained and producer closed it.
-  if (*s.closed && s.pending_symbols() == 0 && !s.eos_needed_done) {
-    d.eos = true;
-    s.eos_needed_done = true;
+  if (s.state->closed && s.pending_symbols() == 0 && !s.eos_done) {
+    out.eos = true;
+    s.eos_done = true;
   }
-  if (d.symbols.empty() && !d.eos) {
+  if (out.symbols.empty() && !out.eos) {
     // Nothing fit (symbol wider than remaining room can't happen with empty
     // payload — handled above) or state raced; treat as idle.
-    return std::nullopt;
+    return false;
   }
+  // The link just went idle: release finished streams now, since an
+  // event-driven simulator will not touch this link again until new traffic
+  // appears (the old per-round scan pruned as a side effect).
+  if (!has_pending()) prune_done();
+  return true;
+}
+
+std::optional<Delivery> Link::schedule(std::size_t budget_bits,
+                                       unsigned header_bits) {
+  Delivery d;
+  if (!schedule_into(budget_bits, header_bits, d)) return std::nullopt;
   return d;
 }
 
-std::optional<std::vector<Delivery>> Link::drain_all(unsigned header_bits) {
-  std::vector<Delivery> out;
+std::size_t Link::drain_all_into(unsigned header_bits,
+                                 std::vector<Delivery>& out) {
+  std::size_t appended = 0;
   for (auto& s : streams_) {
     if (!s.pending()) continue;
     Delivery d;
     d.key = s.key;
     d.wire_bits = header_bits;
     while (s.pending_symbols() > 0) {
-      const unsigned w = s.buf->width_at(s.next_symbol);
-      d.symbols.emplace_back(s.buf->value_at(s.bit_off, w),
+      const unsigned w = s.state->buf.width_at(s.next_symbol);
+      d.symbols.emplace_back(s.state->buf.value_at(s.bit_off, w),
                              static_cast<std::uint8_t>(w));
       d.wire_bits += w;
       s.bit_off += w;
       ++s.next_symbol;
     }
-    if (*s.closed && !s.eos_needed_done) {
+    if (s.state->closed && !s.eos_done) {
       d.eos = true;
-      s.eos_needed_done = true;
+      s.eos_done = true;
     }
     out.push_back(std::move(d));
+    ++appended;
   }
-  if (out.empty()) return std::nullopt;
+  if (appended > 0 && !has_pending()) prune_done();
+  return appended;
+}
+
+std::optional<std::vector<Delivery>> Link::drain_all(unsigned header_bits) {
+  std::vector<Delivery> out;
+  if (drain_all_into(header_bits, out) == 0) return std::nullopt;
   return out;
 }
 

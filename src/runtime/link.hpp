@@ -29,46 +29,60 @@ struct Delivery {
 /// and closed. FIFO order within a stream is preserved by construction.
 class Link {
  public:
-  /// Registers a stream on this edge. The buffer/closed-flag are shared with
-  /// the producer's OutChannel (and possibly with sibling links).
+  /// Registers a stream on this edge. The state (payload + closed flag) is
+  /// shared with the producer's OutChannel (and possibly sibling links).
   void add_stream(const StreamKey& key,
-                  std::shared_ptr<const SymbolBuffer> buf,
-                  std::shared_ptr<const bool> closed);
+                  std::shared_ptr<const OutStreamState> state);
 
   /// True if any stream has undelivered symbols or an undelivered EOS.
   [[nodiscard]] bool has_pending() const noexcept;
 
-  /// Schedules one message within `budget_bits` total (header included).
-  /// Returns nullopt when nothing is pending. Throws std::runtime_error if a
-  /// single symbol cannot fit even in an otherwise empty message (CONGEST
-  /// violation — the protocol used a symbol wider than the model allows).
+  /// Schedules one message within `budget_bits` total (header included) into
+  /// `out`, reusing its symbol buffer (the simulator keeps one scratch
+  /// Delivery, so the hot path performs no per-message allocation). Returns
+  /// false when nothing is pending. Throws std::runtime_error if a single
+  /// symbol cannot fit even in an otherwise empty message (CONGEST violation
+  /// — the protocol used a symbol wider than the model allows).
+  bool schedule_into(std::size_t budget_bits, unsigned header_bits,
+                     Delivery& out);
+
+  /// Convenience wrapper returning a fresh Delivery (tests, LOCAL-mode-free
+  /// callers).
   std::optional<Delivery> schedule(std::size_t budget_bits,
                                    unsigned header_bits);
 
   /// Removes streams whose EOS has been delivered (internal housekeeping;
-  /// called by schedule()).
+  /// called by the schedulers).
   void prune_done();
 
-  /// Drains *all* pending streams into a single unbounded message — the LOCAL
-  /// model of Peleg [20], used by the neighbours-of-neighbours baseline.
-  /// Returns nullopt when nothing is pending.
+  /// Drains *all* pending streams into `out`, one unbounded message per
+  /// stream — the LOCAL model of Peleg [20], used by the
+  /// neighbours-of-neighbours baseline. Returns the number of deliveries
+  /// appended.
+  std::size_t drain_all_into(unsigned header_bits, std::vector<Delivery>& out);
+
+  /// Convenience wrapper for drain_all_into.
   std::optional<std::vector<Delivery>> drain_all(unsigned header_bits);
+
+  /// Number of attached (not yet pruned) streams.
+  [[nodiscard]] std::size_t stream_count() const noexcept {
+    return streams_.size();
+  }
 
  private:
   struct ActiveStream {
     StreamKey key;
-    std::shared_ptr<const SymbolBuffer> buf;
-    std::shared_ptr<const bool> closed;
+    std::shared_ptr<const OutStreamState> state;
     std::size_t next_symbol = 0;
     std::size_t bit_off = 0;
+    bool eos_done = false;  // EOS already delivered
 
     [[nodiscard]] std::size_t pending_symbols() const noexcept {
-      return buf->size() - next_symbol;
+      return state->buf.size() - next_symbol;
     }
     [[nodiscard]] bool pending() const noexcept {
-      return pending_symbols() > 0 || (*closed && !eos_needed_done);
+      return pending_symbols() > 0 || (state->closed && !eos_done);
     }
-    bool eos_needed_done = false;  // EOS already delivered
   };
 
   std::vector<ActiveStream> streams_;

@@ -6,6 +6,13 @@
 
 namespace nc {
 
+// The 5-bit kind and 4-bit version fields below are what bound kMaxMsgKinds
+// and kMaxStreamVersions; keep them in sync.
+static_assert(kMaxMsgKinds == (1u << 5),
+              "kMaxMsgKinds must match the 5-bit kind field of the header");
+static_assert(kMaxStreamVersions == (1u << 4),
+              "kMaxStreamVersions must match the 4-bit version field");
+
 unsigned stream_header_bits(unsigned id_bits) noexcept {
   return 5u + id_bits + 4u + 1u;
 }

@@ -24,6 +24,21 @@ struct StreamKey {
   auto operator<=>(const StreamKey&) const = default;
 };
 
+/// Number of distinct message kinds the wire format supports. The stream
+/// header encodes the kind in 5 bits (see stream_header_bits), so kinds are
+/// restricted to [0, 32): the runtime's fixed-size per-kind tables
+/// (RunStats::bits_by_kind, rx counters, inbox buckets) are sized by this
+/// and NodeApi::open_stream rejects anything out of range instead of
+/// silently aliasing counters.
+inline constexpr std::uint16_t kMaxMsgKinds = 32;
+
+/// Number of distinct stream versions the wire format supports: the header
+/// encodes the boosting version index in 4 bits, so versions live in
+/// [0, 16). NodeApi::open_stream rejects anything out of range — versions
+/// 16 and 0 would alias on the wire and the header accounting would
+/// undercharge.
+inline constexpr std::uint16_t kMaxStreamVersions = 16;
+
 /// Number of header bits a physical message spends identifying its stream:
 /// kind (5) + tag (id bits) + version (4) + end-of-stream flag (1).
 /// FIFO links neither lose nor reorder, so no sequence number is needed.

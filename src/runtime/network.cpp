@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <limits>
+#include <stdexcept>
 
 #include "util/bitio.hpp"
 
@@ -31,19 +32,28 @@ Rng& NodeApi::rng() { return net_->states_[id_].rng; }
 
 OutChannel NodeApi::open_stream(const StreamKey& key,
                                 std::span<const std::size_t> neighbor_indices) {
+  if (key.kind >= kMaxMsgKinds) {
+    throw std::invalid_argument(
+        "open_stream: message kind does not fit the 5-bit header field");
+  }
+  if (key.version >= kMaxStreamVersions) {
+    throw std::invalid_argument(
+        "open_stream: stream version does not fit the 4-bit header field");
+  }
   OutChannel ch;
   auto& links = net_->states_[id_].out_links;
   for (const std::size_t ni : neighbor_indices) {
     assert(ni < links.size());
-    links[ni].add_stream(key, ch.buffer(), ch.closed_flag());
+    links[ni].add_stream(key, ch.state());
   }
   return ch;
 }
 
 OutChannel NodeApi::open_stream_all(const StreamKey& key) {
-  std::vector<std::size_t> all(degree());
-  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
-  return open_stream(key, all);
+  // The shared iota table covers [0, max_degree): a full-fanout open is
+  // allocation-free.
+  return open_stream(
+      key, std::span<const std::size_t>(net_->iota_.data(), degree()));
 }
 
 OutChannel NodeApi::open_stream_one(const StreamKey& key,
@@ -53,26 +63,23 @@ OutChannel NodeApi::open_stream_one(const StreamKey& key,
 }
 
 InStream* NodeApi::find_in(std::size_t ni, const StreamKey& key) {
-  auto& inbox = net_->states_[id_].inbox;
-  const auto it = inbox.find({ni, key});
-  return it == inbox.end() ? nullptr : &it->second;
-}
-
-void NodeApi::for_each_in(
-    std::uint16_t kind,
-    const std::function<void(std::size_t, const StreamKey&, InStream&)>& fn) {
-  auto& inbox = net_->states_[id_].inbox;
-  for (auto& [addr, stream] : inbox) {
-    if (addr.second.kind == kind) fn(addr.first, addr.second, stream);
-  }
+  return net_->states_[id_].inbox.find(ni, key);
 }
 
 std::uint64_t NodeApi::rx_count(std::uint16_t kind) const {
-  return net_->states_[id_].rx_by_kind[kind & 31u];
+  if (kind >= kMaxMsgKinds) {
+    throw std::out_of_range("rx_count: message kind out of range");
+  }
+  return net_->states_[id_].rx_by_kind[kind];
 }
 
 void NodeApi::set_alarm(std::uint64_t round) {
-  net_->states_[id_].alarm = round;
+  auto& st = net_->states_[id_];
+  if (st.done || st.alarm == round) return;
+  st.alarm = round;  // latest call wins; stale bucket entries are skipped
+  if (round != Network::kNoAlarm) {
+    net_->alarm_buckets_[round].push_back(id_);
+  }
 }
 
 void NodeApi::set_done() {
@@ -99,46 +106,111 @@ Network::Network(const Graph& g, const NetConfig& config,
                         ? std::numeric_limits<std::size_t>::max()
                         : static_cast<std::size_t>(config.bandwidth_factor) *
                               id_bits_;
+
+  // CSR mirror: offsets, owners and the reverse-edge index table. Iterating
+  // sources in ascending ID order means, for a fixed target u, sources
+  // arrive in ascending order too — so a per-node cursor yields the position
+  // of the source in u's sorted adjacency list in O(m) total, and deliveries
+  // never binary-search again.
+  edge_base_.resize(static_cast<std::size_t>(n_) + 1, 0);
+  std::size_t max_degree = 0;
+  for (NodeId v = 0; v < n_; ++v) {
+    edge_base_[v + 1] = edge_base_[v] + g.degree(v);
+    max_degree = std::max(max_degree, g.degree(v));
+  }
+  const std::size_t directed_edges = edge_base_[n_];
+  edge_owner_.resize(directed_edges);
+  reverse_index_.resize(directed_edges);
+  {
+    std::vector<std::size_t> cursor(n_, 0);
+    for (NodeId v = 0; v < n_; ++v) {
+      const auto nb = g.neighbors(v);
+      for (std::size_t i = 0; i < nb.size(); ++i) {
+        const std::size_t e = edge_base_[v] + i;
+        edge_owner_[e] = v;
+        reverse_index_[e] = cursor[nb[i]]++;
+      }
+    }
+  }
+  iota_.resize(max_degree);
+  for (std::size_t i = 0; i < max_degree; ++i) iota_[i] = i;
+  link_active_.assign(directed_edges, 0);
+
   const Rng master(config.seed);
   nodes_.reserve(n_);
   states_.reserve(n_);
   for (NodeId v = 0; v < n_; ++v) {
-    NodeState st{master.derive(v), std::vector<Link>(g.degree(v)), {}, {},
-                 kNoAlarm, false};
+    NodeState st;
+    st.rng = master.derive(v);
+    st.out_links.resize(g.degree(v));
     states_.push_back(std::move(st));
     nodes_.push_back(factory(v));
   }
   for (NodeId v = 0; v < n_; ++v) {
     NodeApi api(*this, v);
     nodes_[v]->on_start(api);
+    refresh_outgoing(v);
   }
 }
 
-bool Network::any_link_pending() const noexcept {
-  for (const auto& st : states_) {
-    for (const auto& link : st.out_links) {
-      if (link.has_pending()) return true;
+void Network::wake(NodeId v) {
+  auto& st = states_[v];
+  if (!st.woken && !st.done) {
+    st.woken = true;
+    wake_list_.push_back(v);
+  }
+}
+
+void Network::refresh_outgoing(NodeId v) {
+  const std::size_t base = edge_base_[v];
+  auto& links = states_[v].out_links;
+  for (std::size_t ni = 0; ni < links.size(); ++ni) {
+    const std::size_t e = base + ni;
+    if (!link_active_[e] && links[ni].has_pending()) {
+      link_active_[e] = 1;
+      active_links_.push_back(e);
     }
   }
-  return false;
 }
 
-std::uint64_t Network::min_alarm() const noexcept {
-  std::uint64_t next = kNoAlarm;
-  for (const auto& st : states_) {
-    if (!st.done) next = std::min(next, st.alarm);
+std::uint64_t Network::next_alarm_round() {
+  while (!alarm_buckets_.empty()) {
+    const auto it = alarm_buckets_.begin();
+    const std::uint64_t round = it->first;
+    auto& entries = it->second;
+    std::erase_if(entries, [&](NodeId v) {
+      return states_[v].done || states_[v].alarm != round;
+    });
+    if (!entries.empty()) return round;
+    alarm_buckets_.erase(it);
   }
-  return next;
+  return kNoAlarm;
 }
 
-void Network::deliver(NodeId from, std::size_t ni, const Delivery& d) {
-  const NodeId to = graph_->neighbors(from)[ni];
-  NodeApi to_api(*this, to);
-  const std::size_t back_index = to_api.neighbor_index(from);
-  states_[to].rx_by_kind[d.key.kind & 31u] += 1;
-  auto& stream = states_[to].inbox[{back_index, d.key}];
+void Network::collect_due_alarms() {
+  while (!alarm_buckets_.empty() && alarm_buckets_.begin()->first <= round_) {
+    const auto it = alarm_buckets_.begin();
+    const std::uint64_t round = it->first;
+    for (const NodeId v : it->second) {
+      auto& st = states_[v];
+      if (!st.done && st.alarm == round) {
+        // One-shot: clear before the callback so a set_alarm inside it
+        // re-arms for a future round.
+        st.alarm = kNoAlarm;
+        wake(v);
+      }
+    }
+    alarm_buckets_.erase(it);
+  }
+}
+
+void Network::deliver(NodeId to, std::size_t back_index, const Delivery& d) {
+  auto& st = states_[to];
+  st.rx_by_kind[d.key.kind] += 1;
+  InStream& stream = st.inbox.open(back_index, d.key);
   for (const auto& [value, width] : d.symbols) stream.deliver(value, width);
   if (d.eos) stream.deliver_eos();
+  wake(to);
   stats_.messages += 1;
   stats_.bits += d.wire_bits;
   stats_.max_message_bits = std::max<std::uint64_t>(stats_.max_message_bits,
@@ -147,26 +219,39 @@ void Network::deliver(NodeId from, std::size_t ni, const Delivery& d) {
 }
 
 void Network::deliver_round() {
-  for (NodeId v = 0; v < n_; ++v) {
-    auto& links = states_[v].out_links;
-    for (std::size_t ni = 0; ni < links.size(); ++ni) {
-      if (config_.mode == NetConfig::Mode::kLocal) {
-        if (auto ds = links[ni].drain_all(header_bits_)) {
-          for (const auto& d : *ds) deliver(v, ni, d);
-        }
-      } else {
-        if (auto d = links[ni].schedule(bandwidth_bits_, header_bits_)) {
-          deliver(v, ni, *d);
-        }
+  if (active_links_.empty()) return;
+  // Ascending (owner, neighbour-index) order: identical delivery order to
+  // the historical full scan, which the determinism guarantee locks in.
+  std::sort(active_links_.begin(), active_links_.end());
+  std::size_t kept = 0;
+  for (const std::size_t e : active_links_) {
+    const NodeId from = edge_owner_[e];
+    const std::size_t ni = e - edge_base_[from];
+    Link& link = states_[from].out_links[ni];
+    const NodeId to = graph_->neighbors(from)[ni];
+    const std::size_t back_index = reverse_index_[e];
+    if (config_.mode == NetConfig::Mode::kLocal) {
+      scratch_local_.clear();
+      link.drain_all_into(header_bits_, scratch_local_);
+      for (const auto& d : scratch_local_) deliver(to, back_index, d);
+    } else {
+      if (link.schedule_into(bandwidth_bits_, header_bits_, scratch_)) {
+        deliver(to, back_index, scratch_);
       }
     }
+    if (link.has_pending()) {
+      active_links_[kept++] = e;
+    } else {
+      link_active_[e] = 0;
+    }
   }
+  active_links_.resize(kept);
 }
 
 bool Network::step(bool allow_fast_forward) {
   if (all_done()) return false;
-  if (!any_link_pending()) {
-    const std::uint64_t next = min_alarm();
+  if (active_links_.empty()) {
+    const std::uint64_t next = next_alarm_round();
     // Alarms are one-shot: an alarm at or before the current round already
     // had its wake-up, so an idle network with only stale alarms is stuck.
     if (next == kNoAlarm || next <= round_) {
@@ -185,14 +270,17 @@ bool Network::step(bool allow_fast_forward) {
   }
   ++round_;
   deliver_round();
-  for (NodeId v = 0; v < n_; ++v) {
-    if (states_[v].done) continue;
-    // One-shot alarm: clear before the callback so a set_alarm inside it
-    // re-arms for a future round.
-    if (states_[v].alarm <= round_) states_[v].alarm = kNoAlarm;
+  collect_due_alarms();
+  std::sort(wake_list_.begin(), wake_list_.end());
+  for (const NodeId v : wake_list_) {
+    auto& st = states_[v];
+    st.woken = false;
+    if (st.done) continue;
     NodeApi api(*this, v);
     nodes_[v]->on_round(api);
+    refresh_outgoing(v);
   }
+  wake_list_.clear();
   stats_.rounds = round_;
   return !all_done();
 }

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <array>
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
@@ -9,6 +10,7 @@
 
 #include "graph/graph.hpp"
 #include "runtime/accounting.hpp"
+#include "runtime/inbox.hpp"
 #include "runtime/link.hpp"
 #include "runtime/stream.hpp"
 #include "util/ids.hpp"
@@ -22,10 +24,13 @@ class NodeApi;
 /// A processor in the synchronous message-passing model of Section 2.
 ///
 /// `on_start` runs once before round 1 (local initialization; any messages
-/// enqueued are delivered in round 1). `on_round` runs every executed round
-/// after that round's deliveries. A node signals completion via
-/// NodeApi::set_done(); `on_round` keeps being invoked until the whole
-/// network finishes, so it must be idempotent once done.
+/// enqueued are delivered in round 1). `on_round` runs in every executed
+/// round in which the node is *woken*: a delivery arrived for it in that
+/// round, or an alarm it set (NodeApi::set_alarm) fired. Quiet rounds cost a
+/// node nothing — the simulator is event-driven — so a node that wants to be
+/// polled on a specific round must arm an alarm for it. A node signals
+/// completion via NodeApi::set_done(); until then `on_round` keeps being
+/// invoked on wake-ups, so it must be idempotent once done.
 class INode {
  public:
   virtual ~INode() = default;
@@ -75,6 +80,10 @@ class NodeApi {
   /// Opens an outgoing stream to the given neighbour indices. The returned
   /// channel may be appended to across rounds; close() ends it. The payload
   /// buffer is shared across all listed links (broadcasts store data once).
+  /// Throws std::invalid_argument if key.kind is outside [0, kMaxMsgKinds)
+  /// or key.version outside [0, kMaxStreamVersions) — the wire format's
+  /// 5-bit kind / 4-bit version fields cannot carry them, and the per-kind
+  /// counters would silently alias.
   OutChannel open_stream(const StreamKey& key,
                          std::span<const std::size_t> neighbor_indices);
 
@@ -85,17 +94,23 @@ class NodeApi {
   OutChannel open_stream_one(const StreamKey& key, std::size_t neighbor_index);
 
   /// Incoming stream from neighbour index `ni` with the given key, or
-  /// nullptr if nothing with that key has arrived yet.
+  /// nullptr if nothing with that key has arrived yet. The pointer is valid
+  /// only for the duration of the current callback: the inbox stores
+  /// streams in contiguous per-kind buckets, so the arrival of a new stream
+  /// may relocate existing ones. Re-fetch each round instead of caching.
   [[nodiscard]] InStream* find_in(std::size_t ni, const StreamKey& key);
 
-  /// Invokes `fn(ni, key, stream)` for every incoming stream of `kind`.
-  void for_each_in(std::uint16_t kind,
-                   const std::function<void(std::size_t, const StreamKey&,
-                                            InStream&)>& fn);
+  /// Invokes `fn(ni, key, stream)` for every incoming stream of `kind`, in
+  /// ascending (ni, key) order. `fn` is any callable — the visitor is a
+  /// template, so the hot path pays no std::function indirection. The
+  /// stream references share find_in's lifetime rule: valid only within
+  /// the current callback.
+  template <typename Fn>
+  void for_each_in(std::uint16_t kind, Fn&& fn);
 
   /// Number of deliveries (messages) received so far whose kind is `kind`.
   /// Protocol code uses this to skip inbox scans on rounds where nothing of
-  /// that kind arrived.
+  /// that kind arrived. Throws std::out_of_range for kind >= kMaxMsgKinds.
   [[nodiscard]] std::uint64_t rx_count(std::uint16_t kind) const;
 
   /// Requests a wake-up: the node is idle until the given (absolute) round.
@@ -114,15 +129,20 @@ class NodeApi {
   NodeId id_;
 };
 
-/// Synchronous network simulator.
+/// Synchronous network simulator, event-driven.
 ///
-/// Executes rounds: (1) every directed edge delivers at most one message of
-/// at most B bits (CONGEST) or drains completely (LOCAL); (2) every node's
-/// on_round runs, in ID order. Execution stops when every node is done, when
-/// max_rounds is hit (sets RunStats::hit_round_limit — the deterministic
-/// time-bound wrapper of Section 4.1), or when no traffic is pending and no
-/// alarm is set (sets RunStats::stalled; a liveness guard that protocol bugs
-/// and fault-injection tests exercise).
+/// Executes rounds: (1) every directed edge with pending traffic delivers at
+/// most one message of at most B bits (CONGEST) or drains completely
+/// (LOCAL); (2) every node woken in this round — by a delivery or by its
+/// alarm — runs on_round, in ID order. Idle links and sleeping nodes cost
+/// nothing: the simulator tracks an active set of links with pending traffic
+/// and a bucketed alarm queue, so per-round work is proportional to actual
+/// traffic, not to n + m, and fast-forwarding over an idle stretch is O(1).
+/// Execution stops when every node is done, when max_rounds is hit (sets
+/// RunStats::hit_round_limit — the deterministic time-bound wrapper of
+/// Section 4.1), or when no traffic is pending and no alarm is set in the
+/// future (sets RunStats::stalled; a liveness guard that protocol bugs and
+/// fault-injection tests exercise).
 class Network {
  public:
   /// Builds a network over communication graph `g`. `factory(v)` constructs
@@ -156,25 +176,47 @@ class Network {
   /// True when every node has set_done().
   [[nodiscard]] bool all_done() const noexcept { return done_count_ == n_; }
 
+  /// Links with pending traffic right now (introspection for tests/benches).
+  [[nodiscard]] std::size_t active_link_count() const noexcept {
+    return active_links_.size();
+  }
+
  private:
   friend class NodeApi;
 
   struct NodeState {
     Rng rng;
     std::vector<Link> out_links;  // by neighbour index
-    std::map<std::pair<std::size_t, StreamKey>, InStream> inbox;
-    std::array<std::uint64_t, 32> rx_by_kind{};
+    Inbox inbox;
+    std::array<std::uint64_t, kMaxMsgKinds> rx_by_kind{};
     std::uint64_t alarm = kNoAlarm;
     bool done = false;
+    bool woken = false;  // queued in this round's wake list
   };
   static constexpr std::uint64_t kNoAlarm = ~0ULL;
 
   /// Executes one round; returns false when execution must stop.
   bool step(bool allow_fast_forward);
   void deliver_round();
-  void deliver(NodeId from, std::size_t ni, const Delivery& d);
-  [[nodiscard]] bool any_link_pending() const noexcept;
-  [[nodiscard]] std::uint64_t min_alarm() const noexcept;
+  void deliver(NodeId to, std::size_t back_index, const Delivery& d);
+
+  /// Queues `v` for this round's on_round pass (no-op if done or queued).
+  void wake(NodeId v);
+
+  /// Re-scans v's outgoing links after one of its callbacks ran, adding any
+  /// that now carry traffic to the active set. All stream writes happen
+  /// inside the owning node's callbacks, so this is the only place a link
+  /// can turn pending.
+  void refresh_outgoing(NodeId v);
+
+  /// Smallest round with a validly armed alarm of a live node, or kNoAlarm.
+  /// Lazily discards stale bucket entries (alarms that were overwritten or
+  /// whose node finished). O(1) amortized.
+  [[nodiscard]] std::uint64_t next_alarm_round();
+
+  /// Pops every alarm bucket due at or before the current round, waking the
+  /// nodes whose alarms are validly armed (one-shot: clears them).
+  void collect_due_alarms();
 
   const Graph* graph_;
   NetConfig config_;
@@ -186,7 +228,37 @@ class Network {
   NodeId done_count_ = 0;
   std::vector<std::unique_ptr<INode>> nodes_;
   std::vector<NodeState> states_;
+
+  // CSR mirror of the communication graph's directed edges. Edge
+  // e = edge_base_[v] + ni is v's ni-th outgoing link; reverse_index_[e] is
+  // the index of v in the *target's* adjacency list, precomputed so a
+  // delivery does no binary search; edge_owner_[e] recovers v from e.
+  std::vector<std::size_t> edge_base_;     // n+1 offsets
+  std::vector<NodeId> edge_owner_;         // 2m
+  std::vector<std::size_t> reverse_index_; // 2m
+
+  // Shared iota [0, max_degree) so open_stream_all needs no allocation.
+  std::vector<std::size_t> iota_;
+
+  // Active set: directed edges whose Link currently has pending traffic.
+  std::vector<std::size_t> active_links_;
+  std::vector<std::uint8_t> link_active_;  // 2m membership flags
+
+  // Wake machinery: nodes to run this round, and the alarm buckets
+  // (round -> armed nodes; entries are lazily invalidated on re-arm).
+  std::vector<NodeId> wake_list_;
+  std::map<std::uint64_t, std::vector<NodeId>> alarm_buckets_;
+
+  // Scratch buffers reused across deliveries (no per-message allocation).
+  Delivery scratch_;
+  std::vector<Delivery> scratch_local_;
+
   RunStats stats_;
 };
+
+template <typename Fn>
+void NodeApi::for_each_in(std::uint16_t kind, Fn&& fn) {
+  net_->states_[id_].inbox.for_each(kind, std::forward<Fn>(fn));
+}
 
 }  // namespace nc

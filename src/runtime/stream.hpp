@@ -7,46 +7,51 @@
 
 namespace nc {
 
+/// Shared state of one outgoing logical stream: the packed symbol payload
+/// plus the closed flag. One heap allocation per stream, shared between the
+/// producer's OutChannel and every Link the stream was opened on (a
+/// broadcast to many neighbours stores its payload once).
+struct OutStreamState {
+  SymbolBuffer buf;
+  bool closed = false;
+};
+
 /// Producer handle for an outgoing logical stream.
 ///
-/// The backing SymbolBuffer is shared with every link the stream was opened
-/// on (and with the accountant), so a broadcast to many neighbours stores its
-/// payload once. Appending after the runtime has started draining the stream
-/// is allowed — that is what makes the coordinate-pipelined convergecasts of
-/// Lemma 5.1 possible — and `close()` marks the logical end of stream, which
-/// links deliver to receivers as an EOS flag.
+/// Appending after the runtime has started draining the stream is allowed —
+/// that is what makes the coordinate-pipelined convergecasts of Lemma 5.1
+/// possible — and `close()` marks the logical end of stream, which links
+/// deliver to receivers as an EOS flag.
 class OutChannel {
  public:
-  OutChannel()
-      : buf_(std::make_shared<SymbolBuffer>()),
-        closed_(std::make_shared<bool>(false)) {}
+  OutChannel() : state_(std::make_shared<OutStreamState>()) {}
 
   /// Appends one symbol. Precondition: not closed.
-  void put(std::uint64_t value, unsigned width) { buf_->put(value, width); }
+  void put(std::uint64_t value, unsigned width) {
+    state_->buf.put(value, width);
+  }
 
   /// Appends one bit.
-  void put_bit(bool b) { buf_->put_bit(b); }
+  void put_bit(bool b) { state_->buf.put_bit(b); }
 
   /// Marks end of stream; links will deliver EOS after the last symbol.
-  void close() { *closed_ = true; }
+  void close() { state_->closed = true; }
 
   /// True once close() has been called.
-  [[nodiscard]] bool closed() const noexcept { return *closed_; }
+  [[nodiscard]] bool closed() const noexcept { return state_->closed; }
 
   /// Symbols written so far.
-  [[nodiscard]] std::size_t size() const noexcept { return buf_->size(); }
+  [[nodiscard]] std::size_t size() const noexcept {
+    return state_->buf.size();
+  }
 
   /// Shared state, used by links.
-  [[nodiscard]] std::shared_ptr<const SymbolBuffer> buffer() const noexcept {
-    return buf_;
-  }
-  [[nodiscard]] std::shared_ptr<const bool> closed_flag() const noexcept {
-    return closed_;
+  [[nodiscard]] std::shared_ptr<const OutStreamState> state() const noexcept {
+    return state_;
   }
 
  private:
-  std::shared_ptr<SymbolBuffer> buf_;
-  std::shared_ptr<bool> closed_;
+  std::shared_ptr<OutStreamState> state_;
 };
 
 /// Receiver side of a logical stream: a growing buffer of delivered symbols

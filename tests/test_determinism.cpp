@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+
+#include "core/driver.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+// Determinism regression suite: the full protocol on three fixed-seed
+// graphs must reproduce the exact RunStats and output labels recorded from
+// the pre-event-driven simulator (the per-round full-scan implementation
+// this repository started from). Any change to the runtime that alters
+// delivery order, wake-up order, alarm semantics or accounting shows up
+// here as a hard failure, which is the repository's guarantee that perf
+// work on the simulator core never changes simulated executions.
+
+namespace nc {
+namespace {
+
+struct Expected {
+  std::uint64_t rounds;
+  std::uint64_t messages;
+  std::uint64_t bits;
+  std::uint64_t max_message_bits;
+  std::uint64_t label_hash;  ///< FNV-1a over the label vector, in node order
+  std::size_t nonbottom;     ///< nodes with a non-bottom label
+  std::uint64_t local_ops;   ///< summed local computation
+};
+
+std::uint64_t label_hash(const std::vector<Label>& labels) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const Label l : labels) {
+    h ^= l;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+void expect_exact(const Graph& g, const DriverConfig& cfg,
+                  const Expected& want) {
+  const auto res = run_dist_near_clique(g, cfg);
+  EXPECT_FALSE(res.stats.stalled);
+  EXPECT_FALSE(res.stats.hit_round_limit);
+  EXPECT_EQ(res.stats.rounds, want.rounds);
+  EXPECT_EQ(res.stats.messages, want.messages);
+  EXPECT_EQ(res.stats.bits, want.bits);
+  EXPECT_EQ(res.stats.max_message_bits, want.max_message_bits);
+  std::uint64_t kind_bits = 0;
+  for (const auto b : res.stats.bits_by_kind) kind_bits += b;
+  EXPECT_EQ(kind_bits, want.bits);  // per-kind attribution is exhaustive
+  EXPECT_EQ(label_hash(res.labels), want.label_hash);
+  std::size_t nonbottom = 0;
+  for (const Label l : res.labels) nonbottom += (l != kBottom);
+  EXPECT_EQ(nonbottom, want.nonbottom);
+  EXPECT_EQ(res.total_local_ops, want.local_ops);
+}
+
+TEST(DeterminismRegression, PlantedClique60) {
+  Rng rng(7);
+  PlantedNearCliqueParams pp;
+  pp.n = 60;
+  pp.clique_size = 24;
+  pp.eps_missing = 0.0;
+  pp.background_p = 0.08;
+  pp.halo_p = 0.25;
+  const auto inst = planted_near_clique(pp, rng);
+  DriverConfig cfg;
+  cfg.proto.eps = 0.2;
+  cfg.proto.p = 0.08;
+  cfg.net.seed = 3;
+  cfg.net.max_rounds = 300'000;
+  expect_exact(inst.graph, cfg,
+               Expected{68, 7045, 246118, 48, 9160231386051612719ULL, 22,
+                        64751});
+}
+
+TEST(DeterminismRegression, PlantedPartition48TwoVersions) {
+  Rng rng(11);
+  const auto inst = planted_partition(48, 3, 0.85, 0.05, rng);
+  DriverConfig cfg;
+  cfg.proto.eps = 0.25;
+  cfg.proto.p = 0.15;
+  cfg.proto.versions = 2;  // exercises version windows + fast-forward
+  cfg.net.seed = 17;
+  cfg.net.max_rounds = 300'000;
+  expect_exact(inst.graph, cfg,
+               Expected{149818, 5577, 135883, 47, 6247598316484435304ULL, 11,
+                        13443});
+}
+
+TEST(DeterminismRegression, ErdosRenyi40MinReportSize) {
+  Rng rng(5);
+  const Graph g = erdos_renyi(40, 0.18, rng);
+  DriverConfig cfg;
+  cfg.proto.eps = 0.2;
+  cfg.proto.p = 0.2;
+  cfg.proto.min_report_size = 2;
+  cfg.net.seed = 23;
+  cfg.net.max_rounds = 300'000;
+  expect_exact(g, cfg,
+               Expected{66, 1996, 65272, 47, 2160690531911529915ULL, 0, 8411});
+}
+
+TEST(DeterminismRegression, RepeatRunsAreIdentical) {
+  Rng rng(7);
+  PlantedNearCliqueParams pp;
+  pp.n = 40;
+  pp.clique_size = 16;
+  pp.background_p = 0.1;
+  pp.halo_p = 0.2;
+  const auto inst = planted_near_clique(pp, rng);
+  DriverConfig cfg;
+  cfg.proto.eps = 0.2;
+  cfg.proto.p = 0.1;
+  cfg.net.seed = 99;
+  const auto a = run_dist_near_clique(inst.graph, cfg);
+  const auto b = run_dist_near_clique(inst.graph, cfg);
+  EXPECT_EQ(a.stats.rounds, b.stats.rounds);
+  EXPECT_EQ(a.stats.messages, b.stats.messages);
+  EXPECT_EQ(a.stats.bits, b.stats.bits);
+  EXPECT_EQ(a.stats.bits_by_kind, b.stats.bits_by_kind);
+  EXPECT_EQ(a.labels, b.labels);
+}
+
+}  // namespace
+}  // namespace nc

@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <tuple>
+#include <vector>
+
+#include "runtime/inbox.hpp"
+
+// Direct unit tests of the flat kind-bucketed inbox: deterministic
+// (ni, key) iteration order, kind isolation, find/open semantics and the
+// kind-range guard.
+
+namespace nc {
+namespace {
+
+using Seen = std::vector<std::tuple<std::size_t, NodeId, std::uint16_t>>;
+
+Seen collect(Inbox& inbox, std::uint16_t kind) {
+  Seen seen;
+  inbox.for_each(kind, [&](std::size_t ni, const StreamKey& key, InStream&) {
+    EXPECT_EQ(key.kind, kind);
+    seen.emplace_back(ni, key.tag, key.version);
+  });
+  return seen;
+}
+
+TEST(Inbox, IterationOrderIsSortedRegardlessOfInsertionOrder) {
+  Inbox inbox;
+  // Scrambled insertion: (ni, tag, version) triples of kind 3.
+  const std::vector<std::tuple<std::size_t, NodeId, std::uint16_t>> scrambled{
+      {2, 5, 0}, {0, 9, 1}, {2, 1, 2}, {0, 9, 0}, {1, 0, 0}, {2, 1, 1}};
+  for (const auto& [ni, tag, version] : scrambled) {
+    (void)inbox.open(ni, StreamKey{3, tag, version});
+  }
+  const Seen want{{0, 9, 0}, {0, 9, 1}, {1, 0, 0},
+                  {2, 1, 1}, {2, 1, 2}, {2, 5, 0}};
+  EXPECT_EQ(collect(inbox, 3), want);
+}
+
+TEST(Inbox, KindsAreIsolated) {
+  Inbox inbox;
+  (void)inbox.open(0, StreamKey{1, 7, 0});
+  (void)inbox.open(1, StreamKey{2, 7, 0});
+  (void)inbox.open(2, StreamKey{1, 8, 0});
+  EXPECT_EQ(collect(inbox, 1).size(), 2u);
+  EXPECT_EQ(collect(inbox, 2).size(), 1u);
+  EXPECT_TRUE(collect(inbox, 5).empty());
+  EXPECT_EQ(inbox.size(), 3u);
+}
+
+TEST(Inbox, OpenIsFindOrCreateAndFindDoesNotCreate) {
+  Inbox inbox;
+  const StreamKey key{4, 11, 2};
+  EXPECT_EQ(inbox.find(3, key), nullptr);
+  InStream& s = inbox.open(3, key);
+  s.deliver(42, 8);
+  InStream* found = inbox.find(3, key);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found, &inbox.open(3, key));  // same stream, not a duplicate
+  EXPECT_EQ(found->pop(), 42u);
+  // Near-miss keys do not match.
+  EXPECT_EQ(inbox.find(3, StreamKey{4, 11, 3}), nullptr);
+  EXPECT_EQ(inbox.find(3, StreamKey{4, 12, 2}), nullptr);
+  EXPECT_EQ(inbox.find(2, key), nullptr);
+  EXPECT_EQ(inbox.size(), 1u);
+}
+
+TEST(Inbox, OutOfRangeKindThrows) {
+  Inbox inbox;
+  EXPECT_THROW((void)inbox.find(0, StreamKey{32, 0, 0}), std::invalid_argument);
+  EXPECT_THROW((void)inbox.open(0, StreamKey{40, 0, 0}), std::invalid_argument);
+  EXPECT_THROW(inbox.for_each(99, [](std::size_t, const StreamKey&,
+                                     InStream&) {}),
+               std::invalid_argument);
+  // The largest valid kind works.
+  EXPECT_NO_THROW((void)inbox.open(0, StreamKey{kMaxMsgKinds - 1, 0, 0}));
+}
+
+}  // namespace
+}  // namespace nc

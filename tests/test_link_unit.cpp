@@ -16,7 +16,7 @@ constexpr unsigned kHeader = 16;
 
 OutChannel attach(Link& link, const StreamKey& key) {
   OutChannel ch;
-  link.add_stream(key, ch.buffer(), ch.closed_flag());
+  link.add_stream(key, ch.state());
   return ch;
 }
 
@@ -170,9 +170,11 @@ TEST(Link, PruneKeepsActiveStreams) {
   done.close();
   auto live = attach(link, StreamKey{2, 0, 0});
   live.put(2, 4);
+  EXPECT_EQ(link.stream_count(), 2u);
   (void)link.schedule(kHeader + 64, kHeader);  // drains `done` + its EOS
   (void)link.schedule(kHeader + 64, kHeader);  // drains `live`'s symbol
   link.prune_done();
+  EXPECT_EQ(link.stream_count(), 1u);  // `done` pruned, `live` kept
   EXPECT_FALSE(link.has_pending());  // live has no pending symbols...
   live.put(3, 4);
   EXPECT_TRUE(link.has_pending());  // ...but is still attached after prune
