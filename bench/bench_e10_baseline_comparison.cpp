@@ -24,7 +24,7 @@
 #include "baselines/shingles.hpp"
 #include "bench_common.hpp"
 #include "core/driver.hpp"
-#include "expt/workloads.hpp"
+#include "expt/scenario.hpp"
 #include "graph/metrics.hpp"
 #include "util/stats.hpp"
 
@@ -77,7 +77,14 @@ void BM_Comparison(benchmark::State& state) {
   Row dist, shingles, nn, peel, grasp, ggr;
 
   for (std::uint64_t seed = 1; seed <= 8; ++seed) {
-    const auto inst = make_theorem_instance(n, 0.4, eps, 0.08, 0.2, seed);
+    const auto inst = make_scenario("theorem",
+                                    ScenarioParams()
+                                        .with("n", n)
+                                        .with("delta", 0.4)
+                                        .with("eps", eps)
+                                        .with("background_p", 0.08)
+                                        .with("halo_p", 0.2),
+                                    seed);
 
     {
       DriverConfig cfg;

@@ -15,7 +15,7 @@
 #include "bench_common.hpp"
 #include "core/driver.hpp"
 #include "core/protocol.hpp"
-#include "expt/workloads.hpp"
+#include "expt/scenario.hpp"
 #include "graph/metrics.hpp"
 #include "runtime/network.hpp"
 
@@ -53,8 +53,10 @@ std::vector<Label> labels_after(const Graph& g, std::uint64_t rounds,
 void BM_Indistinguishability(benchmark::State& state) {
   const NodeId n = 96;
   const auto lay = barbell_layout(n);
-  const auto with_a = make_barbell_instance(n, false);
-  const auto without_a = make_barbell_instance(n, true);
+  const auto with_a = make_scenario(
+      "barbell", ScenarioParams().with("n", n).with("delete_a_edges", 0), 0);
+  const auto without_a = make_scenario(
+      "barbell", ScenarioParams().with("n", n).with("delete_a_edges", 1), 0);
   const auto r = static_cast<std::uint64_t>(state.range(0));
 
   std::size_t differing = 0;
@@ -100,7 +102,9 @@ void BM_FullRunResolution(benchmark::State& state) {
   const NodeId n = 96;
   const auto lay = barbell_layout(n);
   for (const bool delete_a : {false, true}) {
-    const auto inst = make_barbell_instance(n, delete_a);
+    const auto inst = make_scenario(
+        "barbell",
+        ScenarioParams().with("n", n).with("delete_a_edges", delete_a), 0);
     DriverConfig cfg;
     cfg.proto.eps = 0.2;
     cfg.proto.p = 0.12;

@@ -13,7 +13,7 @@
 
 #include "bench_common.hpp"
 #include "core/driver.hpp"
-#include "expt/workloads.hpp"
+#include "expt/scenario.hpp"
 #include "graph/metrics.hpp"
 #include "util/stats.hpp"
 
@@ -39,7 +39,14 @@ void BM_LocalCompute(benchmark::State& state) {
 
   RunningStat ops, size, density, recall;
   for (std::uint64_t seed = 1; seed <= 8; ++seed) {
-    const auto inst = make_theorem_instance(n, 0.4, eps, 0.08, 0.25, seed);
+    const auto inst = make_scenario("theorem",
+                                    ScenarioParams()
+                                        .with("n", n)
+                                        .with("delta", 0.4)
+                                        .with("eps", eps)
+                                        .with("background_p", 0.08)
+                                        .with("halo_p", 0.25),
+                                    seed);
     DriverConfig cfg;
     cfg.proto.eps = eps;
     cfg.proto.p = 9.0 / static_cast<double>(n);

@@ -17,7 +17,6 @@
 #include "core/driver.hpp"
 #include "expt/report.hpp"
 #include "expt/trial.hpp"
-#include "expt/workloads.hpp"
 
 namespace {
 
@@ -42,9 +41,12 @@ void BM_Theorem57(benchmark::State& state) {
   const std::size_t trials = 10;
 
   TrialSpec spec;
-  spec.make_instance = [=](std::uint64_t seed) {
-    return make_theorem_instance(n, delta, eps, 0.08, 0.25, seed);
-  };
+  spec.make_instance = scenario_maker("theorem", ScenarioParams()
+                                                    .with("n", n)
+                                                    .with("delta", delta)
+                                                    .with("eps", eps)
+                                                    .with("background_p", 0.08)
+                                                    .with("halo_p", 0.25));
   spec.run = [=](const Graph& g, std::uint64_t seed) {
     DriverConfig cfg;
     cfg.proto.eps = eps;

@@ -13,7 +13,6 @@
 #include "core/driver.hpp"
 #include "expt/report.hpp"
 #include "expt/trial.hpp"
-#include "expt/workloads.hpp"
 #include "util/bitio.hpp"
 
 namespace {
@@ -38,9 +37,8 @@ void BM_LinearSize(benchmark::State& state) {
   const std::size_t trials = 6;
 
   TrialSpec spec;
-  spec.make_instance = [=](std::uint64_t seed) {
-    return make_linear_instance(n, eps, seed);
-  };
+  spec.make_instance = scenario_maker(
+      "linear", ScenarioParams().with("n", n).with("eps", eps));
   spec.run = [=](const Graph& g, std::uint64_t seed) {
     DriverConfig cfg;
     cfg.proto.eps = eps;

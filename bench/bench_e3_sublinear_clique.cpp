@@ -16,7 +16,6 @@
 #include "core/driver.hpp"
 #include "expt/report.hpp"
 #include "expt/trial.hpp"
-#include "expt/workloads.hpp"
 
 namespace {
 
@@ -40,9 +39,8 @@ void BM_Sublinear(benchmark::State& state) {
   const std::size_t trials = 4;
 
   TrialSpec spec;
-  spec.make_instance = [=](std::uint64_t seed) {
-    return make_sublinear_instance(n, alpha, seed);
-  };
+  spec.make_instance = scenario_maker(
+      "sublinear", ScenarioParams().with("n", n).with("alpha", alpha));
   spec.run = [=](const Graph& g, std::uint64_t seed) {
     DriverConfig cfg;
     cfg.proto.eps = eps;
@@ -72,7 +70,10 @@ void BM_Sublinear(benchmark::State& state) {
   state.counters["success_rate"] = stats.success_rate();
   state.counters["rounds_per_polylog"] = stats.rounds.mean() / polylog;
 
-  const auto d = make_sublinear_instance(n, alpha, 1).planted.size();
+  const auto d =
+      make_scenario("sublinear",
+                    ScenarioParams().with("n", n).with("alpha", alpha), 1)
+          .planted.size();
   std::vector<std::string> row{
       Table::num(static_cast<std::uint64_t>(n)),
       Table::num(static_cast<std::uint64_t>(d)),

@@ -18,7 +18,7 @@
 #include "baselines/shingles.hpp"
 #include "bench_common.hpp"
 #include "core/driver.hpp"
-#include "expt/workloads.hpp"
+#include "expt/scenario.hpp"
 #include "graph/metrics.hpp"
 #include "util/stats.hpp"
 
@@ -48,7 +48,9 @@ void BM_Counterexample(benchmark::State& state) {
   RunningStat sh_density, sh_size, nc_size, nc_density;
   for (std::size_t t = 0; t < trials; ++t) {
     const std::uint64_t seed = 1000 + t;
-    const auto inst = make_counterexample_instance(n, delta, seed);
+    const auto inst = make_scenario(
+        "counterexample",
+        ScenarioParams().with("n", n).with("delta", delta), seed);
 
     ShinglesParams sp;
     sp.eps = eps;

@@ -16,7 +16,7 @@
 #include "core/oracle.hpp"
 #include "core/protocol.hpp"
 #include "expt/report.hpp"
-#include "expt/workloads.hpp"
+#include "expt/scenario.hpp"
 #include "util/stats.hpp"
 
 namespace {
@@ -43,7 +43,14 @@ void BM_RoundsVsSampleSize(benchmark::State& state) {
   RunningStat s_size, rounds, log_rounds, explore_share;
   for (std::size_t t = 0; t < trials; ++t) {
     const std::uint64_t seed = 100 + t;
-    const auto inst = make_theorem_instance(n, 0.5, 0.0, 0.08, 0.25, seed);
+    const auto inst = make_scenario("theorem",
+                                    ScenarioParams()
+                                        .with("n", n)
+                                        .with("delta", 0.5)
+                                        .with("eps", 0.0)
+                                        .with("background_p", 0.08)
+                                        .with("halo_p", 0.25),
+                                    seed);
     DriverConfig cfg;
     cfg.proto.eps = 0.2;
     cfg.proto.p = pn / static_cast<double>(n);

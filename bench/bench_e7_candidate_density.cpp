@@ -11,8 +11,7 @@
 
 #include "bench_common.hpp"
 #include "core/oracle.hpp"
-#include "expt/workloads.hpp"
-#include "graph/generators.hpp"
+#include "expt/scenario.hpp"
 #include "graph/metrics.hpp"
 #include "util/stats.hpp"
 
@@ -67,7 +66,14 @@ void BM_PlantedFamily(benchmark::State& state) {
   }
   run_family("planted", eps,
              [](std::uint64_t seed) {
-               return make_theorem_instance(150, 0.4, 0.2, 0.1, 0.25, seed);
+               return make_scenario("theorem",
+                                    ScenarioParams()
+                                        .with("n", 150)
+                                        .with("delta", 0.4)
+                                        .with("eps", 0.2)
+                                        .with("background_p", 0.1)
+                                        .with("halo_p", 0.25),
+                                    seed);
              },
              state);
 }
@@ -79,8 +85,9 @@ void BM_ErdosRenyiFamily(benchmark::State& state) {
   }
   run_family("G(150,0.3)", eps,
              [](std::uint64_t seed) {
-               Rng rng(seed);
-               return Instance{erdos_renyi(150, 0.3, rng), {}};
+               return make_scenario(
+                   "erdos_renyi",
+                   ScenarioParams().with("n", 150).with("p", 0.3), seed);
              },
              state);
 }
@@ -92,7 +99,12 @@ void BM_WebFamily(benchmark::State& state) {
   }
   run_family("power-law web", eps,
              [](std::uint64_t seed) {
-               return make_web_instance(200, 40, 0.2, seed);
+               return make_scenario("web",
+                                    ScenarioParams()
+                                        .with("n", 200)
+                                        .with("community", 40)
+                                        .with("eps", 0.2),
+                                    seed);
              },
              state);
 }

@@ -15,7 +15,6 @@
 #include "core/boosting.hpp"
 #include "core/driver.hpp"
 #include "expt/trial.hpp"
-#include "expt/workloads.hpp"
 #include "util/stats.hpp"
 
 namespace {
@@ -44,7 +43,14 @@ void BM_Boosting(benchmark::State& state) {
 
   TrialSpec spec;
   spec.make_instance = [=](std::uint64_t seed) {
-    return make_theorem_instance(n, delta, eps, 0.08, 0.25, seed);
+    return make_scenario("theorem",
+                         ScenarioParams()
+                             .with("n", n)
+                             .with("delta", delta)
+                             .with("eps", eps)
+                             .with("background_p", 0.08)
+                             .with("halo_p", 0.25),
+                         seed);
   };
   spec.run = [=](const Graph& g, std::uint64_t seed) {
     DriverConfig cfg;

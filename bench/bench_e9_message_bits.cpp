@@ -10,7 +10,7 @@
 
 #include "bench_common.hpp"
 #include "core/driver.hpp"
-#include "expt/workloads.hpp"
+#include "expt/scenario.hpp"
 #include "util/bitio.hpp"
 #include "util/stats.hpp"
 
@@ -33,7 +33,14 @@ void BM_MessageBits(benchmark::State& state) {
 
   RunningStat max_bits, total_bits;
   for (std::uint64_t seed = 1; seed <= 5; ++seed) {
-    const auto inst = make_theorem_instance(n, 0.5, eps, 0.08, 0.25, seed);
+    const auto inst = make_scenario("theorem",
+                                    ScenarioParams()
+                                        .with("n", n)
+                                        .with("delta", 0.5)
+                                        .with("eps", eps)
+                                        .with("background_p", 0.08)
+                                        .with("halo_p", 0.25),
+                                    seed);
     DriverConfig cfg;
     cfg.proto.eps = eps;
     cfg.proto.p = pn / static_cast<double>(n);

@@ -1,0 +1,167 @@
+// Instance-pipeline throughput benchmark: wall-clock seconds and edges/sec
+// to *generate and CSR-build* large sparse instances. Companion to
+// bench_runtime_scale (which tracks the simulator hot path): after PR 2 the
+// generators are O(n + m) streaming samplers feeding a move-based
+// counting-sort CSR build, so a 1M-node, ~avg-degree-10 instance of every
+// randomized family must come out in seconds, not hours — this bench is the
+// artifact that pins that.
+//
+// Workloads (all ~avg-degree-10 at n = 1M by default):
+//  - erdos_renyi:        geometric skip-sampling G(n, p)
+//  - power_law_web:      alias-table expected-degree (Chung-Lu) sampling
+//                        with a planted community, plus the O(n + m) CSR
+//                        permutation
+//  - planted_near_clique: knocked-out clique + skip-sampled background/halo
+//  - planted_partition:  per-row in/out-group skip-sampling
+//  - random_geometric:   uniform-grid bucketing (3x3-cell probes)
+//  - er_reference_20k:   the exact O(n^2) sampler at n = 20k, kept as the
+//                        before/after comparison point
+//
+// Usage: bench_generator_scale [--json PATH] [--full]
+//   --json PATH  write the JSON artifact (default BENCH_generators.json)
+//   --full       additionally run 4M-node erdos_renyi and power_law_web
+
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace nc {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Row {
+  std::string name;
+  std::uint64_t n = 0;
+  std::uint64_t m = 0;
+  double seconds = 0;
+
+  [[nodiscard]] double edges_per_sec() const {
+    return seconds > 0 ? static_cast<double>(m) / seconds : 0;
+  }
+};
+
+Row time_generation(const std::string& name, NodeId n,
+                    const std::function<Graph(Rng&)>& make) {
+  Row row;
+  row.name = name;
+  row.n = n;
+  Rng rng(0xbe9c);
+  const auto t0 = Clock::now();
+  const Graph g = make(rng);
+  row.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+  row.m = g.m();
+  return row;
+}
+
+std::vector<Row> run_all(bool full) {
+  std::vector<Row> rows;
+  const auto add = [&rows](const std::string& name, NodeId n,
+                           const std::function<Graph(Rng&)>& make) {
+    rows.push_back(time_generation(name, n, make));
+    const Row& r = rows.back();
+    std::cout << r.name << " n=" << r.n << " m=" << r.m << " seconds="
+              << r.seconds << " edges/sec=" << r.edges_per_sec() << "\n";
+  };
+
+  const auto er = [](NodeId n) {
+    return [n](Rng& rng) {
+      return erdos_renyi(n, 10.0 / static_cast<double>(n - 1), rng);
+    };
+  };
+  const auto plw = [](NodeId n) {
+    return [n](Rng& rng) {
+      return power_law_web(n, 2.5, 10.0, /*community=*/1000,
+                           /*eps_missing=*/0.1, rng)
+          .graph;
+    };
+  };
+
+  add("erdos_renyi", 1'000'000, er(1'000'000));
+  add("power_law_web", 1'000'000, plw(1'000'000));
+  add("planted_near_clique", 1'000'000, [](Rng& rng) {
+    PlantedNearCliqueParams pp;
+    pp.n = 1'000'000;
+    pp.clique_size = 2000;
+    pp.eps_missing = 0.05;
+    pp.background_p = 8.0 / static_cast<double>(pp.n);
+    pp.halo_p = 20.0 / static_cast<double>(pp.n);
+    return planted_near_clique(pp, rng).graph;
+  });
+  add("planted_partition", 1'000'000, [](Rng& rng) {
+    // 100 groups of 10k: in-degree ~16, out-degree ~2.
+    return planted_partition(1'000'000, 100, 16.0 / 10'000.0,
+                             2.0 / 990'000.0, rng)
+        .graph;
+  });
+  add("random_geometric", 1'000'000, [](Rng& rng) {
+    // pi * r^2 * n ~ 10 => r ~ 0.00178.
+    return random_geometric(1'000'000, 0.00178, rng);
+  });
+  // Before/after comparison point: the exact O(n^2) reference sampler at a
+  // size it can still stomach (2e8 pair draws).
+  add("er_reference_20k", 20'000, [](Rng& rng) {
+    return erdos_renyi_reference(20'000, 10.0 / 19'999.0, rng);
+  });
+  add("er_streaming_20k", 20'000, [](Rng& rng) {
+    return erdos_renyi_streaming(20'000, 10.0 / 19'999.0, rng);
+  });
+
+  if (full) {
+    add("erdos_renyi", 4'000'000, er(4'000'000));
+    add("power_law_web", 4'000'000, plw(4'000'000));
+  }
+  return rows;
+}
+
+bool write_json(const std::string& path, const std::vector<Row>& rows) {
+  std::ofstream os(path);
+  os << "{\n  \"bench\": \"generator_scale\",\n";
+  os << "  \"note\": \"seconds = generate + CSR-build, wall clock; "
+        "er_reference_20k is the exact O(n^2) sampler kept for "
+        "comparison\",\n";
+  os << "  \"results\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    os << "    {\"name\": \"" << r.name << "\", \"n\": " << r.n
+       << ", \"m\": " << r.m << ", \"seconds\": " << r.seconds
+       << ", \"edges_per_sec\": " << r.edges_per_sec() << "}"
+       << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  return os.good();
+}
+
+}  // namespace
+}  // namespace nc
+
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_generators.json";
+  bool full = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--full") == 0) {
+      full = true;
+    } else {
+      std::cerr << "usage: bench_generator_scale [--json PATH] [--full]\n"
+                << "unknown argument: " << argv[i] << "\n";
+      return 2;
+    }
+  }
+  const auto rows = nc::run_all(full);
+  if (!nc::write_json(json_path, rows)) {
+    std::cerr << "error: could not write " << json_path << "\n";
+    return 1;
+  }
+  std::cout << "wrote " << json_path << "\n";
+  return 0;
+}

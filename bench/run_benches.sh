@@ -4,6 +4,7 @@
 #
 # Usage: bench/run_benches.sh [--full] [--experiments]
 #   --full         run bench_runtime_scale with the 500k-node configuration
+#                  and bench_generator_scale with the 4M-node configuration
 #   --experiments  also run the (slow) E1..E12 google-benchmark experiments
 set -euo pipefail
 
@@ -25,6 +26,7 @@ cmake --preset release -DNC_BUILD_TESTS=OFF
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 
 "$BUILD_DIR/bench_runtime_scale" $FULL_FLAG --json "$REPO_ROOT/BENCH_runtime.json"
+"$BUILD_DIR/bench_generator_scale" $FULL_FLAG --json "$REPO_ROOT/BENCH_generators.json"
 
 if [[ "$RUN_EXPERIMENTS" -eq 1 ]]; then
   for bin in "$BUILD_DIR"/bench_e*; do

@@ -13,8 +13,7 @@
 #include <cstdio>
 
 #include "core/driver.hpp"
-#include "graph/builder.hpp"
-#include "graph/generators.hpp"
+#include "expt/scenario.hpp"
 #include "graph/metrics.hpp"
 #include "util/cli.hpp"
 
@@ -26,16 +25,15 @@ int main(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
 
   // Geometric background + a hot-spot: the last `hotspot` nodes also form a
-  // clique (devices packed within mutual radio range).
-  nc::Rng rng(seed);
-  const auto background = nc::random_geometric(n, radius, rng);
-  nc::GraphBuilder builder(n);
-  for (const auto& [u, v] : background.edge_list()) builder.add_edge(u, v);
-  std::vector<nc::NodeId> dense;
-  for (nc::NodeId v = n - hotspot; v < n; ++v) dense.push_back(v);
-  builder.add_clique(dense);
-  nc::Rng perm_rng(seed ^ 0xad);
-  const auto inst = nc::permute_instance(builder.build(), dense, perm_rng);
+  // clique (devices packed within mutual radio range). The composite is a
+  // registered scenario family, so benches and the quickstart CLI can run
+  // the same workload.
+  const auto inst = nc::make_scenario("adhoc_hotspot",
+                                      nc::ScenarioParams()
+                                          .with("n", n)
+                                          .with("radius", radius)
+                                          .with("hotspot", hotspot),
+                                      seed);
 
   std::printf("ad-hoc network: n=%u, m=%zu, hot-spot of %zu devices\n",
               inst.graph.n(), inst.graph.m(), inst.planted.size());

@@ -12,40 +12,9 @@
 
 #include "core/boosting.hpp"
 #include "core/driver.hpp"
-#include "graph/builder.hpp"
+#include "expt/scenario.hpp"
 #include "graph/metrics.hpp"
 #include "util/cli.hpp"
-#include "util/rng.hpp"
-
-namespace {
-
-/// Snapshot t: background blog links plus the first t/steps fraction of the
-/// event community's internal links.
-nc::Graph snapshot(nc::NodeId n, nc::NodeId event, unsigned step,
-                   unsigned steps, std::uint64_t seed) {
-  nc::Rng rng(seed);  // same seed: background links persist across time
-  nc::GraphBuilder b(n);
-  for (nc::NodeId u = 0; u < n; ++u) {
-    for (nc::NodeId v = u + 1; v < n; ++v) {
-      if (rng.next_bernoulli(0.04)) b.add_edge(u, v);
-    }
-  }
-  // Event links appear in a fixed random order as time advances.
-  std::vector<std::pair<nc::NodeId, nc::NodeId>> pairs;
-  for (nc::NodeId u = n - event; u < n; ++u) {
-    for (nc::NodeId v = u + 1; v < n; ++v) pairs.emplace_back(u, v);
-  }
-  nc::Rng order(seed ^ 0xb106);
-  order.shuffle(pairs);
-  const std::size_t visible =
-      pairs.size() * std::min(step, steps) / std::max(1u, steps);
-  for (std::size_t i = 0; i < visible; ++i) {
-    b.add_edge(pairs[i].first, pairs[i].second);
-  }
-  return b.build();
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   const nc::Args args(argc, argv);
@@ -54,16 +23,24 @@ int main(int argc, char** argv) {
   const auto steps = static_cast<unsigned>(args.get_int("steps", 6));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 5));
 
-  std::vector<nc::NodeId> community;
-  for (nc::NodeId v = n - event; v < n; ++v) community.push_back(v);
-
   std::printf("blogspace: n=%u, event community of %u blogs, %u snapshots\n",
               n, event, steps);
   std::printf("%-6s %-14s %-12s %-10s %-8s\n", "t", "event_density",
               "found_size", "density", "overlap");
 
+  // Snapshot t: background blog links (persistent across time — same seed)
+  // plus the first t/steps fraction of the event community's internal links,
+  // via the registered "blog_snapshot" scenario family.
   for (unsigned t = 0; t <= steps; ++t) {
-    const auto g = snapshot(n, event, t, steps, seed);
+    const auto inst = nc::make_scenario("blog_snapshot",
+                                        nc::ScenarioParams()
+                                            .with("n", n)
+                                            .with("event", event)
+                                            .with("step", t)
+                                            .with("steps", steps),
+                                        seed);
+    const auto& g = inst.graph;
+    const auto& community = inst.planted;
     const double event_density = nc::set_density(g, community);
 
     nc::DriverConfig config;

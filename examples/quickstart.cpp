@@ -1,39 +1,73 @@
-// Quickstart: plant a near-clique, run Algorithm DistNearClique on the
-// simulated CONGEST network, and print what it found.
+// Quickstart: build any registered scenario, run Algorithm DistNearClique on
+// the simulated CONGEST network, and print what it found.
 //
-//   ./quickstart [--n=200] [--clique=80] [--eps=0.2] [--pn=9] [--seed=1]
+//   ./quickstart [--scenario=planted_near_clique] [--params=k1=v1,k2=v2]
+//                [--seed=1] [--eps=0.2] [--pn=9]
 //                [--dot=out.dot]   (Graphviz export of the result)
+//   ./quickstart --list            (catalogue of scenario families)
+//
+// Every instance family in the ScenarioRegistry can be run without
+// recompiling, e.g.:
+//
+//   ./quickstart --scenario=web --params=n=400,community=60 --seed=7
+//   ./quickstart --scenario=erdos_renyi --params=n=500,p=0.15
 
 #include <cstdio>
+#include <cstdlib>
+#include <exception>
 #include <fstream>
 
 #include "core/driver.hpp"
+#include "expt/scenario.hpp"
 #include "graph/dot.hpp"
-#include "graph/generators.hpp"
 #include "graph/metrics.hpp"
 #include "util/cli.hpp"
 
 int main(int argc, char** argv) {
   const nc::Args args(argc, argv);
-  const auto n = static_cast<nc::NodeId>(args.get_int("n", 200));
-  const auto clique = static_cast<nc::NodeId>(args.get_int("clique", 80));
+  if (args.has("list")) {
+    std::printf("registered scenario families:\n%s",
+                nc::describe_families(nc::ScenarioRegistry::global()).c_str());
+    return 0;
+  }
+  // The pre-registry flags were --n/--clique/--pn; reject the removed ones
+  // loudly instead of silently running the default instance.
+  for (const auto* legacy : {"n", "clique"}) {
+    if (args.has(legacy)) {
+      std::fprintf(stderr,
+                   "error: --%s was replaced by --params=%s=...; see --list\n",
+                   legacy, std::string(legacy) == "clique" ? "clique_size"
+                                                           : legacy);
+      return 2;
+    }
+  }
+  const auto scenario = args.get("scenario", "planted_near_clique");
+  const auto params = args.get("params", "");
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
   const double eps = args.get_double("eps", 0.2);
   const double pn = args.get_double("pn", 9.0);
-  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
 
-  // 1. Build an instance: a near-clique D (missing an eps^3 fraction of its
-  //    pairs) planted in Erdos-Renyi background noise, IDs shuffled.
-  nc::Rng rng(seed);
-  nc::PlantedNearCliqueParams params;
-  params.n = n;
-  params.clique_size = clique;
-  params.eps_missing = eps * eps * eps;
-  params.background_p = 0.08;
-  params.halo_p = 0.25;
-  const auto instance = nc::planted_near_clique(params, rng);
-  std::printf("instance: n=%u, m=%zu, planted |D|=%zu, density(D)=%.4f\n",
-              instance.graph.n(), instance.graph.m(), instance.planted.size(),
-              nc::set_density(instance.graph, instance.planted));
+  // 1. Resolve the instance through the scenario registry: family name +
+  //    typed parameter overrides + seed. --list shows what is available.
+  const nc::Instance instance = [&]() -> nc::Instance {
+    try {
+      return nc::ScenarioRegistry::global().make(
+          nc::parse_scenario_spec(scenario, params, seed));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n(run with --list for the catalogue)\n",
+                   e.what());
+      std::exit(2);
+    }
+  }();
+  const auto n = instance.graph.n();
+  std::printf("scenario %s (seed %llu): n=%u, m=%zu, planted=%zu",
+              scenario.c_str(), static_cast<unsigned long long>(seed), n,
+              instance.graph.m(), instance.planted.size());
+  if (!instance.planted.empty()) {
+    std::printf(", density(planted)=%.4f",
+                nc::set_density(instance.graph, instance.planted));
+  }
+  std::printf("\n");
 
   // 2. Configure and run the distributed algorithm. Every node runs the same
   //    protocol; the simulator enforces O(log n)-bit messages per edge per
@@ -60,7 +94,7 @@ int main(int argc, char** argv) {
     }
     std::printf(
         "  label (root=%u, version=%u): %zu nodes, density %.4f, "
-        "%zu/%zu of planted D\n",
+        "%zu/%zu of planted\n",
         nc::label_root(label), nc::label_version(label), members.size(),
         nc::set_density(instance.graph, members), overlap,
         instance.planted.size());

@@ -15,7 +15,7 @@
 
 #include "baselines/peeling.hpp"
 #include "core/driver.hpp"
-#include "graph/generators.hpp"
+#include "expt/scenario.hpp"
 #include "graph/metrics.hpp"
 #include "util/cli.hpp"
 
@@ -41,10 +41,14 @@ int main(int argc, char** argv) {
   const double eps = args.get_double("eps", 0.2);
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 3));
 
-  nc::Rng rng(seed);
-  const auto inst =
-      nc::power_law_web(n, /*gamma=*/2.5, /*avg_deg=*/8.0, community,
-                        /*eps_missing=*/eps * eps * eps, rng);
+  const auto inst = nc::make_scenario("power_law_web",
+                                      nc::ScenarioParams()
+                                          .with("n", n)
+                                          .with("gamma", 2.5)
+                                          .with("avg_deg", 8.0)
+                                          .with("community", community)
+                                          .with("eps_missing", eps * eps * eps),
+                                      seed);
   std::printf("web graph: n=%u, m=%zu, hidden community of %zu pages "
               "(density %.3f)\n",
               inst.graph.n(), inst.graph.m(), inst.planted.size(),

@@ -1,0 +1,119 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "graph/generators.hpp"
+
+namespace nc {
+
+/// Typed parameter bag for scenario specs. Values are stored as doubles
+/// (every family parameter in this codebase is a count, probability or
+/// fraction); the typed getters round or threshold as appropriate. The
+/// fluent `with` avoids narrowing pitfalls of brace initialization:
+///
+///   ScenarioParams().with("n", 200).with("clique_size", 80)
+class ScenarioParams {
+ public:
+  ScenarioParams() = default;
+
+  template <typename T>
+  ScenarioParams&& with(const std::string& key, T value) && {
+    values_[key] = static_cast<double>(value);
+    return std::move(*this);
+  }
+  template <typename T>
+  ScenarioParams& with(const std::string& key, T value) & {
+    values_[key] = static_cast<double>(value);
+    return *this;
+  }
+
+  [[nodiscard]] bool has(const std::string& key) const {
+    return values_.contains(key);
+  }
+  /// Getters throw std::invalid_argument when the key is absent.
+  [[nodiscard]] double get_double(const std::string& key) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& key) const;
+  [[nodiscard]] bool get_bool(const std::string& key) const;
+
+  [[nodiscard]] const std::map<std::string, double>& values() const {
+    return values_;
+  }
+
+ private:
+  std::map<std::string, double> values_;
+};
+
+/// A fully specified instance request: family name, parameter overrides on
+/// the family defaults, and the seed every random draw derives from. A spec
+/// is value-semantics and printable, so experiment configurations can be
+/// logged, compared and replayed.
+struct ScenarioSpec {
+  std::string family;
+  ScenarioParams params;  ///< overrides; unset keys take the family defaults
+  std::uint64_t seed = 1;
+};
+
+/// Registry mapping family names to instance makers. Every experiment entry
+/// point (examples, E1..E12 benches, trial runner) resolves instances
+/// through this table, so adding a workload is one registration instead of
+/// one more copy of generator plumbing.
+///
+/// Determinism contract: make() is a pure function of (family, merged
+/// params, seed) — repeated calls return bit-identical instances.
+class ScenarioRegistry {
+ public:
+  using Maker =
+      std::function<Instance(const ScenarioParams&, std::uint64_t seed)>;
+
+  struct Family {
+    std::string name;
+    std::string description;
+    /// Declares the complete legal parameter set with its default values;
+    /// a spec referencing any other key is rejected.
+    ScenarioParams defaults;
+    Maker make;
+  };
+
+  /// Registers a family. Throws std::invalid_argument on duplicate names.
+  void add(Family family);
+
+  /// Looks up a family. Throws std::invalid_argument (listing the known
+  /// names) when absent.
+  [[nodiscard]] const Family& family(const std::string& name) const;
+
+  /// Builds the instance for a spec: validates the family and every
+  /// override key, merges overrides onto the defaults, and invokes the
+  /// maker. Throws std::invalid_argument with a self-explaining message on
+  /// unknown family or parameter names.
+  [[nodiscard]] Instance make(const ScenarioSpec& spec) const;
+
+  /// Registered family names, sorted.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  /// The process-wide registry with every built-in family registered.
+  static const ScenarioRegistry& global();
+
+ private:
+  std::map<std::string, Family> families_;
+};
+
+/// Convenience: resolve through the global registry.
+Instance make_scenario(const std::string& family, const ScenarioParams& params,
+                       std::uint64_t seed);
+
+/// Parses a "key=value,key=value" parameter list (values are numbers, or
+/// true/false) into a spec for `family`. Throws std::invalid_argument on
+/// malformed input.
+ScenarioSpec parse_scenario_spec(const std::string& family,
+                                 const std::string& params_csv,
+                                 std::uint64_t seed);
+
+/// Human-readable catalogue of the registered families with their defaults
+/// (what `quickstart --list` prints).
+std::string describe_families(const ScenarioRegistry& registry);
+
+}  // namespace nc

@@ -41,6 +41,14 @@ TrialStats run_trials(const TrialSpec& spec, std::size_t trials,
   return stats;
 }
 
+std::function<Instance(std::uint64_t)> scenario_maker(std::string family,
+                                                      ScenarioParams params) {
+  return [family = std::move(family),
+          params = std::move(params)](std::uint64_t seed) {
+    return make_scenario(family, params, seed);
+  };
+}
+
 Theorem57Bounds theorem57_bounds(double eps, double delta,
                                  std::size_t planted_size) {
   Theorem57Bounds b;

@@ -2,8 +2,10 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 
 #include "core/driver.hpp"
+#include "expt/scenario.hpp"
 #include "graph/generators.hpp"
 #include "util/stats.hpp"
 
@@ -56,6 +58,14 @@ struct TrialSpec {
 /// Runs `trials` seeded executions and aggregates.
 TrialStats run_trials(const TrialSpec& spec, std::size_t trials,
                       std::uint64_t seed_base);
+
+/// Builds a TrialSpec::make_instance hook that resolves `family` through the
+/// global ScenarioRegistry with the given parameter overrides; the per-trial
+/// seed from run_trials becomes the scenario seed. This is how the E1..E12
+/// benches plug instance families into trial batches — one registry lookup,
+/// no per-bench generator plumbing.
+std::function<Instance(std::uint64_t)> scenario_maker(std::string family,
+                                                      ScenarioParams params);
 
 /// Standard Theorem 5.7 success predicate: the largest output cluster is a
 /// bound_eps-near clique of size at least (1 - 13/2 eps)|D| - eps^{-2}.

@@ -2,45 +2,59 @@
 
 #include <sstream>
 
+#include "expt/scenario.hpp"
+
 namespace nc {
+
+// Each typed helper is a one-line resolution through the ScenarioRegistry;
+// the registry entries carry the seed salts these functions historically
+// used, so fixed-seed instances are reproduced exactly.
 
 Instance make_theorem_instance(NodeId n, double delta, double eps,
                                double background_p, double halo_p,
                                std::uint64_t seed) {
-  Rng rng(seed ^ 0x7e0001ULL);
-  PlantedNearCliqueParams params;
-  params.n = n;
-  params.clique_size =
-      static_cast<NodeId>(delta * static_cast<double>(n) + 0.5);
-  params.eps_missing = eps * eps * eps;
-  params.background_p = background_p;
-  params.halo_p = halo_p;
-  return planted_near_clique(params, rng);
+  return make_scenario("theorem",
+                       ScenarioParams()
+                           .with("n", n)
+                           .with("delta", delta)
+                           .with("eps", eps)
+                           .with("background_p", background_p)
+                           .with("halo_p", halo_p),
+                       seed);
 }
 
 Instance make_linear_instance(NodeId n, double eps, std::uint64_t seed) {
-  return make_theorem_instance(n, 0.5, eps, 0.1, 0.3, seed);
+  return make_scenario("linear",
+                       ScenarioParams().with("n", n).with("eps", eps), seed);
 }
 
 Instance make_sublinear_instance(NodeId n, double alpha, std::uint64_t seed) {
-  Rng rng(seed ^ 0x7e0003ULL);
-  return sublinear_clique(n, alpha, 0.05, rng);
+  return make_scenario("sublinear",
+                       ScenarioParams().with("n", n).with("alpha", alpha),
+                       seed);
 }
 
 Instance make_counterexample_instance(NodeId n, double delta,
                                       std::uint64_t seed) {
-  Rng rng(seed ^ 0x7e0004ULL);
-  return shingles_counterexample(n, delta, rng);
+  return make_scenario("counterexample",
+                       ScenarioParams().with("n", n).with("delta", delta),
+                       seed);
 }
 
 Instance make_barbell_instance(NodeId n, bool delete_a_edges) {
-  return barbell_gadget(n, delete_a_edges);
+  return make_scenario(
+      "barbell",
+      ScenarioParams().with("n", n).with("delete_a_edges", delete_a_edges),
+      /*seed=*/0);
 }
 
 Instance make_web_instance(NodeId n, NodeId community, double eps,
                            std::uint64_t seed) {
-  Rng rng(seed ^ 0x7e0005ULL);
-  return power_law_web(n, 2.5, 8.0, community, eps * eps * eps, rng);
+  return make_scenario(
+      "web",
+      ScenarioParams().with("n", n).with("community", community).with("eps",
+                                                                      eps),
+      seed);
 }
 
 std::string describe_instance(const std::string& family, NodeId n,

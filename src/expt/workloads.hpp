@@ -11,6 +11,11 @@ namespace nc {
 /// builder is deterministic in `seed` and documents which paper statement it
 /// exercises. All sizes/probabilities mirror the quantifiers of the
 /// corresponding theorem.
+///
+/// These are typed facades over the ScenarioRegistry (expt/scenario.hpp):
+/// every call resolves through the same registry entry a CLI spec would, so
+/// "theorem n=200 delta=0.4" on the command line and
+/// make_theorem_instance(200, 0.4, ...) in code are the identical instance.
 
 /// Theorem 2.1 / 5.7 instances: an exactly-eps^3-near clique of size delta*n
 /// planted in ER background. `eps` is the *algorithm* epsilon; the planted

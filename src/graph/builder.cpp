@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <utility>
 
 namespace nc {
 
@@ -33,11 +34,54 @@ void GraphBuilder::add_path(const std::vector<NodeId>& nodes) {
   }
 }
 
-Graph GraphBuilder::build() const {
+Graph GraphBuilder::build() const& {
   auto edges = edges_;
-  std::sort(edges.begin(), edges.end());
-  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
-  return Graph(n_, edges);
+  return build_csr(n_, std::move(edges));
+}
+
+Graph GraphBuilder::build() && { return build_csr(n_, std::move(edges_)); }
+
+Graph GraphBuilder::build_csr(NodeId n,
+                              std::vector<std::pair<NodeId, NodeId>>&& edges) {
+  // Counting sort by endpoint: degree histogram, prefix sum, scatter both
+  // directions, then sort + dedup each row in place. The raw edge buffer is
+  // released as soon as the scatter is done.
+  std::vector<std::size_t> offsets(static_cast<std::size_t>(n) + 1, 0);
+  for (const auto& [u, v] : edges) {
+    assert(u < n && v < n && u != v);
+    ++offsets[u + 1];
+    ++offsets[v + 1];
+  }
+  for (std::size_t i = 1; i < offsets.size(); ++i) offsets[i] += offsets[i - 1];
+
+  std::vector<NodeId> adj(offsets.back());
+  {
+    std::vector<std::size_t> cursor(offsets.begin(), offsets.end() - 1);
+    for (const auto& [u, v] : edges) {
+      adj[cursor[u]++] = v;
+      adj[cursor[v]++] = u;
+    }
+    std::vector<std::pair<NodeId, NodeId>>().swap(edges);
+  }
+
+  // Per-row sort + dedup, compacting rows leftward. The write cursor never
+  // passes the read cursor, so compaction is safe in place.
+  std::size_t write = 0;
+  std::size_t row_start = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    const std::size_t row_end = offsets[v + 1];
+    std::sort(adj.begin() + static_cast<std::ptrdiff_t>(row_start),
+              adj.begin() + static_cast<std::ptrdiff_t>(row_end));
+    const std::size_t out_start = write;
+    for (std::size_t i = row_start; i < row_end; ++i) {
+      if (write == out_start || adj[write - 1] != adj[i]) adj[write++] = adj[i];
+    }
+    row_start = row_end;
+    offsets[v + 1] = write;
+  }
+  adj.resize(write);
+  adj.shrink_to_fit();
+  return Graph::from_csr(n, std::move(offsets), std::move(adj));
 }
 
 }  // namespace nc

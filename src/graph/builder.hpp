@@ -11,10 +11,21 @@ namespace nc {
 ///
 /// Self-loops are dropped and duplicate edges (in either orientation) are
 /// deduplicated at build time, so generators can add edges freely.
+///
+/// The build is a counting sort by endpoint straight into the CSR arrays
+/// (one pass to count, one to scatter, per-row sort + in-place dedup):
+/// O(n + m + sum_v deg_v log deg_v) time and a single adjacency allocation,
+/// never an O(m log m) global sort. Bulk producers should `reserve()` and
+/// finish with `std::move(builder).build()`, which consumes the edge buffer
+/// instead of copying it.
 class GraphBuilder {
  public:
   /// Creates a builder for a graph on `n` nodes.
   explicit GraphBuilder(NodeId n) : n_(n) {}
+
+  /// Pre-allocates capacity for `edges` add_edge calls (bulk paths should
+  /// pass their expected edge count so growth never reallocates).
+  void reserve(std::size_t edges) { edges_.reserve(edges); }
 
   /// Adds the undirected edge {u, v}. Self-loops are ignored.
   /// Precondition: u < n and v < n.
@@ -37,10 +48,15 @@ class GraphBuilder {
     return edges_.size();
   }
 
-  /// Finalizes into an immutable Graph (dedup + CSR construction).
-  [[nodiscard]] Graph build() const;
+  /// Finalizes into an immutable Graph. The lvalue overload copies the edge
+  /// buffer (the builder stays usable); the rvalue overload moves out of it —
+  /// the bulk path generators should use via `std::move(b).build()`.
+  [[nodiscard]] Graph build() const&;
+  [[nodiscard]] Graph build() &&;
 
  private:
+  static Graph build_csr(NodeId n, std::vector<std::pair<NodeId, NodeId>>&& edges);
+
   NodeId n_;
   std::vector<std::pair<NodeId, NodeId>> edges_;
 };

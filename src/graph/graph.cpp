@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
+#include <string>
 
 namespace nc {
 
@@ -23,6 +25,42 @@ Graph::Graph(NodeId n, const std::vector<std::pair<NodeId, NodeId>>& edges)
     std::sort(adj_.begin() + static_cast<std::ptrdiff_t>(offset_[v]),
               adj_.begin() + static_cast<std::ptrdiff_t>(offset_[v + 1]));
   }
+}
+
+Graph Graph::from_csr(NodeId n, std::vector<std::size_t> offsets,
+                      std::vector<NodeId> adj) {
+  if (offsets.size() != static_cast<std::size_t>(n) + 1 || offsets[0] != 0 ||
+      offsets.back() != adj.size()) {
+    throw std::invalid_argument("Graph::from_csr: malformed offset array");
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    if (offsets[v + 1] < offsets[v]) {
+      throw std::invalid_argument("Graph::from_csr: offsets must not decrease");
+    }
+    for (std::size_t i = offsets[v]; i < offsets[v + 1]; ++i) {
+      const NodeId u = adj[i];
+      if (u >= n || u == v) {
+        throw std::invalid_argument(
+            "Graph::from_csr: neighbor out of range or self-loop at node " +
+            std::to_string(v));
+      }
+      if (i > offsets[v] && adj[i - 1] >= u) {
+        throw std::invalid_argument(
+            "Graph::from_csr: row not strictly sorted at node " +
+            std::to_string(v));
+      }
+    }
+  }
+  Graph g;
+  g.n_ = n;
+  g.offset_ = std::move(offsets);
+  g.adj_ = std::move(adj);
+#ifndef NDEBUG
+  for (NodeId v = 0; v < n; ++v) {
+    for (const NodeId u : g.neighbors(v)) assert(g.has_edge(u, v));
+  }
+#endif
+  return g;
 }
 
 bool Graph::has_edge(NodeId u, NodeId v) const noexcept {

@@ -21,6 +21,20 @@ class Graph {
   /// Most callers should use GraphBuilder instead.
   Graph(NodeId n, const std::vector<std::pair<NodeId, NodeId>>& edges);
 
+  /// Adopts an already-built CSR representation without copying — the
+  /// escape hatch for bulk generators that produce adjacency directly
+  /// (O(n + m), single pass of validation, no edge list materialized).
+  ///
+  /// Requirements (checked, throws std::invalid_argument):
+  ///   - offsets.size() == n + 1, offsets[0] == 0, offsets non-decreasing,
+  ///     offsets[n] == adj.size();
+  ///   - every row offsets[v]..offsets[v+1] is strictly increasing (sorted,
+  ///     no duplicates), in [0, n) and free of self-loops.
+  /// Symmetry (u in adj[v] <=> v in adj[u]) is the caller's responsibility
+  /// and is verified in debug builds only.
+  static Graph from_csr(NodeId n, std::vector<std::size_t> offsets,
+                        std::vector<NodeId> adj);
+
   /// Number of nodes.
   [[nodiscard]] NodeId n() const noexcept { return n_; }
 
@@ -48,7 +62,9 @@ class Graph {
   [[nodiscard]] std::vector<std::pair<NodeId, NodeId>> edge_list() const;
 
  private:
-  NodeId n_;
+  Graph() = default;  // for from_csr
+
+  NodeId n_ = 0;
   std::vector<std::size_t> offset_;
   std::vector<NodeId> adj_;
 };

@@ -1,0 +1,61 @@
+#include "util/alias.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace nc {
+
+AliasTable::AliasTable(const std::vector<double>& weights) {
+  const std::size_t n = weights.size();
+  if (n == 0) throw std::invalid_argument("AliasTable: empty weight vector");
+  double sum = 0.0;
+  for (const double w : weights) {
+    if (w < 0.0) throw std::invalid_argument("AliasTable: negative weight");
+    sum += w;
+  }
+  if (sum <= 0.0) throw std::invalid_argument("AliasTable: zero total weight");
+
+  prob_.resize(n);
+  alias_.resize(n);
+  // Vose's stack-free variant: partition buckets into under-/over-full by
+  // scaled weight, then pair each under-full bucket with an over-full donor.
+  std::vector<double> scaled(n);
+  const double scale = static_cast<double>(n) / sum;
+  for (std::size_t i = 0; i < n; ++i) scaled[i] = weights[i] * scale;
+
+  std::vector<std::uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    small.pop_back();
+    const std::uint32_t l = large.back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] -= 1.0 - scaled[s];
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  // Leftovers are exactly-full up to rounding error.
+  for (const std::uint32_t i : large) {
+    prob_[i] = 1.0;
+    alias_[i] = i;
+  }
+  for (const std::uint32_t i : small) {
+    prob_[i] = 1.0;
+    alias_[i] = i;
+  }
+}
+
+std::uint32_t AliasTable::sample(Rng& rng) const noexcept {
+  const auto i =
+      static_cast<std::uint32_t>(rng.next_below(prob_.size()));
+  return rng.next_double() < prob_[i] ? i : alias_[i];
+}
+
+}  // namespace nc

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace nc {
+
+/// Walker/Vose alias table: O(n) construction from a non-negative weight
+/// vector, O(1) draws from the induced discrete distribution.
+///
+/// Used by the streaming Chung-Lu generator to sample edge endpoints
+/// proportionally to their expected degree without any per-draw scan. The
+/// sampling is deterministic given the Rng: each draw consumes exactly one
+/// next_below and one next_double.
+class AliasTable {
+ public:
+  /// Builds the table. Weights must be non-negative with a positive sum.
+  explicit AliasTable(const std::vector<double>& weights);
+
+  /// Draws an index in [0, size()) with probability weight[i] / sum(weights).
+  [[nodiscard]] std::uint32_t sample(Rng& rng) const noexcept;
+
+  [[nodiscard]] std::size_t size() const noexcept { return prob_.size(); }
+
+ private:
+  std::vector<double> prob_;          ///< acceptance threshold per bucket
+  std::vector<std::uint32_t> alias_;  ///< fallback index per bucket
+};
+
+}  // namespace nc

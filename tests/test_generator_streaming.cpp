@@ -1,0 +1,213 @@
+// Cross-checks for the O(n + m) streaming samplers against the exact
+// reference implementations, plus large-n smoke coverage of the bulk paths
+// that kStreamingCutoffN normally hides from the small-instance suite.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "graph/metrics.hpp"
+#include "util/alias.hpp"
+#include "util/rng.hpp"
+
+namespace nc {
+namespace {
+
+// ---------------------------------------------------------------- ER ------
+
+struct BatchStats {
+  double mean_edges = 0;
+  double var_edges = 0;
+  std::vector<double> mean_degree;  ///< per node, over the batch
+};
+
+template <typename Sampler>
+BatchStats run_batch(NodeId n, double p, std::size_t batches,
+                     std::uint64_t seed_base, Sampler sample) {
+  BatchStats out;
+  out.mean_degree.assign(n, 0.0);
+  std::vector<double> counts;
+  counts.reserve(batches);
+  for (std::size_t i = 0; i < batches; ++i) {
+    Rng rng(seed_base + i);
+    const Graph g = sample(n, p, rng);
+    counts.push_back(static_cast<double>(g.m()));
+    for (NodeId v = 0; v < n; ++v) {
+      out.mean_degree[v] += static_cast<double>(g.degree(v));
+    }
+  }
+  for (auto& d : out.mean_degree) d /= static_cast<double>(batches);
+  for (const double c : counts) out.mean_edges += c;
+  out.mean_edges /= static_cast<double>(batches);
+  for (const double c : counts) {
+    out.var_edges += (c - out.mean_edges) * (c - out.mean_edges);
+  }
+  out.var_edges /= static_cast<double>(batches - 1);
+  return out;
+}
+
+TEST(StreamingCrossCheck, ErdosRenyiEdgeCountMeanAndVariance) {
+  // Both samplers target Binomial(n(n-1)/2, p) edge counts. Over a fixed-seed
+  // batch the empirical mean and variance of both must sit near the
+  // theoretical values (and hence near each other).
+  const NodeId n = 64;
+  const double p = 0.15;
+  const std::size_t batches = 300;
+  const double pairs = static_cast<double>(n) * (n - 1) / 2.0;
+  const double want_mean = pairs * p;
+  const double want_var = pairs * p * (1 - p);
+
+  const auto ref = run_batch(n, p, batches, 0x5eed0000, erdos_renyi_reference);
+  const auto str = run_batch(n, p, batches, 0x5eed8000, erdos_renyi_streaming);
+
+  EXPECT_NEAR(ref.mean_edges, want_mean, 0.05 * want_mean);
+  EXPECT_NEAR(str.mean_edges, want_mean, 0.05 * want_mean);
+  EXPECT_NEAR(str.mean_edges, ref.mean_edges, 0.05 * want_mean);
+  EXPECT_NEAR(ref.var_edges, want_var, 0.35 * want_var);
+  EXPECT_NEAR(str.var_edges, want_var, 0.35 * want_var);
+}
+
+TEST(StreamingCrossCheck, ErdosRenyiPerNodeDegreeMeans) {
+  const NodeId n = 64;
+  const double p = 0.15;
+  const std::size_t batches = 300;
+  const double want = static_cast<double>(n - 1) * p;
+
+  const auto ref = run_batch(n, p, batches, 0x00dd0000, erdos_renyi_reference);
+  const auto str = run_batch(n, p, batches, 0x00dd8000, erdos_renyi_streaming);
+  for (NodeId v = 0; v < n; ++v) {
+    EXPECT_NEAR(ref.mean_degree[v], want, 0.8) << "reference node " << v;
+    EXPECT_NEAR(str.mean_degree[v], want, 0.8) << "streaming node " << v;
+  }
+}
+
+TEST(StreamingCrossCheck, ErdosRenyiStreamingExtremes) {
+  Rng rng(2);
+  EXPECT_EQ(erdos_renyi_streaming(30, 0.0, rng).m(), 0u);
+  EXPECT_EQ(erdos_renyi_streaming(30, 1.0, rng).m(), 30u * 29u / 2);
+}
+
+TEST(StreamingCrossCheck, DispatchUsesStreamingAboveCutoff) {
+  // Above the cutoff the public entry point must take the streaming path:
+  // identical draws to erdos_renyi_streaming, and a sane sparse edge count.
+  const NodeId n = kStreamingCutoffN + 1000;
+  const double p = 4.0 / static_cast<double>(n - 1);
+  Rng r1(11), r2(11);
+  const Graph via_public = erdos_renyi(n, p, r1);
+  const Graph via_streaming = erdos_renyi_streaming(n, p, r2);
+  EXPECT_EQ(via_public.edge_list(), via_streaming.edge_list());
+  const double expected = p * static_cast<double>(n) * (n - 1) / 2.0;
+  EXPECT_NEAR(static_cast<double>(via_public.m()), expected, 0.15 * expected);
+}
+
+// --------------------------------------------------------------- RGG ------
+
+TEST(StreamingCrossCheck, RandomGeometricGridMatchesBruteForce) {
+  // The grid scan must produce the *identical* edge set to the quadratic
+  // all-pairs scan: the points fully determine the graph, and both read the
+  // same 2n uniforms.
+  const NodeId n = 400;
+  const double radius = 0.08;
+  Rng rng(99);
+  const Graph grid = random_geometric(n, radius, rng);
+
+  Rng replay(99);
+  std::vector<std::pair<double, double>> pts(n);
+  for (auto& [x, y] : pts) {
+    x = replay.next_double();
+    y = replay.next_double();
+  }
+  std::vector<std::pair<NodeId, NodeId>> brute;
+  const double r2 = radius * radius;
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      const double dx = pts[u].first - pts[v].first;
+      const double dy = pts[u].second - pts[v].second;
+      if (dx * dx + dy * dy <= r2) brute.emplace_back(u, v);
+    }
+  }
+  EXPECT_EQ(grid.edge_list(), brute);
+  EXPECT_GT(grid.m(), 0u);
+}
+
+// ------------------------------------------------- bulk planted paths -----
+
+TEST(StreamingBulk, PlantedNearCliqueDensityExactAboveCutoff) {
+  PlantedNearCliqueParams pp;
+  pp.n = kStreamingCutoffN + 2000;
+  pp.clique_size = 500;
+  pp.eps_missing = 0.1;
+  pp.background_p = 4.0 / static_cast<double>(pp.n);
+  pp.halo_p = 10.0 / static_cast<double>(pp.n);
+  Rng rng(7);
+  const auto inst = planted_near_clique(pp, rng);
+  ASSERT_EQ(inst.planted.size(), 500u);
+  // The knockout removes exactly floor(eps * d(d-1))/2 undirected pairs, so
+  // the planted density is exact, same as the reference path guarantees.
+  EXPECT_TRUE(is_near_clique(inst.graph, inst.planted, pp.eps_missing));
+  const double density = set_density(inst.graph, inst.planted);
+  EXPECT_GE(density, 1.0 - pp.eps_missing - 1e-9);
+  EXPECT_LT(density, 1.0);  // eps > 0: strictly below a clique
+}
+
+TEST(StreamingBulk, PlantedPartitionEdgeCountsAboveCutoff) {
+  const NodeId n = kStreamingCutoffN + 1000;
+  const unsigned k = 10;
+  const double p_in = 0.01;
+  const double p_out = 0.0005;
+  Rng rng(13);
+  const auto inst = planted_partition(n, k, p_in, p_out, rng);
+  EXPECT_EQ(inst.planted.size(), static_cast<std::size_t>(n / k));
+  const double gs = static_cast<double>(n / k);
+  const double in_pairs = k * gs * (gs - 1) / 2.0;
+  const double all_pairs = static_cast<double>(n) * (n - 1) / 2.0;
+  const double expected = in_pairs * p_in + (all_pairs - in_pairs) * p_out;
+  EXPECT_NEAR(static_cast<double>(inst.graph.m()), expected, 0.10 * expected);
+}
+
+TEST(StreamingBulk, PowerLawWebDegreeAndCommunityAboveCutoff) {
+  const NodeId n = kStreamingCutoffN + 1000;
+  const double avg_deg = 6.0;
+  Rng rng(17);
+  const auto inst = power_law_web(n, 2.5, avg_deg, 50, 0.0, rng);
+  ASSERT_EQ(inst.planted.size(), 50u);
+  EXPECT_TRUE(is_clique(inst.graph, inst.planted));
+  // Alias-table expected-degree sampling loses a little mass to loops and
+  // duplicate draws; the average degree must still land near the target.
+  const double avg =
+      2.0 * static_cast<double>(inst.graph.m()) / static_cast<double>(n);
+  EXPECT_NEAR(avg, avg_deg, 0.15 * avg_deg);
+  // Power-law-ish: max degree well above average.
+  std::size_t max_deg = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    max_deg = std::max(max_deg, inst.graph.degree(v));
+  }
+  EXPECT_GT(static_cast<double>(max_deg), 3.0 * avg);
+}
+
+// -------------------------------------------------------- alias table -----
+
+TEST(AliasTable, SamplesProportionallyToWeights) {
+  const std::vector<double> w{1.0, 2.0, 3.0, 4.0};
+  const AliasTable table(w);
+  Rng rng(23);
+  std::vector<std::size_t> hits(w.size(), 0);
+  const std::size_t draws = 200'000;
+  for (std::size_t i = 0; i < draws; ++i) ++hits[table.sample(rng)];
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    const double want = w[i] / 10.0 * static_cast<double>(draws);
+    EXPECT_NEAR(static_cast<double>(hits[i]), want, 0.05 * want) << i;
+  }
+}
+
+TEST(AliasTable, RejectsDegenerateWeights) {
+  EXPECT_THROW(AliasTable({}), std::invalid_argument);
+  EXPECT_THROW(AliasTable({0.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(AliasTable({1.0, -1.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nc

@@ -1,9 +1,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <stdexcept>
+#include <utility>
 
 #include "graph/builder.hpp"
 #include "graph/graph.hpp"
+#include "util/rng.hpp"
 #include "test_helpers.hpp"
 
 namespace nc {
@@ -81,6 +84,70 @@ TEST(Graph, NeighborMaskMatchesAdjacency) {
     EXPECT_EQ(mask.test(v), g.has_edge(4, v)) << "v=" << v;
   }
   EXPECT_EQ(mask.count(), g.degree(4));
+}
+
+TEST(Graph, FromCsrAdoptsAdjacency) {
+  // Triangle 0-1-2 plus isolated node 3, handed over as raw CSR arrays.
+  std::vector<std::size_t> offsets{0, 2, 4, 6, 6};
+  std::vector<NodeId> adj{1, 2, 0, 2, 0, 1};
+  const Graph g = Graph::from_csr(4, std::move(offsets), std::move(adj));
+  EXPECT_EQ(g.n(), 4u);
+  EXPECT_EQ(g.m(), 3u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 2));
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_EQ(g.degree(3), 0u);
+}
+
+TEST(Graph, FromCsrRejectsMalformedInput) {
+  // Offsets not covering adj.
+  EXPECT_THROW(Graph::from_csr(2, {0, 1, 1}, {1, 0}), std::invalid_argument);
+  // Wrong offsets length.
+  EXPECT_THROW(Graph::from_csr(3, {0, 2, 2}, {1, 0}), std::invalid_argument);
+  // Self-loop.
+  EXPECT_THROW(Graph::from_csr(2, {0, 1, 2}, {0, 0}), std::invalid_argument);
+  // Neighbor out of range.
+  EXPECT_THROW(Graph::from_csr(2, {0, 1, 2}, {5, 0}), std::invalid_argument);
+  // Unsorted row (also catches in-row duplicates).
+  EXPECT_THROW(Graph::from_csr(3, {0, 2, 3, 5}, {2, 1, 2, 0, 1}),
+               std::invalid_argument);
+  EXPECT_THROW(Graph::from_csr(3, {0, 2, 3, 5}, {1, 1, 2, 0, 1}),
+               std::invalid_argument);
+}
+
+TEST(GraphBuilder, MoveBuildMatchesCopyBuildAndConsumesEdges) {
+  Rng rng(41);
+  GraphBuilder b(64);
+  b.reserve(600);
+  for (int i = 0; i < 600; ++i) {
+    b.add_edge(static_cast<NodeId>(rng.next_below(64)),
+               static_cast<NodeId>(rng.next_below(64)));
+  }
+  const Graph copy_built = b.build();  // lvalue: builder stays intact
+  EXPECT_GT(b.raw_edge_count(), 0u);
+  const Graph move_built = std::move(b).build();
+  EXPECT_EQ(b.raw_edge_count(), 0u);  // rvalue build consumed the buffer
+  EXPECT_EQ(copy_built.edge_list(), move_built.edge_list());
+}
+
+TEST(GraphBuilder, CountingSortBuildMatchesEdgeListConstructor) {
+  // The counting-sort CSR path must agree with the documented Graph
+  // constructor semantics on a messy input (duplicates both ways, loops).
+  Rng rng(43);
+  GraphBuilder b(40);
+  std::vector<std::pair<NodeId, NodeId>> clean;
+  for (int i = 0; i < 400; ++i) {
+    const auto u = static_cast<NodeId>(rng.next_below(40));
+    const auto v = static_cast<NodeId>(rng.next_below(40));
+    b.add_edge(u, v);
+    if (u != v) clean.emplace_back(std::min(u, v), std::max(u, v));
+  }
+  std::sort(clean.begin(), clean.end());
+  clean.erase(std::unique(clean.begin(), clean.end()), clean.end());
+  const Graph via_builder = std::move(b).build();
+  const Graph via_ctor(40, clean);
+  EXPECT_EQ(via_builder.edge_list(), via_ctor.edge_list());
+  EXPECT_EQ(via_builder.edge_list(), clean);
 }
 
 TEST(Graph, DegreeSumsToTwiceEdges) {

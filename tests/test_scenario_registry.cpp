@@ -1,0 +1,148 @@
+// Coverage for the ScenarioRegistry: every registered family round-trips
+// (name + params + seed -> instance) deterministically, overrides are
+// honored, and unknown names / parameters fail with self-explaining errors.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "expt/scenario.hpp"
+#include "expt/workloads.hpp"
+
+namespace nc {
+namespace {
+
+TEST(ScenarioRegistry, EveryFamilyRoundTripsDeterministically) {
+  const auto& registry = ScenarioRegistry::global();
+  const auto names = registry.names();
+  ASSERT_GE(names.size(), 10u);
+  for (const auto& name : names) {
+    const ScenarioSpec spec{name, {}, /*seed=*/5};
+    const Instance a = registry.make(spec);
+    const Instance b = registry.make(spec);
+    EXPECT_EQ(a.graph.n(), b.graph.n()) << name;
+    EXPECT_EQ(a.graph.edge_list(), b.graph.edge_list()) << name;
+    EXPECT_EQ(a.planted, b.planted) << name;
+    EXPECT_GT(a.graph.n(), 0u) << name;
+  }
+}
+
+TEST(ScenarioRegistry, SeedChangesRandomFamilies) {
+  for (const auto* name : {"erdos_renyi", "planted_near_clique", "web"}) {
+    const Instance a = make_scenario(name, {}, 1);
+    const Instance b = make_scenario(name, {}, 2);
+    EXPECT_NE(a.graph.edge_list(), b.graph.edge_list()) << name;
+  }
+}
+
+TEST(ScenarioRegistry, OverridesAreHonoredForEveryFamily) {
+  // n = 150 is legal for every registered family's other defaults.
+  const auto& registry = ScenarioRegistry::global();
+  for (const auto& name : registry.names()) {
+    const Instance inst =
+        registry.make({name, ScenarioParams().with("n", 150), 3});
+    EXPECT_EQ(inst.graph.n(), 150u) << name;
+  }
+}
+
+TEST(ScenarioRegistry, UnknownFamilyFailsWithCatalogue) {
+  try {
+    (void)make_scenario("no_such_family", {}, 1);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("unknown scenario family"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("erdos_renyi"), std::string::npos)
+        << "message should list the known families: " << msg;
+  }
+}
+
+TEST(ScenarioRegistry, UnknownParameterFailsNamingTheKey) {
+  try {
+    (void)make_scenario("erdos_renyi",
+                        ScenarioParams().with("clique_size", 10), 1);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("clique_size"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("has no parameter"), std::string::npos) << msg;
+  }
+}
+
+TEST(ScenarioRegistry, MakersValidateParameterRanges) {
+  // clique_size > n must be rejected, not asserted or silently clamped.
+  EXPECT_THROW((void)make_scenario("planted_near_clique",
+                                   ScenarioParams().with("n", 50).with(
+                                       "clique_size", 80),
+                                   1),
+               std::invalid_argument);
+  EXPECT_THROW((void)make_scenario("erdos_renyi",
+                                   ScenarioParams().with("n", 0), 1),
+               std::invalid_argument);
+  EXPECT_THROW((void)make_scenario("planted_partition",
+                                   ScenarioParams().with("k", 0), 1),
+               std::invalid_argument);
+  // Negative sizes must not wrap through the NodeId cast.
+  EXPECT_THROW((void)make_scenario("planted_near_clique",
+                                   ScenarioParams().with("clique_size", -1),
+                                   1),
+               std::invalid_argument);
+  // delta outside [0, 1] would make the derived clique larger than n.
+  EXPECT_THROW((void)make_scenario("theorem",
+                                   ScenarioParams().with("delta", 1.5), 1),
+               std::invalid_argument);
+  EXPECT_THROW((void)make_scenario("counterexample",
+                                   ScenarioParams().with("delta", -0.5), 1),
+               std::invalid_argument);
+}
+
+TEST(ScenarioRegistry, ParseSpecRoundTrip) {
+  const auto spec =
+      parse_scenario_spec("erdos_renyi", "n=500,p=0.25", /*seed=*/9);
+  EXPECT_EQ(spec.family, "erdos_renyi");
+  EXPECT_EQ(spec.seed, 9u);
+  EXPECT_EQ(spec.params.get_int("n"), 500);
+  EXPECT_DOUBLE_EQ(spec.params.get_double("p"), 0.25);
+  const Instance inst = ScenarioRegistry::global().make(spec);
+  EXPECT_EQ(inst.graph.n(), 500u);
+
+  const auto flags = parse_scenario_spec("barbell", "delete_a_edges=true", 1);
+  EXPECT_TRUE(flags.params.get_bool("delete_a_edges"));
+}
+
+TEST(ScenarioRegistry, ParseSpecRejectsMalformedInput) {
+  EXPECT_THROW(parse_scenario_spec("erdos_renyi", "n", 1),
+               std::invalid_argument);
+  EXPECT_THROW(parse_scenario_spec("erdos_renyi", "=5", 1),
+               std::invalid_argument);
+  EXPECT_THROW(parse_scenario_spec("erdos_renyi", "p=abc", 1),
+               std::invalid_argument);
+  EXPECT_THROW(parse_scenario_spec("erdos_renyi", "p=0.5x", 1),
+               std::invalid_argument);
+}
+
+TEST(ScenarioRegistry, WorkloadFacadeMatchesRegistry) {
+  // The typed make_* helpers are facades over the registry: same family,
+  // same params, same seed => identical instance.
+  const Instance via_facade = make_theorem_instance(100, 0.5, 0.2, 0.1, 0.2, 3);
+  const Instance via_registry = make_scenario("theorem",
+                                              ScenarioParams()
+                                                  .with("n", 100)
+                                                  .with("delta", 0.5)
+                                                  .with("eps", 0.2)
+                                                  .with("background_p", 0.1)
+                                                  .with("halo_p", 0.2),
+                                              3);
+  EXPECT_EQ(via_facade.graph.edge_list(), via_registry.graph.edge_list());
+  EXPECT_EQ(via_facade.planted, via_registry.planted);
+}
+
+TEST(ScenarioRegistry, DescribeFamiliesMentionsEveryName) {
+  const auto text = describe_families(ScenarioRegistry::global());
+  for (const auto& name : ScenarioRegistry::global().names()) {
+    EXPECT_NE(text.find(name), std::string::npos) << name;
+  }
+}
+
+}  // namespace
+}  // namespace nc
