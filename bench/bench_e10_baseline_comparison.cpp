@@ -1,32 +1,29 @@
 // E10 — positioning against baselines (Section 1 related work, Section 3).
 //
-// One table: on planted near-clique instances, compare DistNearClique with
-// (a) the Section 3 shingles algorithm (CONGEST, O(1) rounds),
-// (b) the Section 3 neighbours-of-neighbours algorithm (LOCAL, exact but
+// One declarative sweep: on planted near-clique instances, compare every
+// algorithm in the AlgorithmRegistry —
+// (a) DistNearClique (CONGEST),
+// (b) the Section 3 shingles algorithm (CONGEST, O(1) rounds),
+// (c) the Section 3 neighbours-of-neighbours algorithm (LOCAL, exact but
 //     unbounded messages and NP-hard local work),
-// (c) centralized greedy peeling (densest-subgraph style),
-// (d) the Abello et al. GRASP quasi-clique heuristic,
-// (e) the GGR centralized approximate find (the construction the paper
+// (d) centralized greedy peeling (densest-subgraph style),
+// (e) the Abello et al. GRASP quasi-clique heuristic,
+// (f) the GGR centralized approximate find (the construction the paper
 //     distributes).
-// Shape to verify: DistNearClique's quality approaches the centralized
-// methods while keeping CONGEST-size messages; neighbours² wins on quality
-// but loses by orders of magnitude on message size and local work; shingles
-// loses on quality (it dilutes the clique with I1, as Claim 1 predicts).
+// All six resolve through the registry pair with shared sequential seeds,
+// so per-trial instances are identical across algorithms. Shape to verify:
+// DistNearClique's quality approaches the centralized methods while keeping
+// CONGEST-size messages; neighbours² wins on quality but loses by orders of
+// magnitude on message size and local work; shingles loses on quality (it
+// dilutes the clique with I1, as Claim 1 predicts).
 
 #include <benchmark/benchmark.h>
 
-#include <algorithm>
+#include <map>
 
-#include "baselines/ggr_find.hpp"
-#include "baselines/grasp.hpp"
-#include "baselines/neighbors2.hpp"
-#include "baselines/peeling.hpp"
-#include "baselines/shingles.hpp"
 #include "bench_common.hpp"
-#include "core/driver.hpp"
-#include "expt/scenario.hpp"
-#include "graph/metrics.hpp"
-#include "util/stats.hpp"
+#include "expt/sweep.hpp"
+#include "util/table.hpp"
 
 namespace {
 
@@ -42,109 +39,62 @@ bench::TableSink& sink() {
   return s;
 }
 
-struct Row {
-  RunningStat size, density, recall, max_bits, cost;
-};
-
-void add_measurement(Row& row, const Instance& inst,
-                     const std::vector<NodeId>& found, double max_bits,
-                     double cost) {
-  row.size.add(static_cast<double>(found.size()));
-  row.density.add(found.empty() ? 0.0 : set_density(inst.graph, found));
-  std::size_t overlap = 0;
-  for (const NodeId v : found) {
-    if (std::binary_search(inst.planted.begin(), inst.planted.end(), v)) {
-      ++overlap;
-    }
-  }
-  row.recall.add(static_cast<double>(overlap) /
-                 static_cast<double>(inst.planted.size()));
-  row.max_bits.add(max_bits);
-  row.cost.add(cost);
-}
-
-void emit(const std::string& name, const std::string& model, const Row& row) {
-  sink().add_row({name, model, Table::num(row.size.mean(), 1),
-                  Table::num(row.density.mean(), 3),
-                  Table::num(row.recall.mean(), 2),
-                  Table::num(row.max_bits.max(), 0),
-                  Table::num(row.cost.mean(), 0)});
-}
-
 void BM_Comparison(benchmark::State& state) {
   const NodeId n = 150;
   const double eps = 0.2;
-  Row dist, shingles, nn, peel, grasp, ggr;
 
-  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
-    const auto inst = make_scenario("theorem",
-                                    ScenarioParams()
-                                        .with("n", n)
-                                        .with("delta", 0.4)
-                                        .with("eps", eps)
-                                        .with("background_p", 0.08)
-                                        .with("halo_p", 0.2),
-                                    seed);
+  SweepSpec spec;
+  spec.title = "E10 baseline comparison";
+  spec.scenario_family = "theorem";
+  spec.scenario_params = ScenarioParams()
+                             .with("n", n)
+                             .with("delta", 0.4)
+                             .with("eps", eps)
+                             .with("background_p", 0.08)
+                             .with("halo_p", 0.2);
+  spec.algorithms = {
+      {"dist_near_clique", AlgoParams()
+                               .with("eps", eps)
+                               .with("pn", 9.0)
+                               .with("max_rounds", 16'000'000)},
+      {"shingles", AlgoParams().with("eps", eps).with("min_size", 4)},
+      {"neighbors2", {}},
+      {"peeling", AlgoParams().with("eps", eps)},
+      {"grasp", AlgoParams().with("gamma", 1.0 - eps).with("iterations", 24)},
+      {"ggr_find", AlgoParams().with("eps", eps).with("sample_size", 9)},
+  };
+  // Sequential seeds 1..8: every algorithm sees the same eight instances.
+  spec.trials = 8;
+  spec.seed_base = 1;
+  spec.seeds = SeedSchedule::kSequential;
 
-    {
-      DriverConfig cfg;
-      cfg.proto.eps = eps;
-      cfg.proto.p = 9.0 / static_cast<double>(n);
-      cfg.net.seed = seed;
-      cfg.net.max_rounds = 16'000'000;
-      const auto res = run_dist_near_clique(inst.graph, cfg);
-      add_measurement(dist, inst, res.largest_cluster(),
-                      static_cast<double>(res.stats.max_message_bits),
-                      static_cast<double>(res.stats.rounds));
-    }
-    {
-      ShinglesParams sp;
-      sp.eps = eps;
-      sp.min_size = 4;
-      const auto res = run_shingles(inst.graph, sp, seed);
-      add_measurement(shingles, inst, res.largest_cluster(),
-                      static_cast<double>(res.stats.max_message_bits),
-                      static_cast<double>(res.stats.rounds));
-    }
-    {
-      const auto res = run_neighbors2(inst.graph, Neighbors2Params{}, seed);
-      add_measurement(nn, inst, res.largest_cluster(),
-                      static_cast<double>(res.stats.max_message_bits),
-                      static_cast<double>(res.total_expansions));
-    }
-    {
-      const auto found = largest_near_clique_by_peeling(inst.graph, eps);
-      add_measurement(peel, inst, found, 0.0,
-                      static_cast<double>(inst.graph.m()));
-    }
-    {
-      GraspParams gp;
-      gp.gamma = 1.0 - eps;
-      gp.iterations = 24;
-      Rng rng(seed);
-      const auto found = grasp_quasi_clique(inst.graph, gp, rng);
-      add_measurement(grasp, inst, found, 0.0,
-                      24.0 * static_cast<double>(inst.graph.m()));
-    }
-    {
-      Rng rng(seed);
-      const auto res = ggr_approximate_find(inst.graph, eps, 9, rng);
-      add_measurement(ggr, inst, res.found, 0.0,
-                      static_cast<double>(res.pair_queries));
-    }
-  }
+  std::vector<SweepRow> rows;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(dist);
+    rows = run_sweep(spec);
   }
-  state.counters["dist_recall"] = dist.recall.mean();
-  state.counters["shingles_recall"] = shingles.recall.mean();
 
-  emit("DistNearClique", "CONGEST", dist);
-  emit("shingles (Sec 3)", "CONGEST", shingles);
-  emit("neighbours^2 (Sec 3)", "LOCAL", nn);
-  emit("greedy peeling", "central", peel);
-  emit("GRASP quasi-clique [1]", "central", grasp);
-  emit("GGR approximate find [10]", "central", ggr);
+  const std::map<std::string, std::string> display{
+      {"dist_near_clique", "DistNearClique"},
+      {"shingles", "shingles (Sec 3)"},
+      {"neighbors2", "neighbours^2 (Sec 3)"},
+      {"peeling", "greedy peeling"},
+      {"grasp", "GRASP quasi-clique [1]"},
+      {"ggr_find", "GGR approximate find [10]"},
+  };
+  for (const auto& row : rows) {
+    if (row.algorithm == "dist_near_clique") {
+      state.counters["dist_recall"] = row.stats.recall.mean();
+    }
+    if (row.algorithm == "shingles") {
+      state.counters["shingles_recall"] = row.stats.recall.mean();
+    }
+    sink().add_row({display.at(row.algorithm), cost_model_name(row.model),
+                    Table::num(row.stats.out_size.mean(), 1),
+                    Table::num(row.stats.out_density.mean(), 3),
+                    Table::num(row.stats.recall.mean(), 2),
+                    Table::num(row.stats.max_msg_bits.max(), 0),
+                    Table::num(row.headline_cost_mean(), 0)});
+  }
 }
 
 BENCHMARK(BM_Comparison)->Iterations(1)->Unit(benchmark::kMillisecond);

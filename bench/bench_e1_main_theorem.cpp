@@ -5,18 +5,19 @@
 // (1/(1-13/2 eps)) * eps/delta-near clique of size >= (1-13/2 eps)|D| -
 // eps^{-2}, within O(2^{2pn}) rounds and O(log n)-bit messages.
 //
-// This bench sweeps (eps, delta), plants an exactly-eps^3-near clique and
-// reports the empirical success rate of the full Theorem 5.7 predicate plus
-// the measured size/density/rounds. The paper claims Omega(1) success — the
-// shape to verify is a success rate bounded away from 0 across the grid,
-// output size tracking (1-O(eps))|D| and density above the bound.
+// This bench sweeps (eps, delta) through the declarative sweep runner
+// (scenario registry x algorithm registry; see src/expt/README.md): each
+// case is a one-point SweepSpec whose "eps" axis feeds both the planted
+// instance and the algorithm, with the named theorem57 / effective success
+// predicates. The paper claims Omega(1) success — the shape to verify is a
+// success rate bounded away from 0 across the grid, output size tracking
+// (1-O(eps))|D| and density above the bound.
 
 #include <benchmark/benchmark.h>
 
 #include "bench_common.hpp"
-#include "core/driver.hpp"
 #include "expt/report.hpp"
-#include "expt/trial.hpp"
+#include "expt/sweep.hpp"
 
 namespace {
 
@@ -38,40 +39,31 @@ void BM_Theorem57(benchmark::State& state) {
   const double eps = static_cast<double>(state.range(0)) / 100.0;
   const double delta = static_cast<double>(state.range(1)) / 100.0;
   const NodeId n = 200;
-  const std::size_t trials = 10;
 
-  TrialSpec spec;
-  spec.make_instance = scenario_maker("theorem", ScenarioParams()
-                                                    .with("n", n)
-                                                    .with("delta", delta)
-                                                    .with("eps", eps)
-                                                    .with("background_p", 0.08)
-                                                    .with("halo_p", 0.25));
-  spec.run = [=](const Graph& g, std::uint64_t seed) {
-    DriverConfig cfg;
-    cfg.proto.eps = eps;
-    cfg.proto.p = 10.0 / static_cast<double>(n);  // pn = 10 (constant)
-    cfg.net.seed = seed;
-    cfg.net.max_rounds = 4'000'000;
-    return run_dist_near_clique(g, cfg);
-  };
-  spec.success = [=](const Instance& inst, const NearCliqueResult& res) {
-    return theorem57_success(inst, res, eps, delta);
-  };
-
+  SweepSpec spec;
+  spec.scenario_family = "theorem";
+  spec.scenario_params = ScenarioParams()
+                             .with("n", n)
+                             .with("background_p", 0.08)
+                             .with("halo_p", 0.25);
+  spec.algorithms = {{"dist_near_clique",
+                      AlgoParams()
+                          .with("pn", 10.0)  // pn = 10 (constant)
+                          .with("max_rounds", 4'000'000)}};
+  spec.axes = {{SweepAxis::Target::kBoth, "eps", {eps}},
+               {SweepAxis::Target::kScenario, "delta", {delta}}};
+  spec.trials = 10;
+  spec.seed_base = 0xe1;
+  spec.success.kind = SuccessSpec::Kind::kTheorem57;
   // Secondary, non-vacuous predicate for the table: "effective discovery" =
   // at least 2/3 of D recovered at density >= 1 - 2 eps (the theorem's
   // constants are asymptotic; at n=200 the -eps^{-2} size term swallows the
   // size bound, so we report both).
-  spec.success2 = [=](const Instance& inst, const NearCliqueResult& res) {
-    const auto best = res.largest_cluster();
-    return 3 * best.size() >= 2 * inst.planted.size() &&
-           cluster_density(inst.graph, best) >= 1.0 - 2.0 * eps;
-  };
+  spec.success2.kind = SuccessSpec::Kind::kEffective;
 
   TrialStats stats;
   for (auto _ : state) {
-    stats = run_trials(spec, trials, 0xe1);
+    stats = run_sweep(spec).at(0).stats;
   }
   state.counters["success_rate"] = stats.success_rate();
   state.counters["out_density"] = stats.out_density.mean();

@@ -6,13 +6,16 @@
 // O(log n)-bit messages. The shape to verify: as n grows with p*n held
 // constant, the round count stays flat (constant), success probability
 // stays bounded away from zero, and max message size grows only like log n.
+//
+// Each case is a one-point SweepSpec resolved through the scenario and
+// algorithm registries (the "linear" family has no delta parameter, so the
+// theorem57 predicate takes delta from the success spec).
 
 #include <benchmark/benchmark.h>
 
 #include "bench_common.hpp"
-#include "core/driver.hpp"
 #include "expt/report.hpp"
-#include "expt/trial.hpp"
+#include "expt/sweep.hpp"
 #include "util/bitio.hpp"
 
 namespace {
@@ -33,27 +36,22 @@ bench::TableSink& sink() {
 void BM_LinearSize(benchmark::State& state) {
   const auto n = static_cast<NodeId>(state.range(0));
   const double eps = 0.2;
-  const double delta = 0.5;
-  const std::size_t trials = 6;
 
-  TrialSpec spec;
-  spec.make_instance = scenario_maker(
-      "linear", ScenarioParams().with("n", n).with("eps", eps));
-  spec.run = [=](const Graph& g, std::uint64_t seed) {
-    DriverConfig cfg;
-    cfg.proto.eps = eps;
-    cfg.proto.p = 9.0 / static_cast<double>(n);  // pn fixed
-    cfg.net.seed = seed;
-    cfg.net.max_rounds = 4'000'000;
-    return run_dist_near_clique(g, cfg);
-  };
-  spec.success = [=](const Instance& inst, const NearCliqueResult& res) {
-    return theorem57_success(inst, res, eps, delta);
-  };
+  SweepSpec spec;
+  spec.scenario_family = "linear";
+  spec.scenario_params = ScenarioParams().with("n", n).with("eps", eps);
+  spec.algorithms = {{"dist_near_clique", AlgoParams()
+                                              .with("eps", eps)
+                                              .with("pn", 9.0)  // pn fixed
+                                              .with("max_rounds", 4'000'000)}};
+  spec.trials = 6;
+  spec.seed_base = 0xe2;
+  spec.success.kind = SuccessSpec::Kind::kTheorem57;
+  spec.success.delta = 0.5;  // the family plants delta = 1/2
 
   TrialStats stats;
   for (auto _ : state) {
-    stats = run_trials(spec, trials, 0xe2);
+    stats = run_sweep(spec).at(0).stats;
   }
   state.counters["rounds"] = stats.rounds.mean();
   state.counters["success_rate"] = stats.success_rate();

@@ -11,9 +11,8 @@
 
 #include <cmath>
 
+#include "algo/registry.hpp"
 #include "bench_common.hpp"
-#include "core/boosting.hpp"
-#include "core/driver.hpp"
 #include "expt/report.hpp"
 #include "expt/trial.hpp"
 
@@ -41,18 +40,18 @@ void BM_Sublinear(benchmark::State& state) {
   TrialSpec spec;
   spec.make_instance = scenario_maker(
       "sublinear", ScenarioParams().with("n", n).with("alpha", alpha));
-  spec.run = [=](const Graph& g, std::uint64_t seed) {
-    DriverConfig cfg;
-    cfg.proto.eps = eps;
-    // delta = 1/(loglog n)^alpha shrinks, so pn grows ~(loglog n)^alpha.
-    const double loglog =
-        std::log2(std::max(4.0, std::log2(static_cast<double>(n))));
-    cfg.proto.p = 8.0 * std::pow(loglog, alpha) / static_cast<double>(n);
-    cfg.net.seed = seed;
-    cfg.net.max_rounds = 8'000'000;
-    return run_boosted(g, cfg, 2, 1'000'000);
-  };
-  spec.success = [=](const Instance& inst, const NearCliqueResult& res) {
+  // delta = 1/(loglog n)^alpha shrinks, so pn grows ~(loglog n)^alpha;
+  // boosting (versions=2) is an algorithm parameter of the registry entry.
+  const double loglog =
+      std::log2(std::max(4.0, std::log2(static_cast<double>(n))));
+  spec.run = algorithm_runner("dist_near_clique",
+                              AlgoParams()
+                                  .with("eps", eps)
+                                  .with("pn", 8.0 * std::pow(loglog, alpha))
+                                  .with("versions", 2)
+                                  .with("window", 1'000'000)
+                                  .with("max_rounds", 8'000'000));
+  spec.success = [=](const Instance& inst, const AlgoResult& res) {
     // (1-o(1))|D| nodes at o(1) distance from clique: use 0.8 / 0.9 as the
     // finite-n stand-ins for the asymptotic statement.
     const auto best = res.largest_cluster();

@@ -6,16 +6,19 @@
 // of a factor-lambda in running time. Shape to verify: success rate rises
 // with lambda toward 1 tracking 1-(1-r)^lambda, and the measured rounds
 // scale roughly linearly in lambda (sequential windows).
+//
+// Boosting is just the "versions" parameter of the registered
+// dist_near_clique algorithm, so each case is a one-point SweepSpec with a
+// versions axis.
 
 #include <benchmark/benchmark.h>
 
 #include <cmath>
 
 #include "bench_common.hpp"
-#include "core/boosting.hpp"
-#include "core/driver.hpp"
-#include "expt/trial.hpp"
+#include "expt/sweep.hpp"
 #include "util/stats.hpp"
+#include "util/table.hpp"
 
 namespace {
 
@@ -38,35 +41,30 @@ void BM_Boosting(benchmark::State& state) {
   const NodeId n = 150;
   const double eps = 0.2;
   const double delta = 0.4;
-  const std::size_t trials = 12;
-  const std::uint64_t window = 400'000;
 
-  TrialSpec spec;
-  spec.make_instance = [=](std::uint64_t seed) {
-    return make_scenario("theorem",
-                         ScenarioParams()
+  SweepSpec spec;
+  spec.scenario_family = "theorem";
+  spec.scenario_params = ScenarioParams()
                              .with("n", n)
                              .with("delta", delta)
                              .with("eps", eps)
                              .with("background_p", 0.08)
-                             .with("halo_p", 0.25),
-                         seed);
-  };
-  spec.run = [=](const Graph& g, std::uint64_t seed) {
-    DriverConfig cfg;
-    cfg.proto.eps = eps;
-    cfg.proto.p = 6.0 / static_cast<double>(n);  // marginal: fails often
-    cfg.net.seed = seed;
-    cfg.net.max_rounds = 16'000'000;
-    return run_boosted(g, cfg, lambda, window);
-  };
-  spec.success = [=](const Instance& inst, const NearCliqueResult& res) {
-    return theorem57_success(inst, res, eps, delta);
-  };
+                             .with("halo_p", 0.25);
+  spec.algorithms = {{"dist_near_clique",
+                      AlgoParams()
+                          .with("eps", eps)
+                          .with("pn", 6.0)  // marginal: fails often
+                          .with("window", 400'000)
+                          .with("max_rounds", 16'000'000)}};
+  spec.axes = {{SweepAxis::Target::kAlgorithm, "versions",
+                {static_cast<double>(lambda)}}};
+  spec.trials = 12;
+  spec.seed_base = 0xe8;
+  spec.success.kind = SuccessSpec::Kind::kTheorem57;
 
   TrialStats stats;
   for (auto _ : state) {
-    stats = run_trials(spec, trials, 0xe8);
+    stats = run_sweep(spec).at(0).stats;
   }
   if (lambda == 1) {
     g_single_rate = stats.success_rate();

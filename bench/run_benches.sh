@@ -28,6 +28,18 @@ cmake --build "$BUILD_DIR" -j "$(nproc)"
 "$BUILD_DIR/bench_runtime_scale" $FULL_FLAG --json "$REPO_ROOT/BENCH_runtime.json"
 "$BUILD_DIR/bench_generator_scale" $FULL_FLAG --json "$REPO_ROOT/BENCH_generators.json"
 
+# Small fixed-seed comparative sweep through the registry pair (scenario x
+# algorithm, see src/expt/README.md) so future PRs can track the
+# DistNearClique-vs-baselines trajectory. Per-algorithm brackets hold
+# eps = 0.2 fixed for every algorithm that declares it (neighbors2 and
+# grasp parameterize differently; theorem57 falls back to its own
+# eps = 0.2 for them), so the rows are comparable; the JSON records each
+# row's fully merged parameters. JSON lines in BENCH_sweep.json.
+"$BUILD_DIR/nearclique" sweep --scenario=theorem --params=n=150 \
+    --algos='dist_near_clique[eps=0.2,pn=9,max_rounds=16000000],shingles[eps=0.2,min_size=4],neighbors2,peeling[eps=0.2],grasp[gamma=0.8,iterations=24],ggr_find[eps=0.2]' \
+    --trials=8 --seed=1 --seq-seeds \
+    --success=theorem57 --json="$REPO_ROOT/BENCH_sweep.json"
+
 if [[ "$RUN_EXPERIMENTS" -eq 1 ]]; then
   for bin in "$BUILD_DIR"/bench_e*; do
     [[ -x "$bin" ]] || continue

@@ -1,0 +1,367 @@
+// nearclique — the single command-line front end of the repository: any
+// registered scenario family x any registered algorithm, no recompiling.
+//
+//   nearclique list-scenarios               scenario catalogue + defaults
+//   nearclique list-algorithms              algorithm catalogue + defaults
+//   nearclique run   --scenario=F [--params=k=v,..] --algo=A
+//                    [--algo-params=k=v,..] [--seed=N] [--json[=FILE]]
+//                    [--dot=out.dot]
+//   nearclique sweep --scenario=F [--params=..] [--algos=A,B[k=v,..],..]
+//                    [--algo-params=..] [--grid=scenario.n=100:200,both.eps=0.1:0.2]
+//                    [--trials=N] [--seed=N] [--seq-seeds]
+//                    [--success=none|theorem57|effective|size_density]
+//                    [--success2=...] [--success-eps=..] [--success-delta=..]
+//                    [--success-min-size=..] [--success-max-eps=..]
+//                    [--json=FILE|-] [--title=..]
+//
+// An --algos entry may carry its own parameters in brackets —
+// `shingles[eps=0.2,min_size=4]` — overriding the shared --algo-params for
+// that algorithm only (how a comparison holds eps fixed when the
+// algorithms declare different parameter sets).
+//
+// Examples (see src/expt/README.md for the architecture):
+//
+//   nearclique run --scenario=planted_near_clique --algo=dist_near_clique
+//                  --algo-params=eps=0.2,pn=9 --seed=7
+//   nearclique sweep --scenario=theorem --algos=dist_near_clique,peeling
+//                    --grid=both.eps=0.1:0.2 --trials=4 --success=theorem57
+//                    --json=-
+//
+// `sweep --json=-` emits one JSON object per line on stdout (the table goes
+// to stderr), so results pipe straight into jq / pandas.
+
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "algo/registry.hpp"
+#include "expt/scenario.hpp"
+#include "expt/sweep.hpp"
+#include "graph/dot.hpp"
+#include "graph/metrics.hpp"
+#include "util/cli.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using namespace nc;
+
+int usage(std::FILE* to) {
+  std::fprintf(
+      to,
+      "usage: nearclique <command> [--flags]\n"
+      "  list-scenarios            registered scenario families\n"
+      "  list-algorithms           registered algorithms\n"
+      "  run    --scenario=F --algo=A [--params=..] [--algo-params=..]\n"
+      "         [--seed=N] [--json[=FILE]] [--dot=out.dot]\n"
+      "  sweep  --scenario=F [--algos=A,B[k=v,..]] [--params=..]\n"
+      "         [--algo-params=..]\n"
+      "         [--grid=scenario.k=v1:v2,algo.k=..,both.k=..] [--trials=N]\n"
+      "         [--seed=N] [--seq-seeds] [--success=PRED] [--success2=PRED]\n"
+      "         [--json=FILE|-]\n");
+  return to == stdout ? 0 : 2;
+}
+
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> out;
+  std::istringstream in(text);
+  std::string item;
+  while (std::getline(in, item, sep)) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+/// Parses "--grid=scenario.n=100:200,both.eps=0.1:0.2" into sweep axes.
+std::vector<SweepAxis> parse_grid(const std::string& grid) {
+  std::vector<SweepAxis> axes;
+  for (const auto& item : split(grid, ',')) {
+    const auto eq = item.find('=');
+    const auto dot = item.find('.');
+    if (eq == std::string::npos || dot == std::string::npos || dot > eq) {
+      throw std::invalid_argument(
+          "malformed grid axis '" + item +
+          "' (expected scenario.key=v1:v2, algo.key=.. or both.key=..)");
+    }
+    SweepAxis axis;
+    const std::string target = item.substr(0, dot);
+    if (target == "scenario") {
+      axis.target = SweepAxis::Target::kScenario;
+    } else if (target == "algo" || target == "algorithm") {
+      axis.target = SweepAxis::Target::kAlgorithm;
+    } else if (target == "both") {
+      axis.target = SweepAxis::Target::kBoth;
+    } else {
+      throw std::invalid_argument("unknown grid target '" + target +
+                                  "' in '" + item +
+                                  "'; use scenario., algo. or both.");
+    }
+    axis.key = item.substr(dot + 1, eq - dot - 1);
+    for (const auto& v : split(item.substr(eq + 1), ':')) {
+      axis.values.push_back(parse_number(v, "grid value"));
+    }
+    if (axis.key.empty() || axis.values.empty()) {
+      throw std::invalid_argument("grid axis '" + item +
+                                  "' needs a key and at least one value");
+    }
+    axes.push_back(std::move(axis));
+  }
+  return axes;
+}
+
+/// Splits an --algos list on the commas outside [...] brackets.
+std::vector<std::string> split_algos(const std::string& text) {
+  std::vector<std::string> out;
+  std::string current;
+  int depth = 0;
+  for (const char c : text) {
+    if (c == '[') ++depth;
+    if (c == ']') --depth;
+    if (c == ',' && depth == 0) {
+      if (!current.empty()) out.push_back(current);
+      current.clear();
+      continue;
+    }
+    current += c;
+  }
+  if (!current.empty()) out.push_back(current);
+  return out;
+}
+
+/// Parses one --algos entry, "name" or "name[k=v,...]"; bracketed
+/// parameters override the shared --algo-params for this algorithm.
+AlgoSpec parse_algo_item(const std::string& item,
+                         const std::string& shared_params) {
+  const auto bracket = item.find('[');
+  if (bracket == std::string::npos) {
+    return parse_algo_spec(item, shared_params, /*seed=*/1);
+  }
+  if (item.back() != ']') {
+    throw std::invalid_argument("malformed --algos entry '" + item +
+                                "' (expected name[k=v,...])");
+  }
+  const std::string name = item.substr(0, bracket);
+  AlgoSpec spec = parse_algo_spec(name, shared_params, /*seed=*/1);
+  const AlgoSpec own = parse_algo_spec(
+      name, item.substr(bracket + 1, item.size() - bracket - 2), /*seed=*/1);
+  for (const auto& [key, value] : own.params.values()) {
+    spec.params.with(key, value);
+  }
+  for (const auto& [key, value] : own.params.strings()) {
+    spec.params.with(key, value);
+  }
+  return spec;
+}
+
+SuccessSpec success_from_args(const Args& args, const std::string& flag) {
+  SuccessSpec spec = parse_success_spec(args.get(flag, "none"));
+  spec.eps = args.get_double("success-eps", spec.eps);
+  spec.delta = args.get_double("success-delta", spec.delta);
+  spec.min_size = args.get_double("success-min-size", spec.min_size);
+  spec.max_eps = args.get_double("success-max-eps", spec.max_eps);
+  return spec;
+}
+
+int cmd_run(const Args& args) {
+  const auto scenario = args.get("scenario", "planted_near_clique");
+  const auto algo = args.get("algo", "dist_near_clique");
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+
+  const ScenarioSpec sspec =
+      parse_scenario_spec(scenario, args.get("params", ""), seed);
+  const AlgoSpec aspec = parse_algo_spec(algo, args.get("algo-params", ""), seed);
+
+  const Instance inst = ScenarioRegistry::global().make(sspec);
+  const AlgoResult result = AlgorithmRegistry::global().run(inst.graph, aspec);
+  const auto clusters = result.clusters();
+
+  const auto overlap_of = [&](const std::vector<NodeId>& members) {
+    std::size_t overlap = 0;
+    for (const NodeId v : members) {
+      if (std::binary_search(inst.planted.begin(), inst.planted.end(), v)) {
+        ++overlap;
+      }
+    }
+    return overlap;
+  };
+
+  if (args.has("json")) {
+    // Bare --json (Args stores "1") and --json=- print to stdout; any other
+    // value is a file path, matching sweep's --json=FILE.
+    const std::string target = args.get("json");
+    JsonWriter w;
+    w.begin_object();
+    w.key("scenario").begin_object().key("family").value(scenario);
+    w.key("seed").value(seed);
+    w.key("n").value(static_cast<std::uint64_t>(inst.graph.n()));
+    w.key("m").value(static_cast<std::uint64_t>(inst.graph.m()));
+    w.key("planted").value(static_cast<std::uint64_t>(inst.planted.size()));
+    w.end_object();
+    w.key("algorithm")
+        .begin_object()
+        .key("name")
+        .value(algo)
+        .key("model")
+        .value(cost_model_name(result.model))
+        .end_object();
+    w.key("rounds").value(result.stats.rounds);
+    w.key("bits").value(result.stats.bits);
+    w.key("max_msg_bits").value(result.stats.max_message_bits);
+    w.key("local_ops").value(result.local_ops);
+    w.key("aborted").value(result.aborted);
+    w.key("clusters").begin_array();
+    for (const auto& [label, members] : clusters) {
+      w.begin_object()
+          .key("label")
+          .value(static_cast<std::uint64_t>(label))
+          .key("size")
+          .value(static_cast<std::uint64_t>(members.size()))
+          .key("density")
+          .value(set_density(inst.graph, members))
+          .key("planted_overlap")
+          .value(static_cast<std::uint64_t>(overlap_of(members)))
+          .end_object();
+    }
+    w.end_array();
+    w.end_object();
+    if (target.empty() || target == "1" || target == "-") {
+      std::printf("%s\n", w.str().c_str());
+    } else {
+      std::ofstream out(target);
+      if (!out) {
+        std::fprintf(stderr, "error: cannot write %s\n", target.c_str());
+        return 2;
+      }
+      out << w.str() << "\n";
+      std::printf("wrote %s\n", target.c_str());
+    }
+    return 0;
+  }
+
+  std::printf("scenario %s (seed %llu): n=%u, m=%zu, planted=%zu",
+              scenario.c_str(), static_cast<unsigned long long>(seed),
+              inst.graph.n(), inst.graph.m(), inst.planted.size());
+  if (!inst.planted.empty()) {
+    std::printf(", density(planted)=%.4f",
+                set_density(inst.graph, inst.planted));
+  }
+  std::printf("\nalgorithm %s [%s]: %s\n", algo.c_str(),
+              cost_model_name(result.model), result.cost_summary().c_str());
+  std::printf("near-cliques found: %zu\n", clusters.size());
+  for (const auto& [label, members] : clusters) {
+    std::printf("  label %llu: %zu nodes, density %.4f, %zu/%zu of planted\n",
+                static_cast<unsigned long long>(label), members.size(),
+                set_density(inst.graph, members), overlap_of(members),
+                inst.planted.size());
+  }
+  if (clusters.empty()) {
+    std::printf(
+        "  none — randomized algorithms succeed with constant probability; "
+        "try another --seed\n");
+  }
+  if (args.has("dot")) {
+    const auto path = args.get("dot");
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+      return 2;
+    }
+    out << to_dot(inst.graph, clusters);
+    std::printf("wrote %s (render with: dot -Tsvg %s)\n", path.c_str(),
+                path.c_str());
+  }
+  return 0;
+}
+
+int cmd_sweep(const Args& args) {
+  if (!args.has("scenario")) {
+    std::fprintf(stderr,
+                 "error: sweep requires --scenario=FAMILY (see "
+                 "nearclique list-scenarios)\n");
+    return 2;
+  }
+  SweepSpec spec;
+  spec.title = args.get("title", "nearclique sweep");
+  spec.scenario_family = args.get("scenario");
+  const ScenarioSpec base = parse_scenario_spec(
+      spec.scenario_family, args.get("params", ""), /*seed=*/1);
+  spec.scenario_params = base.params;
+  for (const auto& item :
+       split_algos(args.get("algos", args.get("algo", "dist_near_clique")))) {
+    spec.algorithms.push_back(
+        parse_algo_item(item, args.get("algo-params", "")));
+  }
+  spec.axes = parse_grid(args.get("grid", ""));
+  const auto trials = args.get_int("trials", 5);
+  const auto seed = args.get_int("seed", 1);
+  if (trials < 1) {
+    throw std::invalid_argument("--trials must be >= 1, got " +
+                                std::to_string(trials));
+  }
+  if (seed < 0) {
+    throw std::invalid_argument("--seed must be >= 0, got " +
+                                std::to_string(seed));
+  }
+  spec.trials = static_cast<std::size_t>(trials);
+  spec.seed_base = static_cast<std::uint64_t>(seed);
+  spec.seeds = args.get_bool("seq-seeds") ? SeedSchedule::kSequential
+                                          : SeedSchedule::kSalted;
+  spec.success = success_from_args(args, "success");
+  spec.success2 = success_from_args(args, "success2");
+
+  const auto rows = run_sweep(spec);
+
+  const std::string json_target = args.get("json", "");
+  const bool json_to_stdout = json_target == "-";
+  if (json_to_stdout) {
+    std::cout << sweep_json_lines(rows) << std::flush;
+    std::cerr << "\n=== " << spec.title << " ===\n"
+              << sweep_table(rows).str() << std::flush;
+    return 0;
+  }
+  if (!json_target.empty()) {
+    std::ofstream out(json_target);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", json_target.c_str());
+      return 2;
+    }
+    out << sweep_json_lines(rows);
+    std::printf("wrote %zu JSON rows to %s\n", rows.size(),
+                json_target.c_str());
+  }
+  std::cout << "\n=== " << spec.title << " ===\n"
+            << sweep_table(rows).str() << std::flush;
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(stderr);
+  const std::string command = argv[1];
+  const Args args(argc - 1, argv + 1);
+  try {
+    if (command == "list-scenarios") {
+      std::printf("registered scenario families:\n%s",
+                  describe_families(ScenarioRegistry::global()).c_str());
+      return 0;
+    }
+    if (command == "list-algorithms") {
+      std::printf("registered algorithms:\n%s",
+                  describe_algorithms(AlgorithmRegistry::global()).c_str());
+      return 0;
+    }
+    if (command == "run") return cmd_run(args);
+    if (command == "sweep") return cmd_sweep(args);
+    if (command == "help" || command == "--help") return usage(stdout);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  std::fprintf(stderr, "error: unknown command '%s'\n\n", command.c_str());
+  return usage(stderr);
+}

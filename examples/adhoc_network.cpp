@@ -12,7 +12,7 @@
 
 #include <cstdio>
 
-#include "core/driver.hpp"
+#include "algo/registry.hpp"
 #include "expt/scenario.hpp"
 #include "graph/metrics.hpp"
 #include "util/cli.hpp"
@@ -43,12 +43,10 @@ int main(int argc, char** argv) {
   }
   std::printf("average degree: %.1f\n", avg_deg / inst.graph.n());
 
-  nc::DriverConfig config;
-  config.proto.eps = 0.15;
-  config.proto.p = 9.0 / static_cast<double>(n);
-  config.net.seed = seed;
-  config.net.max_rounds = 32'000'000;
-  const auto result = nc::run_dist_near_clique(inst.graph, config);
+  // Same registry resolution as `nearclique run --algo=dist_near_clique`.
+  const auto result = nc::run_algorithm(
+      inst.graph, "dist_near_clique",
+      nc::AlgoParams().with("eps", 0.15).with("pn", 9.0), seed);
 
   std::printf("\nDistNearClique: %s\n", result.stats.summary().c_str());
   for (const auto& [label, members] : result.clusters()) {

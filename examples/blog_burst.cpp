@@ -10,8 +10,7 @@
 #include <algorithm>
 #include <cstdio>
 
-#include "core/boosting.hpp"
-#include "core/driver.hpp"
+#include "algo/registry.hpp"
 #include "expt/scenario.hpp"
 #include "graph/metrics.hpp"
 #include "util/cli.hpp"
@@ -43,12 +42,16 @@ int main(int argc, char** argv) {
     const auto& community = inst.planted;
     const double event_density = nc::set_density(g, community);
 
-    nc::DriverConfig config;
-    config.proto.eps = 0.2;
-    config.proto.p = 9.0 / static_cast<double>(n);
-    config.net.seed = seed + t;
-    config.net.max_rounds = 64'000'000;
-    const auto result = nc::run_boosted(g, config, 3, 4'000'000);
+    // Boosting is an algorithm parameter (versions/window) behind the same
+    // registry entry the plain runs use.
+    const auto result = nc::run_algorithm(g, "dist_near_clique",
+                                          nc::AlgoParams()
+                                              .with("eps", 0.2)
+                                              .with("pn", 9.0)
+                                              .with("versions", 3)
+                                              .with("window", 4'000'000)
+                                              .with("max_rounds", 64'000'000),
+                                          seed + t);
 
     const auto found = result.largest_cluster();
     std::size_t overlap = 0;

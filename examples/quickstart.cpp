@@ -17,7 +17,7 @@
 #include <exception>
 #include <fstream>
 
-#include "core/driver.hpp"
+#include "algo/registry.hpp"
 #include "expt/scenario.hpp"
 #include "graph/dot.hpp"
 #include "graph/metrics.hpp"
@@ -69,15 +69,14 @@ int main(int argc, char** argv) {
   }
   std::printf("\n");
 
-  // 2. Configure and run the distributed algorithm. Every node runs the same
-  //    protocol; the simulator enforces O(log n)-bit messages per edge per
-  //    round and reports the traffic.
-  nc::DriverConfig config;
-  config.proto.eps = eps;
-  config.proto.p = pn / static_cast<double>(n);
-  config.net.seed = seed;
-  config.net.max_rounds = 32'000'000;
-  const auto result = nc::run_dist_near_clique(instance.graph, config);
+  // 2. Resolve the algorithm through the algorithm registry (the symmetric
+  //    half of step 1) and run it. Every node runs the same protocol; the
+  //    simulator enforces O(log n)-bit messages per edge per round and
+  //    reports the traffic. `nearclique run` exposes the same pair of
+  //    lookups with every registered algorithm.
+  const auto result = nc::run_algorithm(
+      instance.graph, "dist_near_clique",
+      nc::AlgoParams().with("eps", eps).with("pn", pn), seed);
 
   std::printf("execution: %s\n", result.stats.summary().c_str());
 

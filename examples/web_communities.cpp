@@ -13,8 +13,7 @@
 #include <algorithm>
 #include <cstdio>
 
-#include "baselines/peeling.hpp"
-#include "core/driver.hpp"
+#include "algo/registry.hpp"
 #include "expt/scenario.hpp"
 #include "graph/metrics.hpp"
 #include "util/cli.hpp"
@@ -55,12 +54,11 @@ int main(int argc, char** argv) {
               nc::set_density(inst.graph, inst.planted));
 
   // Distributed discovery: every page is a processor, links are edges.
-  nc::DriverConfig config;
-  config.proto.eps = eps;
-  config.proto.p = 10.0 / static_cast<double>(n);
-  config.net.seed = seed;
-  config.net.max_rounds = 32'000'000;
-  const auto result = nc::run_dist_near_clique(inst.graph, config);
+  // Both algorithms below resolve through the same AlgorithmRegistry the
+  // benches and the nearclique CLI use.
+  const auto result = nc::run_algorithm(
+      inst.graph, "dist_near_clique",
+      nc::AlgoParams().with("eps", eps).with("pn", 10.0), seed);
   const auto found = result.largest_cluster();
   std::printf("\nDistNearClique (%llu rounds, max %llu-bit messages):\n",
               static_cast<unsigned long long>(result.stats.rounds),
@@ -72,7 +70,10 @@ int main(int argc, char** argv) {
 
   // Centralized comparison: greedy peeling needs the whole graph in one
   // place and O(m) sequential work.
-  const auto peeled = nc::largest_near_clique_by_peeling(inst.graph, eps);
+  const auto peeled =
+      nc::run_algorithm(inst.graph, "peeling",
+                        nc::AlgoParams().with("eps", eps), seed)
+          .largest_cluster();
   std::printf("\ncentralized peeling:\n");
   std::printf("  largest %.2f-near clique: %zu nodes, overlap %zu/%zu\n", eps,
               peeled.size(), overlap_with(inst.planted, peeled),

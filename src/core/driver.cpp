@@ -54,11 +54,10 @@ double cluster_density(const Graph& g, const std::vector<NodeId>& cluster) {
   return set_density(g, cluster);
 }
 
-bool theorem_success(const Graph& g, const NearCliqueResult& result,
-                     std::size_t min_size, double min_density) {
-  const auto best = result.largest_cluster();
-  if (best.size() < min_size) return false;
-  return cluster_density(g, best) >= min_density;
+bool theorem_success(const Graph& g, const std::vector<NodeId>& cluster,
+                     double min_size, double max_eps) {
+  if (static_cast<double>(cluster.size()) < min_size) return false;
+  return is_near_clique(g, cluster, max_eps);
 }
 
 }  // namespace nc

@@ -36,10 +36,13 @@ NearCliqueResult run_dist_near_clique(const Graph& g, const DriverConfig& cfg);
 /// Returns the Definition-1 density of the set (1.0 for |set| <= 1).
 double cluster_density(const Graph& g, const std::vector<NodeId>& cluster);
 
-/// Success predicate used by the experiment harness for Theorem 5.7:
-/// the largest output cluster has at least `min_size` nodes and density at
-/// least `min_density`.
-bool theorem_success(const Graph& g, const NearCliqueResult& result,
-                     std::size_t min_size, double min_density);
+/// The single success predicate behind every Theorem 5.7 check (driver
+/// checks, theorem57_success in expt/trial, the sweep runner's named
+/// predicates): `cluster` has at least `min_size` nodes and is a
+/// max_eps-near clique per Definition 1, evaluated with the exact integer
+/// arithmetic of is_near_clique so boundary cases never depend on floating
+/// rounding.
+bool theorem_success(const Graph& g, const std::vector<NodeId>& cluster,
+                     double min_size, double max_eps);
 
 }  // namespace nc

@@ -6,23 +6,11 @@
 #include <utility>
 
 #include "graph/builder.hpp"
+#include "graph/edge_list.hpp"
 
 namespace nc {
 
 namespace {
-
-[[noreturn]] void missing_key(const std::string& key) {
-  throw std::invalid_argument("scenario parameter '" + key + "' is not set");
-}
-
-std::string join(const std::vector<std::string>& parts) {
-  std::string out;
-  for (const auto& p : parts) {
-    if (!out.empty()) out += ", ";
-    out += p;
-  }
-  return out;
-}
 
 NodeId node_count(const ScenarioParams& p, const std::string& key = "n") {
   const auto n = p.get_int(key);
@@ -220,6 +208,22 @@ ScenarioRegistry build_global_registry() {
            return Instance{std::move(b).build(), std::move(community)};
          }});
 
+  // --------------------------------------------------- real-graph loaders
+  r.add({"edge_list_file",
+         "real graph from a whitespace/CSV edge-list file (params "
+         "path=<file>); built through the streaming CSR builder",
+         ScenarioParams().with("path", "").with("one_indexed", 0),
+         [](const ScenarioParams& p, std::uint64_t /*seed*/) {
+           const std::string& path = p.get_string("path");
+           if (path.empty()) {
+             throw std::invalid_argument(
+                 "scenario family 'edge_list_file' requires params "
+                 "path=<file> (an edge-list file to load)");
+           }
+           return Instance{load_edge_list(path, p.get_bool("one_indexed")),
+                           {}};
+         }});
+
   // ---------------------------- canonical experiment workloads (E1..E12)
   // Seed salts match the original expt/workloads.cpp constants so existing
   // fixed-seed experiment instances are reproduced exactly.
@@ -304,20 +308,6 @@ ScenarioRegistry build_global_registry() {
 
 }  // namespace
 
-double ScenarioParams::get_double(const std::string& key) const {
-  const auto it = values_.find(key);
-  if (it == values_.end()) missing_key(key);
-  return it->second;
-}
-
-std::int64_t ScenarioParams::get_int(const std::string& key) const {
-  return std::llround(get_double(key));
-}
-
-bool ScenarioParams::get_bool(const std::string& key) const {
-  return get_double(key) != 0.0;
-}
-
 void ScenarioRegistry::add(Family family) {
   const auto name = family.name;
   if (!families_.emplace(name, std::move(family)).second) {
@@ -331,24 +321,15 @@ const ScenarioRegistry::Family& ScenarioRegistry::family(
   const auto it = families_.find(name);
   if (it == families_.end()) {
     throw std::invalid_argument("unknown scenario family '" + name +
-                                "'; known families: " + join(names()));
+                                "'; known families: " + join_comma(names()));
   }
   return it->second;
 }
 
 Instance ScenarioRegistry::make(const ScenarioSpec& spec) const {
   const Family& fam = family(spec.family);
-  ScenarioParams merged = fam.defaults;
-  for (const auto& [key, value] : spec.params.values()) {
-    if (!fam.defaults.has(key)) {
-      std::vector<std::string> keys;
-      for (const auto& [k, v] : fam.defaults.values()) keys.push_back(k);
-      throw std::invalid_argument("scenario family '" + spec.family +
-                                  "' has no parameter '" + key +
-                                  "'; parameters: " + join(keys));
-    }
-    merged.with(key, value);
-  }
+  const ScenarioParams merged = merge_params(
+      fam.defaults, spec.params, "scenario family '" + spec.family + "'");
   return fam.make(merged, spec.seed);
 }
 
@@ -375,34 +356,16 @@ ScenarioSpec parse_scenario_spec(const std::string& family,
   ScenarioSpec spec;
   spec.family = family;
   spec.seed = seed;
-  std::istringstream in(params_csv);
-  std::string item;
-  while (std::getline(in, item, ',')) {
-    if (item.empty()) continue;
-    const auto eq = item.find('=');
-    if (eq == std::string::npos || eq == 0) {
-      throw std::invalid_argument("malformed scenario parameter '" + item +
-                                  "' (expected key=value)");
-    }
-    const std::string key = item.substr(0, eq);
-    const std::string value = item.substr(eq + 1);
-    double parsed = 0.0;
-    if (value == "true") {
-      parsed = 1.0;
-    } else if (value == "false") {
-      parsed = 0.0;
-    } else {
-      try {
-        std::size_t used = 0;
-        parsed = std::stod(value, &used);
-        if (used != value.size()) throw std::invalid_argument(value);
-      } catch (const std::exception&) {
-        throw std::invalid_argument("malformed scenario parameter value '" +
-                                    value + "' for key '" + key + "'");
-      }
-    }
-    spec.params.with(key, parsed);
+  // Keys the family declares as strings (file paths) parse verbatim; an
+  // unknown family parses numerically and fails later, in make(), with the
+  // catalogue-listing error message.
+  const ParamSet* declared = nullptr;
+  const auto& registry = ScenarioRegistry::global();
+  try {
+    declared = &registry.family(family).defaults;
+  } catch (const std::invalid_argument&) {
   }
+  spec.params = parse_params_csv(params_csv, declared);
   return spec;
 }
 
@@ -410,11 +373,8 @@ std::string describe_families(const ScenarioRegistry& registry) {
   std::ostringstream os;
   for (const auto& name : registry.names()) {
     const auto& fam = registry.family(name);
-    os << "  " << name << " — " << fam.description << "\n    defaults:";
-    for (const auto& [key, value] : fam.defaults.values()) {
-      os << " " << key << "=" << value;
-    }
-    os << "\n";
+    os << "  " << name << " — " << fam.description << "\n    defaults:"
+       << describe_params(fam.defaults) << "\n";
   }
   return os.str();
 }

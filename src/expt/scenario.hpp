@@ -7,45 +7,13 @@
 #include <vector>
 
 #include "graph/generators.hpp"
+#include "util/paramset.hpp"
 
 namespace nc {
 
-/// Typed parameter bag for scenario specs. Values are stored as doubles
-/// (every family parameter in this codebase is a count, probability or
-/// fraction); the typed getters round or threshold as appropriate. The
-/// fluent `with` avoids narrowing pitfalls of brace initialization:
-///
-///   ScenarioParams().with("n", 200).with("clique_size", 80)
-class ScenarioParams {
- public:
-  ScenarioParams() = default;
-
-  template <typename T>
-  ScenarioParams&& with(const std::string& key, T value) && {
-    values_[key] = static_cast<double>(value);
-    return std::move(*this);
-  }
-  template <typename T>
-  ScenarioParams& with(const std::string& key, T value) & {
-    values_[key] = static_cast<double>(value);
-    return *this;
-  }
-
-  [[nodiscard]] bool has(const std::string& key) const {
-    return values_.contains(key);
-  }
-  /// Getters throw std::invalid_argument when the key is absent.
-  [[nodiscard]] double get_double(const std::string& key) const;
-  [[nodiscard]] std::int64_t get_int(const std::string& key) const;
-  [[nodiscard]] bool get_bool(const std::string& key) const;
-
-  [[nodiscard]] const std::map<std::string, double>& values() const {
-    return values_;
-  }
-
- private:
-  std::map<std::string, double> values_;
-};
+/// Scenario parameters are the shared registry param bag (util/paramset.hpp),
+/// so scenario and algorithm specs parse, merge and validate identically.
+using ScenarioParams = ParamSet;
 
 /// A fully specified instance request: family name, parameter overrides on
 /// the family defaults, and the seed every random draw derives from. A spec

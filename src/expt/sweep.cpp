@@ -1,0 +1,318 @@
+#include "expt/sweep.hpp"
+
+#include <cmath>
+#include <functional>
+#include <stdexcept>
+#include <utility>
+
+#include "graph/metrics.hpp"
+#include "util/json.hpp"
+
+namespace nc {
+
+namespace {
+
+/// Explicitly set predicate parameters win; kFromParams (NaN) derives from
+/// the run's own merged configuration with a final literal fallback.
+double resolve(double explicit_value, const ParamSet& merged,
+               const char* key, double fallback) {
+  if (!std::isnan(explicit_value)) return explicit_value;
+  return merged.get_double_or(key, fallback);
+}
+
+/// Resolves the per-trial success predicate for one grid point. `merged_*`
+/// are the fully merged (defaults + overrides) parameter sets, so shared
+/// keys like "eps"/"delta" read the same values the run will use.
+std::function<bool(const Instance&, const AlgoResult&)> make_predicate(
+    const SuccessSpec& spec, const ParamSet& merged_scenario,
+    const ParamSet& merged_algo) {
+  switch (spec.kind) {
+    case SuccessSpec::Kind::kNone:
+      return nullptr;
+    case SuccessSpec::Kind::kTheorem57: {
+      const double eps = resolve(spec.eps, merged_algo, "eps", 0.2);
+      const double delta =
+          resolve(spec.delta, merged_scenario, "delta", 0.4);
+      return [eps, delta](const Instance& inst, const AlgoResult& res) {
+        return theorem57_success(inst, res, eps, delta);
+      };
+    }
+    case SuccessSpec::Kind::kEffective: {
+      const double eps = resolve(spec.eps, merged_algo, "eps", 0.2);
+      return [eps](const Instance& inst, const AlgoResult& res) {
+        const auto best = res.largest_cluster();
+        return 3 * best.size() >= 2 * inst.planted.size() &&
+               cluster_density(inst.graph, best) >= 1.0 - 2.0 * eps;
+      };
+    }
+    case SuccessSpec::Kind::kSizeDensity: {
+      const double min_size = spec.min_size;
+      const double max_eps = spec.max_eps;
+      return [min_size, max_eps](const Instance& inst, const AlgoResult& res) {
+        return theorem_success(inst.graph, res.largest_cluster(), min_size,
+                               max_eps);
+      };
+    }
+  }
+  return nullptr;
+}
+
+void apply_axis(const SweepAxis& axis, double value, ParamSet& scenario,
+                ParamSet& algo) {
+  if (axis.target != SweepAxis::Target::kAlgorithm) {
+    scenario.with(axis.key, value);
+  }
+  if (axis.target != SweepAxis::Target::kScenario) {
+    algo.with(axis.key, value);
+  }
+}
+
+void write_running_stat(JsonWriter& w, const char* name,
+                        const RunningStat& s) {
+  w.key(name)
+      .begin_object()
+      .key("mean")
+      .value(s.mean())
+      .key("min")
+      .value(s.min())
+      .key("max")
+      .value(s.max())
+      .key("stddev")
+      .value(s.stddev())
+      .key("count")
+      .value(static_cast<std::uint64_t>(s.count()))
+      .end_object();
+}
+
+void write_params(JsonWriter& w, const char* name, const ParamSet& params) {
+  w.key(name).begin_object();
+  for (const auto& [key, value] : params.values()) w.key(key).value(value);
+  for (const auto& [key, value] : params.strings()) w.key(key).value(value);
+  w.end_object();
+}
+
+const char* schedule_name(SeedSchedule s) {
+  return s == SeedSchedule::kSalted ? "salted" : "sequential";
+}
+
+}  // namespace
+
+std::string SuccessSpec::name() const {
+  switch (kind) {
+    case Kind::kNone:
+      return "none";
+    case Kind::kTheorem57:
+      return "theorem57";
+    case Kind::kEffective:
+      return "effective";
+    case Kind::kSizeDensity:
+      return "size_density";
+  }
+  return "?";
+}
+
+SuccessSpec parse_success_spec(const std::string& text) {
+  SuccessSpec spec;
+  if (text == "none" || text.empty()) {
+    spec.kind = SuccessSpec::Kind::kNone;
+  } else if (text == "theorem57") {
+    spec.kind = SuccessSpec::Kind::kTheorem57;
+  } else if (text == "effective") {
+    spec.kind = SuccessSpec::Kind::kEffective;
+  } else if (text == "size_density") {
+    spec.kind = SuccessSpec::Kind::kSizeDensity;
+  } else {
+    throw std::invalid_argument(
+        "unknown success predicate '" + text +
+        "'; options: none, theorem57, effective, size_density");
+  }
+  return spec;
+}
+
+double SweepRow::headline_cost_mean() const {
+  return model == CostModel::kCongest ? stats.rounds.mean()
+                                      : stats.local_ops.mean();
+}
+
+std::vector<SweepRow> run_sweep(const SweepSpec& spec) {
+  const auto& scenarios = ScenarioRegistry::global();
+  const auto& algorithms = AlgorithmRegistry::global();
+
+  const auto& family = scenarios.family(spec.scenario_family);
+  if (spec.algorithms.empty()) {
+    throw std::invalid_argument("sweep spec lists no algorithms");
+  }
+  for (const auto& axis : spec.axes) {
+    if (axis.values.empty()) {
+      throw std::invalid_argument("sweep axis '" + axis.key +
+                                  "' has no values");
+    }
+  }
+
+  // Phase 1 — expand the grid (first axis outermost). A grid point fixes
+  // the scenario overrides and the axis contribution to algorithm params;
+  // it is shared by every algorithm.
+  struct GridPoint {
+    ParamSet scenario_overrides;
+    ParamSet algo_axis_overrides;
+  };
+  std::vector<GridPoint> points;
+  std::vector<std::size_t> index(spec.axes.size(), 0);
+  while (true) {
+    GridPoint point{spec.scenario_params, {}};
+    for (std::size_t i = 0; i < spec.axes.size(); ++i) {
+      apply_axis(spec.axes[i], spec.axes[i].values[index[i]],
+                 point.scenario_overrides, point.algo_axis_overrides);
+    }
+    points.push_back(std::move(point));
+    // Odometer increment, last axis fastest; i reaches 0 when every axis
+    // wrapped (or there are no axes — a single grid point).
+    std::size_t i = spec.axes.size();
+    while (i > 0 && ++index[i - 1] == spec.axes[i - 1].values.size()) {
+      index[i - 1] = 0;
+      --i;
+    }
+    if (i == 0) break;
+  }
+
+  // Phase 2 — build and validate every (algorithm, grid point) row up
+  // front, so a typo fails before any trial runs. Rows are algorithm-major.
+  struct Cell {
+    std::size_t row;  ///< index into rows
+    const AlgorithmRegistry::Algorithm* entry;
+    std::function<bool(const Instance&, const AlgoResult&)> success;
+    std::function<bool(const Instance&, const AlgoResult&)> success2;
+  };
+  std::vector<SweepRow> rows;
+  rows.reserve(spec.algorithms.size() * points.size());
+  // cells[p] lists the per-algorithm work at grid point p.
+  std::vector<std::vector<Cell>> cells(points.size());
+  for (const auto& algo : spec.algorithms) {
+    const auto& entry = algorithms.algorithm(algo.name);
+    for (std::size_t p = 0; p < points.size(); ++p) {
+      SweepRow row;
+      row.scenario_family = spec.scenario_family;
+      row.scenario_params = points[p].scenario_overrides;
+      row.algorithm = algo.name;
+      row.model = entry.model;
+      row.algo_params = algo.params;
+      for (const auto& [key, value] :
+           points[p].algo_axis_overrides.values()) {
+        row.algo_params.with(key, value);
+      }
+      row.scenario_merged =
+          merge_params(family.defaults, row.scenario_params,
+                       "scenario family '" + spec.scenario_family + "'");
+      row.algo_merged = merge_params(entry.defaults, row.algo_params,
+                                     "algorithm '" + algo.name + "'");
+      row.trials = spec.trials;
+      row.seed_base = spec.seed_base;
+      row.seeds = spec.seeds;
+      Cell cell;
+      cell.row = rows.size();
+      cell.entry = &entry;
+      cell.success =
+          make_predicate(spec.success, row.scenario_merged, row.algo_merged);
+      cell.success2 =
+          make_predicate(spec.success2, row.scenario_merged, row.algo_merged);
+      cells[p].push_back(std::move(cell));
+      rows.push_back(std::move(row));
+    }
+  }
+
+  // Phase 3 — execute grid-point-major: each instance is generated once
+  // per (grid point, seed) and shared by every algorithm. Per row the
+  // trials still arrive in seed order, so aggregation is identical to a
+  // hand-wired run_trials batch.
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    for (std::size_t t = 0; t < spec.trials; ++t) {
+      const std::uint64_t seed = spec.seeds == SeedSchedule::kSalted
+                                     ? spec.seed_base + 7919 * (t + 1)
+                                     : spec.seed_base + t;
+      const Instance inst = scenarios.make(
+          {spec.scenario_family, points[p].scenario_overrides, seed});
+      for (const Cell& cell : cells[p]) {
+        SweepRow& row = rows[cell.row];
+        // Phase 2 already merged and validated row.algo_merged; invoke the
+        // adapter directly instead of re-merging through run() per trial.
+        AlgoResult result =
+            cell.entry->run(inst.graph, row.algo_merged, seed);
+        result.model = cell.entry->model;
+        accumulate_trial(row.stats, inst, result,
+                         cell.success && cell.success(inst, result),
+                         cell.success2 && cell.success2(inst, result));
+      }
+    }
+  }
+  return rows;
+}
+
+std::string sweep_row_json(const SweepRow& row) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("scenario").begin_object().key("family").value(row.scenario_family);
+  write_params(w, "params", row.scenario_merged);
+  w.end_object();
+  w.key("algorithm")
+      .begin_object()
+      .key("name")
+      .value(row.algorithm)
+      .key("model")
+      .value(cost_model_name(row.model));
+  write_params(w, "params", row.algo_merged);
+  w.end_object();
+  w.key("seed_base").value(row.seed_base);
+  w.key("seed_schedule").value(schedule_name(row.seeds));
+  w.key("trials").value(static_cast<std::uint64_t>(row.stats.trials));
+  w.key("successes").value(static_cast<std::uint64_t>(row.stats.successes));
+  w.key("success_rate").value(row.stats.success_rate());
+  const auto ci = row.stats.success_interval();
+  w.key("success_ci")
+      .begin_array()
+      .value(ci.lo)
+      .value(ci.hi)
+      .end_array();
+  w.key("successes2").value(static_cast<std::uint64_t>(row.stats.successes2));
+  write_running_stat(w, "rounds", row.stats.rounds);
+  write_running_stat(w, "bits", row.stats.bits);
+  write_running_stat(w, "max_msg_bits", row.stats.max_msg_bits);
+  write_running_stat(w, "out_size", row.stats.out_size);
+  write_running_stat(w, "out_density", row.stats.out_density);
+  write_running_stat(w, "size_ratio", row.stats.size_ratio);
+  write_running_stat(w, "recall", row.stats.recall);
+  write_running_stat(w, "local_ops", row.stats.local_ops);
+  w.key("cost").value(row.headline_cost_mean());
+  w.end_object();
+  return w.str();
+}
+
+std::string sweep_json_lines(const std::vector<SweepRow>& rows) {
+  std::string out;
+  for (const auto& row : rows) {
+    out += sweep_row_json(row);
+    out += '\n';
+  }
+  return out;
+}
+
+Table sweep_table(const std::vector<SweepRow>& rows) {
+  Table t({"scenario", "algorithm", "model", "overrides", "success", "size",
+           "density", "recall", "max_msg_bits", "cost"});
+  for (const auto& row : rows) {
+    std::string overrides = describe_params(row.scenario_params);
+    const std::string algo_overrides = describe_params(row.algo_params);
+    if (!algo_overrides.empty()) overrides += " |" + algo_overrides;
+    if (overrides.empty()) overrides = " (defaults)";
+    t.add_row({row.scenario_family, row.algorithm,
+               cost_model_name(row.model), overrides.substr(1),
+               Table::num(row.stats.success_rate(), 2),
+               Table::num(row.stats.out_size.mean(), 1),
+               Table::num(row.stats.out_density.mean(), 3),
+               Table::num(row.stats.recall.mean(), 2),
+               Table::num(row.stats.max_msg_bits.max(), 0),
+               Table::num(row.headline_cost_mean(), 0)});
+  }
+  return t;
+}
+
+}  // namespace nc

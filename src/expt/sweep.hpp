@@ -1,0 +1,130 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "algo/registry.hpp"
+#include "expt/scenario.hpp"
+#include "expt/trial.hpp"
+#include "util/table.hpp"
+
+namespace nc {
+
+/// One swept parameter: a key taking each listed value in turn, applied to
+/// the scenario params, the algorithm params, or both (e.g. "eps", which the
+/// theorem family and DistNearClique share).
+struct SweepAxis {
+  enum class Target { kScenario, kAlgorithm, kBoth };
+  Target target = Target::kScenario;
+  std::string key;
+  std::vector<double> values;
+};
+
+/// Declarative, serializable success predicate evaluated per trial, so a
+/// sweep spec fully describes an experiment without callback plumbing.
+struct SuccessSpec {
+  enum class Kind {
+    kNone,         ///< no success column (comparison sweeps like E10)
+    kTheorem57,    ///< the paper's Theorem 5.7 predicate at (eps, delta)
+    kEffective,    ///< >= 2/3 of the planted set at density >= 1 - 2 eps
+                   ///< (the finite-n companion predicate of bench E1)
+    kSizeDensity,  ///< literal bound: size >= min_size, max_eps-near clique
+  };
+  Kind kind = Kind::kNone;
+
+  /// Sentinel meaning "derive from the run's own parameters".
+  static constexpr double kFromParams =
+      std::numeric_limits<double>::quiet_NaN();
+
+  /// theorem57/effective eps and theorem57 delta. Left at kFromParams they
+  /// are read per grid point from the merged algorithm params ("eps") and
+  /// merged scenario params ("delta"), falling back to 0.2 / 0.4 when the
+  /// configuration declares neither; set explicitly they override both
+  /// (the CLI's --success-eps / --success-delta).
+  double eps = kFromParams;
+  double delta = kFromParams;
+
+  double min_size = 2;    ///< size_density bound
+  double max_eps = 0.1;   ///< size_density bound
+
+  [[nodiscard]] std::string name() const;
+};
+
+/// Parses a predicate name ("none", "theorem57", "effective",
+/// "size_density"); throws std::invalid_argument listing the options.
+SuccessSpec parse_success_spec(const std::string& text);
+
+/// A declarative experiment: scenario family x algorithms x parameter grid
+/// x trials x seeds -> one TrialStats row per (algorithm, grid point).
+/// Everything resolves through the two global registries, so a spec is a
+/// complete, replayable description of a comparison (the E-bench tables,
+/// `nearclique sweep`, BENCH_sweep.json are all this struct).
+struct SweepSpec {
+  std::string title;
+
+  std::string scenario_family;
+  ScenarioParams scenario_params;  ///< base overrides on the family defaults
+
+  /// Algorithms to compare; each spec's params are base overrides on that
+  /// algorithm's defaults (AlgoSpec::seed is ignored — seeds come from the
+  /// schedule below).
+  std::vector<AlgoSpec> algorithms;
+
+  std::vector<SweepAxis> axes;  ///< cross product, first axis outermost
+
+  std::size_t trials = 5;
+  std::uint64_t seed_base = 1;
+  SeedSchedule seeds = SeedSchedule::kSalted;
+
+  SuccessSpec success;
+  SuccessSpec success2;
+};
+
+/// One result row: the resolved configuration plus aggregated trial stats.
+struct SweepRow {
+  std::string scenario_family;
+  ScenarioParams scenario_params;  ///< base + axis overrides (not defaults)
+  std::string algorithm;
+  CostModel model = CostModel::kCongest;
+  AlgoParams algo_params;          ///< base + axis overrides (not defaults)
+  /// Fully merged configurations (defaults + overrides) — what actually
+  /// ran. The JSON output records these, so a row is self-describing even
+  /// when an algorithm took a default the others overrode.
+  ScenarioParams scenario_merged;
+  AlgoParams algo_merged;
+  std::size_t trials = 0;
+  std::uint64_t seed_base = 1;
+  SeedSchedule seeds = SeedSchedule::kSalted;
+  TrialStats stats;
+
+  /// Mean model-appropriate cost: rounds under CONGEST, local_ops under
+  /// LOCAL/central (the E10 comparison convention).
+  [[nodiscard]] double headline_cost_mean() const;
+};
+
+/// Runs the sweep: for every algorithm and every grid point, `trials` seeded
+/// executions resolved through the Scenario- and AlgorithmRegistry,
+/// aggregated exactly like run_trials (so sweep rows are bit-identical to
+/// the historical hand-wired TrialSpec batches). Each grid point's instance
+/// is generated once per trial seed and shared by every algorithm (the E10
+/// comparison shape pays one generation, not one per algorithm). Rows are
+/// ordered algorithm-major, then grid points with the first axis outermost.
+/// Every (algorithm, grid point) configuration is validated up front, so
+/// unknown families, algorithms or parameters throw std::invalid_argument
+/// before any trial runs.
+std::vector<SweepRow> run_sweep(const SweepSpec& spec);
+
+/// One machine-readable JSON object (single line, no trailing newline) per
+/// row: scenario, algorithm, seed schedule, trial counts and the full
+/// measurement distribution summaries.
+std::string sweep_row_json(const SweepRow& row);
+
+/// All rows as JSON lines (one object per line, trailing newline).
+std::string sweep_json_lines(const std::vector<SweepRow>& rows);
+
+/// Human-readable comparison table of the rows.
+Table sweep_table(const std::vector<SweepRow>& rows);
+
+}  // namespace nc

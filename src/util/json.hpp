@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nc {
+
+/// Minimal streaming JSON writer (objects, arrays, scalars) for the
+/// machine-readable experiment outputs (sweep JSON lines, BENCH_*.json).
+/// Keys are emitted in call order, so schemas are deterministic and
+/// golden-testable. No dependencies, no reflection — callers spell out the
+/// structure:
+///
+///   JsonWriter w;
+///   w.begin_object().key("n").value(std::uint64_t{150})
+///    .key("tags").begin_array().value("a").value("b").end_array()
+///    .end_object();
+///   w.str();  // {"n":150,"tags":["a","b"]}
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emits an object key (must be inside an object, before its value).
+  JsonWriter& key(const std::string& k);
+
+  JsonWriter& value(double v);  ///< non-finite values emit null
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(bool v);
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v);
+  JsonWriter& null();
+
+  [[nodiscard]] const std::string& str() const { return out_; }
+
+  /// Escapes a string for embedding in JSON (no surrounding quotes).
+  static std::string escape(const std::string& s);
+
+  /// Formats a finite double compactly ("150", "0.375", "1.25e-06").
+  static std::string number(double v);
+
+ private:
+  void separate();  ///< comma bookkeeping before a key/value
+
+  std::string out_;
+  std::vector<bool> first_in_scope_{true};
+  bool after_key_ = false;
+};
+
+}  // namespace nc

@@ -1,0 +1,207 @@
+// Coverage for the AlgorithmRegistry: every registered algorithm runs
+// deterministically behind the unified AlgoResult interface, adapters
+// reproduce the hand-built driver configurations bit-for-bit, and unknown
+// names / parameters fail with self-explaining errors.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "algo/registry.hpp"
+#include "core/boosting.hpp"
+#include "core/driver.hpp"
+#include "expt/scenario.hpp"
+
+namespace nc {
+namespace {
+
+Instance small_instance() {
+  return make_scenario("theorem",
+                       ScenarioParams().with("n", 60).with("delta", 0.5),
+                       /*seed=*/7);
+}
+
+TEST(AlgorithmRegistry, CataloguesTheSixBuiltins) {
+  const auto names = AlgorithmRegistry::global().names();
+  ASSERT_GE(names.size(), 6u);
+  for (const auto* expected :
+       {"dist_near_clique", "shingles", "neighbors2", "peeling", "grasp",
+        "ggr_find"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected;
+  }
+  const auto text = describe_algorithms(AlgorithmRegistry::global());
+  for (const auto& name : names) {
+    EXPECT_NE(text.find(name), std::string::npos) << name;
+  }
+  // The catalogue states each algorithm's cost model.
+  EXPECT_NE(text.find("[CONGEST]"), std::string::npos);
+  EXPECT_NE(text.find("[LOCAL]"), std::string::npos);
+  EXPECT_NE(text.find("[central]"), std::string::npos);
+}
+
+TEST(AlgorithmRegistry, EveryAlgorithmIsDeterministicInSeed) {
+  const auto inst = small_instance();
+  for (const auto& name : AlgorithmRegistry::global().names()) {
+    // Keep the protocol quick on the tiny instance.
+    AlgoParams params;
+    if (name == "dist_near_clique") params.with("max_rounds", 2'000'000);
+    const AlgoResult a = run_algorithm(inst.graph, name, params, 5);
+    const AlgoResult b = run_algorithm(inst.graph, name, params, 5);
+    EXPECT_EQ(a.labels, b.labels) << name;
+    EXPECT_EQ(a.stats.rounds, b.stats.rounds) << name;
+    EXPECT_EQ(a.stats.bits, b.stats.bits) << name;
+    EXPECT_EQ(a.stats.max_message_bits, b.stats.max_message_bits) << name;
+    EXPECT_EQ(a.local_ops, b.local_ops) << name;
+    EXPECT_EQ(a.aborted, b.aborted) << name;
+    EXPECT_EQ(a.model, AlgorithmRegistry::global().algorithm(name).model)
+        << name;
+  }
+}
+
+TEST(AlgorithmRegistry, DistAdapterMatchesHandBuiltDriverConfig) {
+  const auto inst = small_instance();
+  DriverConfig cfg;
+  cfg.proto.eps = 0.2;
+  cfg.proto.p = 9.0 / static_cast<double>(inst.graph.n());
+  cfg.net.seed = 11;
+  cfg.net.max_rounds = 32'000'000;
+  const auto direct = run_dist_near_clique(inst.graph, cfg);
+  const auto via_registry = run_algorithm(
+      inst.graph, "dist_near_clique",
+      AlgoParams().with("eps", 0.2).with("pn", 9.0), /*seed=*/11);
+  EXPECT_EQ(direct.labels, via_registry.labels);
+  EXPECT_EQ(direct.stats.rounds, via_registry.stats.rounds);
+  EXPECT_EQ(direct.stats.bits, via_registry.stats.bits);
+  EXPECT_EQ(direct.total_local_ops, via_registry.local_ops);
+}
+
+TEST(AlgorithmRegistry, BoostingIsTheVersionsParameter) {
+  const auto inst = small_instance();
+  DriverConfig cfg;
+  cfg.proto.eps = 0.2;
+  cfg.proto.p = 6.0 / static_cast<double>(inst.graph.n());
+  cfg.net.seed = 3;
+  cfg.net.max_rounds = 8'000'000;
+  const auto direct = run_boosted(inst.graph, cfg, 3, 400'000);
+  const auto via_registry = run_algorithm(inst.graph, "dist_near_clique",
+                                          AlgoParams()
+                                              .with("eps", 0.2)
+                                              .with("pn", 6.0)
+                                              .with("versions", 3)
+                                              .with("window", 400'000)
+                                              .with("max_rounds", 8'000'000),
+                                          /*seed=*/3);
+  EXPECT_EQ(direct.labels, via_registry.labels);
+  EXPECT_EQ(direct.stats.rounds, via_registry.stats.rounds);
+}
+
+TEST(AlgorithmRegistry, CentralBaselinesReportTheirCostSubset) {
+  const auto inst = small_instance();
+  for (const auto* name : {"peeling", "grasp", "ggr_find"}) {
+    const auto res = run_algorithm(inst.graph, name, {}, 1);
+    EXPECT_EQ(res.model, CostModel::kCentral) << name;
+    EXPECT_EQ(res.stats.rounds, 0u) << name;
+    EXPECT_EQ(res.stats.bits, 0u) << name;
+    EXPECT_EQ(res.stats.max_message_bits, 0u) << name;
+    EXPECT_GT(res.local_ops, 0u) << name;
+    EXPECT_EQ(res.headline_cost(), res.local_ops) << name;
+  }
+  const auto dist = run_algorithm(inst.graph, "dist_near_clique",
+                                  AlgoParams().with("max_rounds", 2'000'000),
+                                  1);
+  EXPECT_EQ(dist.model, CostModel::kCongest);
+  EXPECT_EQ(dist.headline_cost(), dist.stats.rounds);
+}
+
+TEST(AlgorithmRegistry, CentralLabelsGroupTheFoundSet) {
+  const auto inst = small_instance();
+  const auto res = run_algorithm(inst.graph, "peeling", {}, 1);
+  const auto clusters = res.clusters();
+  ASSERT_EQ(clusters.size(), 1u);
+  const auto& [label, members] = *clusters.begin();
+  EXPECT_EQ(label, members.front());  // smallest member id labels the set
+  EXPECT_EQ(members, res.largest_cluster());
+}
+
+TEST(AlgorithmRegistry, UnknownAlgorithmFailsWithCatalogue) {
+  const auto inst = small_instance();
+  try {
+    (void)run_algorithm(inst.graph, "no_such_algorithm", {}, 1);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("unknown algorithm"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("dist_near_clique"), std::string::npos)
+        << "message should list the known algorithms: " << msg;
+  }
+}
+
+TEST(AlgorithmRegistry, UnknownParameterFailsNamingTheKey) {
+  const auto inst = small_instance();
+  try {
+    (void)run_algorithm(inst.graph, "shingles",
+                        AlgoParams().with("sample_size", 4), 1);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("sample_size"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("has no parameter"), std::string::npos) << msg;
+  }
+}
+
+TEST(AlgorithmRegistry, ParameterTypeMismatchesAreRejected) {
+  const auto inst = small_instance();
+  // Numeric value for a declared string parameter.
+  EXPECT_THROW((void)run_algorithm(inst.graph, "peeling",
+                                   AlgoParams().with("objective", 5), 1),
+               std::invalid_argument);
+  // String value for a declared numeric parameter.
+  EXPECT_THROW((void)run_algorithm(inst.graph, "peeling",
+                                   AlgoParams().with("eps", "dense"), 1),
+               std::invalid_argument);
+  // Out-of-range versions must be rejected, not truncated.
+  EXPECT_THROW((void)run_algorithm(inst.graph, "dist_near_clique",
+                                   AlgoParams().with("versions", 0), 1),
+               std::invalid_argument);
+  // Unknown peeling objective names the legal values.
+  try {
+    (void)run_algorithm(inst.graph, "peeling",
+                        AlgoParams().with("objective", "biggest"), 1);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("near_clique"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(AlgorithmRegistry, PeelingObjectivesDiffer) {
+  const auto inst = small_instance();
+  const auto near = run_algorithm(inst.graph, "peeling",
+                                  AlgoParams().with("objective", "near_clique"),
+                                  1);
+  const auto densest = run_algorithm(
+      inst.graph, "peeling", AlgoParams().with("objective", "densest"), 1);
+  EXPECT_FALSE(near.largest_cluster().empty());
+  EXPECT_FALSE(densest.largest_cluster().empty());
+}
+
+TEST(AlgorithmRegistry, ParseAlgoSpecRoundTrip) {
+  const auto spec = parse_algo_spec("dist_near_clique", "eps=0.15,pn=6", 9);
+  EXPECT_EQ(spec.name, "dist_near_clique");
+  EXPECT_EQ(spec.seed, 9u);
+  EXPECT_DOUBLE_EQ(spec.params.get_double("eps"), 0.15);
+  EXPECT_DOUBLE_EQ(spec.params.get_double("pn"), 6.0);
+
+  // Declared string parameters parse verbatim.
+  const auto peel = parse_algo_spec("peeling", "objective=densest", 1);
+  EXPECT_EQ(peel.params.get_string("objective"), "densest");
+
+  EXPECT_THROW(parse_algo_spec("shingles", "eps", 1), std::invalid_argument);
+  EXPECT_THROW(parse_algo_spec("shingles", "eps=abc", 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nc

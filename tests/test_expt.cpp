@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "algo/registry.hpp"
 #include "expt/report.hpp"
 #include "expt/trial.hpp"
 #include "expt/workloads.hpp"
@@ -60,9 +61,9 @@ TEST(TrialRunner, AggregatesDeterministically) {
     cfg.proto.p = 0.08;
     cfg.net.seed = seed;
     cfg.net.max_rounds = 2'000'000;
-    return run_dist_near_clique(g, cfg);
+    return to_algo_result(run_dist_near_clique(g, cfg));
   };
-  spec.success = [](const Instance& inst, const NearCliqueResult& res) {
+  spec.success = [](const Instance& inst, const AlgoResult& res) {
     return theorem57_success(inst, res, 0.2, 0.5);
   };
   const auto a = run_trials(spec, 5, 1000);

@@ -12,11 +12,19 @@
 namespace nc {
 namespace {
 
+/// Families backed by external files need a path parameter, so the generic
+/// default-parameter loops skip them (tests/test_edge_list.cpp covers them
+/// with real temp files).
+bool is_file_backed(const std::string& name) {
+  return name == "edge_list_file";
+}
+
 TEST(ScenarioRegistry, EveryFamilyRoundTripsDeterministically) {
   const auto& registry = ScenarioRegistry::global();
   const auto names = registry.names();
   ASSERT_GE(names.size(), 10u);
   for (const auto& name : names) {
+    if (is_file_backed(name)) continue;
     const ScenarioSpec spec{name, {}, /*seed=*/5};
     const Instance a = registry.make(spec);
     const Instance b = registry.make(spec);
@@ -39,6 +47,7 @@ TEST(ScenarioRegistry, OverridesAreHonoredForEveryFamily) {
   // n = 150 is legal for every registered family's other defaults.
   const auto& registry = ScenarioRegistry::global();
   for (const auto& name : registry.names()) {
+    if (is_file_backed(name)) continue;  // no 'n': the file sets the size
     const Instance inst =
         registry.make({name, ScenarioParams().with("n", 150), 3});
     EXPECT_EQ(inst.graph.n(), 150u) << name;

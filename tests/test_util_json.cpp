@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/json.hpp"
+
+namespace nc {
+namespace {
+
+TEST(JsonWriter, ObjectsArraysAndEscaping) {
+  JsonWriter w;
+  w.begin_object()
+      .key("a")
+      .value(std::uint64_t{1})
+      .key("b")
+      .begin_array()
+      .value(0.5)
+      .value(true)
+      .null()
+      .end_array()
+      .key("s")
+      .value("quote \" backslash \\ newline \n")
+      .key("nested")
+      .begin_object()
+      .key("x")
+      .value(-2.0)
+      .end_object()
+      .end_object();
+  EXPECT_EQ(w.str(),
+            "{\"a\":1,\"b\":[0.5,true,null],"
+            "\"s\":\"quote \\\" backslash \\\\ newline \\n\","
+            "\"nested\":{\"x\":-2}}");
+}
+
+TEST(JsonWriter, EmptyContainersAndSignedIntegers) {
+  JsonWriter w;
+  w.begin_object()
+      .key("empty_obj")
+      .begin_object()
+      .end_object()
+      .key("empty_arr")
+      .begin_array()
+      .end_array()
+      .key("neg")
+      .value(std::int64_t{-42})
+      .end_object();
+  EXPECT_EQ(w.str(), "{\"empty_obj\":{},\"empty_arr\":[],\"neg\":-42}");
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  JsonWriter w;
+  w.begin_array()
+      .value(std::nan(""))
+      .value(std::numeric_limits<double>::infinity())
+      .value(1.25)
+      .end_array();
+  EXPECT_EQ(w.str(), "[null,null,1.25]");
+}
+
+TEST(JsonWriter, NumberFormattingIsCompact) {
+  EXPECT_EQ(JsonWriter::number(150.0), "150");
+  EXPECT_EQ(JsonWriter::number(0.375), "0.375");
+  EXPECT_EQ(JsonWriter::number(-0.0078125), "-0.0078125");
+}
+
+TEST(JsonWriter, ControlCharactersAreEscaped) {
+  EXPECT_EQ(JsonWriter::escape(std::string("a\x01" "b\tc")),
+            "a\\u0001b\\tc");
+}
+
+}  // namespace
+}  // namespace nc
