@@ -3,8 +3,10 @@
 # BENCH_*.json artifacts into the repository root.
 #
 # Usage: bench/run_benches.sh [--full] [--experiments]
-#   --full         run bench_runtime_scale with the 500k-node configuration
-#                  and bench_generator_scale with the 4M-node configuration
+#   --full         run bench_runtime_scale with the 500k-node configuration,
+#                  bench_generator_scale with the 4M-node configuration,
+#                  bench_parallel_scale with the 1M-node configurations, and
+#                  the 1M-node end-to-end protocol sweep (slow)
 #   --experiments  also run the (slow) E1..E12 google-benchmark experiments
 set -euo pipefail
 
@@ -27,6 +29,10 @@ cmake --build "$BUILD_DIR" -j "$(nproc)"
 
 "$BUILD_DIR/bench_runtime_scale" $FULL_FLAG --json "$REPO_ROOT/BENCH_runtime.json"
 "$BUILD_DIR/bench_generator_scale" $FULL_FLAG --json "$REPO_ROOT/BENCH_generators.json"
+# Sharded-engine scaling at 1/2/4/8 threads; also re-verifies that every
+# thread count reproduces the 1-thread RunStats bit-for-bit. Interpret
+# speedups against the recorded hardware_concurrency (docs/benchmarks.md).
+"$BUILD_DIR/bench_parallel_scale" $FULL_FLAG --json "$REPO_ROOT/BENCH_parallel.json"
 
 # Small fixed-seed comparative sweep through the registry pair (scenario x
 # algorithm, see src/expt/README.md) so future PRs can track the
@@ -39,6 +45,22 @@ cmake --build "$BUILD_DIR" -j "$(nproc)"
     --algos='dist_near_clique[eps=0.2,pn=9,max_rounds=16000000],shingles[eps=0.2,min_size=4],neighbors2,peeling[eps=0.2],grasp[gamma=0.8,iterations=24],ggr_find[eps=0.2]' \
     --trials=8 --seed=1 --seq-seeds \
     --success=theorem57 --json="$REPO_ROOT/BENCH_sweep.json"
+
+if [[ -n "$FULL_FLAG" ]]; then
+  # The 1M-node end-to-end story (see README.md): a streaming-family
+  # instance through the full DistNearClique protocol via the sweep runner
+  # and the sharded delivery engine. pn=5000 keeps the sampled set large
+  # enough to hit the 1000-node planted clique at n=1M (the paper's
+  # guarantee assumes a *linear-size* clique; at million-node scale a dense
+  # linear-size set would need ~n^2/8 edges, so the demo plants a small
+  # dense set and raises the sampling rate instead). Not a committed
+  # artifact — a completion check with a visible table.
+  "$BUILD_DIR/nearclique" sweep --scenario=planted_near_clique \
+      --params=n=1000000,clique_size=1000,background_p=0.00001,halo_p=0.00001 \
+      --algos='dist_near_clique[eps=0.2,pn=5000]' \
+      --trials=1 --seed=3 --threads=8 --success=effective \
+      --title="1M-node end-to-end protocol sweep"
+fi
 
 if [[ "$RUN_EXPERIMENTS" -eq 1 ]]; then
   for bin in "$BUILD_DIR"/bench_e*; do

@@ -4,20 +4,27 @@
 //   nearclique list-scenarios               scenario catalogue + defaults
 //   nearclique list-algorithms              algorithm catalogue + defaults
 //   nearclique run   --scenario=F [--params=k=v,..] --algo=A
-//                    [--algo-params=k=v,..] [--seed=N] [--json[=FILE]]
-//                    [--dot=out.dot]
+//                    [--algo-params=k=v,..] [--seed=N] [--threads=N]
+//                    [--json[=FILE]] [--dot=out.dot]
 //   nearclique sweep --scenario=F [--params=..] [--algos=A,B[k=v,..],..]
 //                    [--algo-params=..] [--grid=scenario.n=100:200,both.eps=0.1:0.2]
-//                    [--trials=N] [--seed=N] [--seq-seeds]
+//                    [--trials=N] [--seed=N] [--seq-seeds] [--threads=N]
 //                    [--success=none|theorem57|effective|size_density]
 //                    [--success2=...] [--success-eps=..] [--success-delta=..]
 //                    [--success-min-size=..] [--success-max-eps=..]
 //                    [--json=FILE|-] [--title=..]
 //
-// An --algos entry may carry its own parameters in brackets —
-// `shingles[eps=0.2,min_size=4]` — overriding the shared --algo-params for
-// that algorithm only (how a comparison holds eps fixed when the
-// algorithms declare different parameter sets).
+// Per-algorithm bracket parameters — `shingles[eps=0.2,min_size=4]` — are
+// the canonical way to parameterize a sweep's algorithms: each algorithm
+// gets exactly the keys it declares. The shared --algo-params form applies
+// every key to EVERY listed algorithm, which fails validation as soon as
+// one algorithm doesn't declare it; with more than one algorithm the CLI
+// warns that the mix is ambiguous and recommends brackets.
+//
+// --threads=N shards delivery and wake dispatch over N threads for the
+// network-backed algorithms that declare the knob (dist_near_clique).
+// Purely a performance knob: fixed-seed results are bit-identical at every
+// thread count, so sweeps stay reproducible.
 //
 // Examples (see src/expt/README.md for the architecture):
 //
@@ -57,12 +64,16 @@ int usage(std::FILE* to) {
       "  list-scenarios            registered scenario families\n"
       "  list-algorithms           registered algorithms\n"
       "  run    --scenario=F --algo=A [--params=..] [--algo-params=..]\n"
-      "         [--seed=N] [--json[=FILE]] [--dot=out.dot]\n"
+      "         [--seed=N] [--threads=N] [--json[=FILE]] [--dot=out.dot]\n"
       "  sweep  --scenario=F [--algos=A,B[k=v,..]] [--params=..]\n"
-      "         [--algo-params=..]\n"
       "         [--grid=scenario.k=v1:v2,algo.k=..,both.k=..] [--trials=N]\n"
-      "         [--seed=N] [--seq-seeds] [--success=PRED] [--success2=PRED]\n"
-      "         [--json=FILE|-]\n");
+      "         [--seed=N] [--seq-seeds] [--threads=N] [--success=PRED]\n"
+      "         [--success2=PRED] [--json=FILE|-]\n"
+      "per-algorithm params belong in brackets: --algos='a[eps=0.2],b'\n"
+      "(the canonical form; a shared --algo-params list applies every key\n"
+      "to every algorithm and is ambiguous with more than one).\n"
+      "--threads=N shards delivery across N threads for algorithms that\n"
+      "declare the knob; fixed-seed results are identical at any N.\n");
   return to == stdout ? 0 : 2;
 }
 
@@ -166,6 +177,37 @@ SuccessSpec success_from_args(const Args& args, const std::string& flag) {
   return spec;
 }
 
+/// Parses and validates --threads (delivery sharding; >= 1).
+long long threads_from_args(const Args& args) {
+  const auto threads = args.get_int("threads", 1);
+  if (threads < 1) {
+    throw std::invalid_argument("--threads must be >= 1, got " +
+                                std::to_string(threads));
+  }
+  return threads;
+}
+
+/// The shared run/sweep diagnostic for --threads on an algorithm without
+/// the knob (centralized baselines have nothing to shard).
+void warn_threads_ignored(const std::string& algorithm) {
+  std::fprintf(stderr,
+               "note: algorithm '%s' does not declare a 'threads' "
+               "parameter; --threads ignored for it\n",
+               algorithm.c_str());
+}
+
+/// Applies --threads to an algorithm's parameters: set when the algorithm
+/// declares the knob (an explicit --algo-params value wins), warn-and-skip
+/// when it doesn't.
+void apply_threads(AlgoSpec& spec, long long threads) {
+  if (threads == 1 || spec.params.has("threads")) return;
+  if (algorithm_declares(spec.name, "threads")) {
+    spec.params.with("threads", threads);
+  } else {
+    warn_threads_ignored(spec.name);
+  }
+}
+
 int cmd_run(const Args& args) {
   const auto scenario = args.get("scenario", "planted_near_clique");
   const auto algo = args.get("algo", "dist_near_clique");
@@ -173,7 +215,8 @@ int cmd_run(const Args& args) {
 
   const ScenarioSpec sspec =
       parse_scenario_spec(scenario, args.get("params", ""), seed);
-  const AlgoSpec aspec = parse_algo_spec(algo, args.get("algo-params", ""), seed);
+  AlgoSpec aspec = parse_algo_spec(algo, args.get("algo-params", ""), seed);
+  apply_threads(aspec, threads_from_args(args));
 
   const Instance inst = ScenarioRegistry::global().make(sspec);
   const AlgoResult result = AlgorithmRegistry::global().run(inst.graph, aspec);
@@ -295,7 +338,28 @@ int cmd_sweep(const Args& args) {
     spec.algorithms.push_back(
         parse_algo_item(item, args.get("algo-params", "")));
   }
+  // Bracket params are the canonical per-algorithm form; a shared
+  // --algo-params list silently applies every key to every algorithm, which
+  // is ambiguous (and usually a validation error) in a comparison.
+  if (!args.get("algo-params", "").empty() && spec.algorithms.size() > 1) {
+    std::fprintf(stderr,
+                 "warning: --algo-params applies every key to all %zu listed "
+                 "algorithms; prefer per-algorithm brackets, e.g. "
+                 "--algos='dist_near_clique[eps=0.2],peeling[eps=0.2]'\n",
+                 spec.algorithms.size());
+  }
   spec.axes = parse_grid(args.get("grid", ""));
+  const auto threads = threads_from_args(args);
+  spec.threads = static_cast<std::size_t>(threads);
+  if (threads > 1) {
+    // Same diagnostic as `run`: sharding only reaches algorithms that
+    // declare the knob; say so instead of silently running the rest serial.
+    for (const auto& algo : spec.algorithms) {
+      if (!algorithm_declares(algo.name, "threads")) {
+        warn_threads_ignored(algo.name);
+      }
+    }
+  }
   const auto trials = args.get_int("trials", 5);
   const auto seed = args.get_int("seed", 1);
   if (trials < 1) {

@@ -10,6 +10,7 @@
 #include "baselines/peeling.hpp"
 #include "baselines/shingles.hpp"
 #include "core/boosting.hpp"
+#include "runtime/shard.hpp"
 #include "util/rng.hpp"
 
 namespace nc {
@@ -42,7 +43,8 @@ AlgorithmRegistry build_global_registry() {
              .with("pn", 9.0)
              .with("versions", 1)
              .with("window", 0)
-             .with("max_rounds", 32'000'000),
+             .with("max_rounds", 32'000'000)
+             .with("threads", 1),
          [](const Graph& g, const AlgoParams& p, std::uint64_t seed) {
            DriverConfig cfg;
            cfg.proto.eps = p.get_double("eps");
@@ -50,6 +52,15 @@ AlgorithmRegistry build_global_registry() {
            cfg.net.seed = seed;
            cfg.net.max_rounds =
                static_cast<std::uint64_t>(p.get_double("max_rounds"));
+           // Delivery sharding: a pure performance knob — fixed-seed runs
+           // are bit-identical at every thread count.
+           const auto threads = p.get_int("threads");
+           if (threads < 1 || threads > static_cast<std::int64_t>(kMaxShards)) {
+             throw std::invalid_argument(
+                 "algorithm parameter 'threads' must be in [1, " +
+                 std::to_string(kMaxShards) + "]");
+           }
+           cfg.net.threads = static_cast<unsigned>(threads);
            const auto lambda = p.get_int("versions");
            if (lambda < 1 || lambda > 1023) {
              throw std::invalid_argument(
@@ -207,6 +218,15 @@ const AlgorithmRegistry& AlgorithmRegistry::global() {
 AlgoResult run_algorithm(const Graph& g, const std::string& name,
                          const AlgoParams& params, std::uint64_t seed) {
   return AlgorithmRegistry::global().run(g, {name, params, seed});
+}
+
+bool algorithm_declares(const std::string& name, const std::string& key) {
+  try {
+    return AlgorithmRegistry::global().algorithm(name).defaults.has_number(
+        key);
+  } catch (const std::invalid_argument&) {
+    return false;  // unknown algorithm: callers report the catalogue later
+  }
 }
 
 AlgoSpec parse_algo_spec(const std::string& name,

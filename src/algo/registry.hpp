@@ -79,6 +79,13 @@ class AlgorithmRegistry {
 AlgoResult run_algorithm(const Graph& g, const std::string& name,
                          const AlgoParams& params, std::uint64_t seed);
 
+/// True when the globally registered `name` declares a numeric parameter
+/// `key` in its defaults; false for non-declaring or unknown algorithms.
+/// The single rule behind every --threads forwarding decision (CLI, sweep
+/// runner, trial runner), so "which algorithms take a threads knob" cannot
+/// drift between entry points.
+bool algorithm_declares(const std::string& name, const std::string& key);
+
 /// Parses a "key=value,key=value" parameter list into a spec for `name`
 /// (string-typed parameters of the algorithm parse verbatim). Throws
 /// std::invalid_argument on malformed input.

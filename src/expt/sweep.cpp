@@ -200,6 +200,13 @@ std::vector<SweepRow> run_sweep(const SweepSpec& spec) {
            points[p].algo_axis_overrides.values()) {
         row.algo_params.with(key, value);
       }
+      // The sweep-level threads knob reaches every algorithm that declares
+      // the parameter (the shared algorithm_declares rule); explicit
+      // per-algorithm overrides win.
+      if (spec.threads > 1 && !row.algo_params.has("threads") &&
+          algorithm_declares(algo.name, "threads")) {
+        row.algo_params.with("threads", spec.threads);
+      }
       row.scenario_merged =
           merge_params(family.defaults, row.scenario_params,
                        "scenario family '" + spec.scenario_family + "'");

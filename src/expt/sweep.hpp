@@ -78,6 +78,13 @@ struct SweepSpec {
   std::uint64_t seed_base = 1;
   SeedSchedule seeds = SeedSchedule::kSalted;
 
+  /// Delivery sharding for network-backed algorithms: applied as the
+  /// "threads" parameter to every listed algorithm that declares one
+  /// (explicit per-algorithm overrides win). Purely a performance knob —
+  /// the sharded engine is bit-identical at every thread count — so it
+  /// lives here beside trials/seeds rather than in the parameter grid.
+  std::size_t threads = 1;
+
   SuccessSpec success;
   SuccessSpec success2;
 };

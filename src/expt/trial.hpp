@@ -85,8 +85,13 @@ std::function<Instance(std::uint64_t)> scenario_maker(std::string family,
 /// Builds a TrialSpec::run hook that resolves `algorithm` through the global
 /// AlgorithmRegistry with the given parameter overrides; the per-trial seed
 /// becomes the algorithm seed. The registry counterpart of scenario_maker.
+/// `threads` > 1 requests delivery sharding and is forwarded as the
+/// "threads" parameter when the algorithm declares one (an explicit value
+/// in `params` wins); it is ignored — not an error — for algorithms that
+/// don't, so one trial batch can mix network-backed and centralized
+/// algorithms.
 std::function<AlgoResult(const Graph&, std::uint64_t)> algorithm_runner(
-    std::string algorithm, ParamSet params);
+    std::string algorithm, ParamSet params, unsigned threads = 1);
 
 /// Standard Theorem 5.7 success predicate: the largest output cluster is a
 /// bound_eps-near clique of size at least (1 - 13/2 eps)|D| - eps^{-2}.

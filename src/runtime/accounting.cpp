@@ -17,6 +17,15 @@ void RunStats::absorb(const RunStats& other) {
   }
 }
 
+void RunStats::merge_traffic(const RunStats& other) {
+  messages += other.messages;
+  bits += other.bits;
+  max_message_bits = std::max(max_message_bits, other.max_message_bits);
+  for (std::size_t k = 0; k < bits_by_kind.size(); ++k) {
+    bits_by_kind[k] += other.bits_by_kind[k];
+  }
+}
+
 std::string RunStats::summary() const {
   std::ostringstream os;
   os << "rounds=" << rounds << " messages=" << messages << " bits=" << bits

@@ -31,6 +31,14 @@ struct RunStats {
   /// drivers that restart the network, e.g. the boosting wrapper).
   void absorb(const RunStats& other);
 
+  /// Merges only the traffic counters (messages, bits, max message size,
+  /// per-kind bits) — the sharded delivery engine's end-of-round reduction
+  /// of per-shard partials. Rounds and the termination flags are global
+  /// facts owned by the round loop, so they are deliberately not touched.
+  /// Sums and maxes commute exactly over the integers, which is why the
+  /// reduction is bit-identical to serial accumulation at any shard count.
+  void merge_traffic(const RunStats& other);
+
   /// Human-readable one-line summary.
   [[nodiscard]] std::string summary() const;
 };

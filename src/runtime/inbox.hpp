@@ -24,6 +24,11 @@ namespace nc {
 ///  - insertion (rare: first delivery of a stream) is a vector insert.
 /// Protocol code observes identical iteration order, which the simulator's
 /// bit-for-bit determinism guarantee depends on.
+///
+/// Shard ownership (see network.hpp): an inbox belongs to its node's
+/// shard. The deliver phase writes it from the destination shard's thread
+/// and the wake phase reads it from the same thread, with a pool barrier
+/// between the phases — the inbox itself needs no synchronization.
 class Inbox {
  public:
   /// Stream from neighbour index `ni` with key `key`, or nullptr.

@@ -27,6 +27,11 @@ struct Delivery {
 /// starved), packs as many pending symbols of the chosen stream as fit into
 /// the bit budget, and piggybacks the EOS flag when the stream is drained
 /// and closed. FIFO order within a stream is preserved by construction.
+///
+/// Shard ownership (see network.hpp): a link belongs to its *owner's*
+/// (source node's) shard. Stream registration happens in the owner's
+/// callbacks and scheduling in the owner shard's stage phase, so a link is
+/// only ever touched by one thread and needs no synchronization.
 class Link {
  public:
   /// Registers a stream on this edge. The state (payload + closed flag) is

@@ -78,7 +78,11 @@ void NodeApi::set_alarm(std::uint64_t round) {
   if (st.done || st.alarm == round) return;
   st.alarm = round;  // latest call wins; stale bucket entries are skipped
   if (round != Network::kNoAlarm) {
-    net_->alarm_buckets_[round].push_back(id_);
+    // The owning shard's buckets: a node only ever arms itself, so the
+    // write stays inside the shard running this callback.
+    net_->shards_[net_->plan_.node_shard[id_]]
+        .alarm_buckets[round]
+        .push_back(id_);
   }
 }
 
@@ -87,7 +91,7 @@ void NodeApi::set_done() {
   if (!st.done) {
     st.done = true;
     st.alarm = Network::kNoAlarm;
-    ++net_->done_count_;
+    ++net_->shards_[net_->plan_.node_shard[id_]].done_count;
   }
 }
 
@@ -136,6 +140,18 @@ Network::Network(const Graph& g, const NetConfig& config,
   for (std::size_t i = 0; i < max_degree; ++i) iota_[i] = i;
   link_active_.assign(directed_edges, 0);
 
+  // Shard partition + pool. The partition is contiguous and balanced by
+  // degree; every per-round structure below is shard-owned.
+  plan_ = plan_shards(g, std::max(1u, config.threads));
+  const unsigned k = plan_.shards();
+  shards_.resize(k);
+  for (unsigned s = 0; s < k; ++s) {
+    shards_[s].begin = plan_.begin(s);
+    shards_[s].end = plan_.end(s);
+    shards_[s].lanes.resize(k);
+  }
+  if (k > 1) pool_ = std::make_unique<ShardPool>(k);
+
   const Rng master(config.seed);
   nodes_.reserve(n_);
   states_.reserve(n_);
@@ -146,6 +162,8 @@ Network::Network(const Graph& g, const NetConfig& config,
     states_.push_back(std::move(st));
     nodes_.push_back(factory(v));
   }
+  // on_start runs serially: it is one-time work, and factories/initializers
+  // are user code the runtime makes no thread-safety assumptions about.
   for (NodeId v = 0; v < n_; ++v) {
     NodeApi api(*this, v);
     nodes_[v]->on_start(api);
@@ -153,43 +171,51 @@ Network::Network(const Graph& g, const NetConfig& config,
   }
 }
 
-void Network::wake(NodeId v) {
+void Network::wake(Shard& sh, NodeId v) {
   auto& st = states_[v];
   if (!st.woken && !st.done) {
     st.woken = true;
-    wake_list_.push_back(v);
+    sh.wake_list.push_back(v);
   }
 }
 
 void Network::refresh_outgoing(NodeId v) {
   const std::size_t base = edge_base_[v];
   auto& links = states_[v].out_links;
+  auto& active = shards_[plan_.node_shard[v]].active_links;
   for (std::size_t ni = 0; ni < links.size(); ++ni) {
     const std::size_t e = base + ni;
     if (!link_active_[e] && links[ni].has_pending()) {
       link_active_[e] = 1;
-      active_links_.push_back(e);
+      active.push_back(e);
     }
   }
 }
 
 std::uint64_t Network::next_alarm_round() {
-  while (!alarm_buckets_.empty()) {
-    const auto it = alarm_buckets_.begin();
-    const std::uint64_t round = it->first;
-    auto& entries = it->second;
-    std::erase_if(entries, [&](NodeId v) {
-      return states_[v].done || states_[v].alarm != round;
-    });
-    if (!entries.empty()) return round;
-    alarm_buckets_.erase(it);
+  std::uint64_t best = kNoAlarm;
+  for (auto& sh : shards_) {
+    while (!sh.alarm_buckets.empty()) {
+      const auto it = sh.alarm_buckets.begin();
+      const std::uint64_t round = it->first;
+      auto& entries = it->second;
+      std::erase_if(entries, [&](NodeId v) {
+        return states_[v].done || states_[v].alarm != round;
+      });
+      if (!entries.empty()) {
+        best = std::min(best, round);
+        break;
+      }
+      sh.alarm_buckets.erase(it);
+    }
   }
-  return kNoAlarm;
+  return best;
 }
 
-void Network::collect_due_alarms() {
-  while (!alarm_buckets_.empty() && alarm_buckets_.begin()->first <= round_) {
-    const auto it = alarm_buckets_.begin();
+void Network::collect_due_alarms(Shard& sh) {
+  while (!sh.alarm_buckets.empty() &&
+         sh.alarm_buckets.begin()->first <= round_) {
+    const auto it = sh.alarm_buckets.begin();
     const std::uint64_t round = it->first;
     for (const NodeId v : it->second) {
       auto& st = states_[v];
@@ -197,60 +223,130 @@ void Network::collect_due_alarms() {
         // One-shot: clear before the callback so a set_alarm inside it
         // re-arms for a future round.
         st.alarm = kNoAlarm;
-        wake(v);
+        wake(sh, v);
       }
     }
-    alarm_buckets_.erase(it);
+    sh.alarm_buckets.erase(it);
   }
 }
 
-void Network::deliver(NodeId to, std::size_t back_index, const Delivery& d) {
-  auto& st = states_[to];
-  st.rx_by_kind[d.key.kind] += 1;
-  InStream& stream = st.inbox.open(back_index, d.key);
-  for (const auto& [value, width] : d.symbols) stream.deliver(value, width);
-  if (d.eos) stream.deliver_eos();
-  wake(to);
-  stats_.messages += 1;
-  stats_.bits += d.wire_bits;
-  stats_.max_message_bits = std::max<std::uint64_t>(stats_.max_message_bits,
-                                                    d.wire_bits);
-  stats_.bits_by_kind[d.key.kind] += d.wire_bits;
+void Network::deliver(Shard& dst, const StagedDelivery& sd) {
+  auto& st = states_[sd.to];
+  st.rx_by_kind[sd.d.key.kind] += 1;
+  InStream& stream = st.inbox.open(sd.back_index, sd.d.key);
+  for (const auto& [value, width] : sd.d.symbols) stream.deliver(value, width);
+  if (sd.d.eos) stream.deliver_eos();
+  wake(dst, sd.to);
+  dst.traffic.messages += 1;
+  dst.traffic.bits += sd.d.wire_bits;
+  dst.traffic.max_message_bits = std::max<std::uint64_t>(
+      dst.traffic.max_message_bits, sd.d.wire_bits);
+  dst.traffic.bits_by_kind[sd.d.key.kind] += sd.d.wire_bits;
 }
 
-void Network::deliver_round() {
-  if (active_links_.empty()) return;
-  // Ascending (owner, neighbour-index) order: identical delivery order to
-  // the historical full scan, which the determinism guarantee locks in.
-  std::sort(active_links_.begin(), active_links_.end());
+void Network::stage_shard(unsigned s) {
+  Shard& sh = shards_[s];
+  for (auto& lane : sh.lanes) lane.reset();
+  if (sh.active_links.empty()) return;
+  // Ascending (owner, neighbour-index) order within the shard; shards are
+  // contiguous ID ranges, so concatenating the shards' sorted sets in shard
+  // order reproduces the historical global-scan delivery order exactly —
+  // the invariant the determinism guarantee rests on.
+  std::sort(sh.active_links.begin(), sh.active_links.end());
   std::size_t kept = 0;
-  for (const std::size_t e : active_links_) {
+  for (const std::size_t e : sh.active_links) {
     const NodeId from = edge_owner_[e];
     const std::size_t ni = e - edge_base_[from];
     Link& link = states_[from].out_links[ni];
     const NodeId to = graph_->neighbors(from)[ni];
-    const std::size_t back_index = reverse_index_[e];
+    Lane& lane = sh.lanes[plan_.node_shard[to]];
     if (config_.mode == NetConfig::Mode::kLocal) {
-      scratch_local_.clear();
-      link.drain_all_into(header_bits_, scratch_local_);
-      for (const auto& d : scratch_local_) deliver(to, back_index, d);
+      sh.scratch_local.clear();
+      link.drain_all_into(header_bits_, sh.scratch_local);
+      for (auto& d : sh.scratch_local) {
+        StagedDelivery& slot = lane.next();
+        slot.to = to;
+        slot.back_index = reverse_index_[e];
+        slot.d = std::move(d);
+      }
     } else {
-      if (link.schedule_into(bandwidth_bits_, header_bits_, scratch_)) {
-        deliver(to, back_index, scratch_);
+      StagedDelivery& slot = lane.next();
+      if (link.schedule_into(bandwidth_bits_, header_bits_, slot.d)) {
+        slot.to = to;
+        slot.back_index = reverse_index_[e];
+      } else {
+        lane.unstage();
       }
     }
     if (link.has_pending()) {
-      active_links_[kept++] = e;
+      sh.active_links[kept++] = e;
     } else {
       link_active_[e] = 0;
     }
   }
-  active_links_.resize(kept);
+  sh.active_links.resize(kept);
+}
+
+void Network::deliver_round_serial() {
+  Shard& sh = shards_[0];
+  if (sh.active_links.empty()) return;
+  std::sort(sh.active_links.begin(), sh.active_links.end());
+  std::size_t kept = 0;
+  for (const std::size_t e : sh.active_links) {
+    const NodeId from = edge_owner_[e];
+    const std::size_t ni = e - edge_base_[from];
+    Link& link = states_[from].out_links[ni];
+    scratch_.to = graph_->neighbors(from)[ni];
+    scratch_.back_index = reverse_index_[e];
+    if (config_.mode == NetConfig::Mode::kLocal) {
+      sh.scratch_local.clear();
+      link.drain_all_into(header_bits_, sh.scratch_local);
+      for (auto& d : sh.scratch_local) {
+        scratch_.d = std::move(d);
+        deliver(sh, scratch_);
+      }
+    } else {
+      if (link.schedule_into(bandwidth_bits_, header_bits_, scratch_.d)) {
+        deliver(sh, scratch_);
+      }
+    }
+    if (link.has_pending()) {
+      sh.active_links[kept++] = e;
+    } else {
+      link_active_[e] = 0;
+    }
+  }
+  sh.active_links.resize(kept);
+}
+
+void Network::deliver_shard(unsigned d) {
+  Shard& dst = shards_[d];
+  for (const Shard& src : shards_) {
+    const Lane& lane = src.lanes[d];
+    for (std::size_t i = 0; i < lane.used; ++i) {
+      deliver(dst, lane.items[i]);
+    }
+  }
+}
+
+void Network::wake_shard(unsigned s) {
+  Shard& sh = shards_[s];
+  collect_due_alarms(sh);
+  std::sort(sh.wake_list.begin(), sh.wake_list.end());
+  for (const NodeId v : sh.wake_list) {
+    auto& st = states_[v];
+    st.woken = false;
+    if (st.done) continue;
+    NodeApi api(*this, v);
+    nodes_[v]->on_round(api);
+    refresh_outgoing(v);
+  }
+  sh.wake_list.clear();
 }
 
 bool Network::step(bool allow_fast_forward) {
   if (all_done()) return false;
-  if (active_links_.empty()) {
+  if (!any_active_links()) {
     const std::uint64_t next = next_alarm_round();
     // Alarms are one-shot: an alarm at or before the current round already
     // had its wake-up, so an idle network with only stale alarms is stuck.
@@ -269,18 +365,23 @@ bool Network::step(bool allow_fast_forward) {
     return false;
   }
   ++round_;
-  deliver_round();
-  collect_due_alarms();
-  std::sort(wake_list_.begin(), wake_list_.end());
-  for (const NodeId v : wake_list_) {
-    auto& st = states_[v];
-    st.woken = false;
-    if (st.done) continue;
-    NodeApi api(*this, v);
-    nodes_[v]->on_round(api);
-    refresh_outgoing(v);
+  // Two-phase delivery, then wake dispatch — each phase parallel over
+  // shards with a barrier in between (stage writes source-shard state,
+  // deliver reads the staged lanes and writes destination-shard state).
+  // A single shard fuses the two phases: no lanes, no round-sized buffer.
+  if (shards_.size() == 1) {
+    deliver_round_serial();
+  } else {
+    for_each_shard([this](unsigned s) { stage_shard(s); });
+    for_each_shard([this](unsigned s) { deliver_shard(s); });
   }
-  wake_list_.clear();
+  // Serial reduction in shard order: exact (integer sums/maxes), so stats_
+  // is bit-identical to serial accumulation at every shard count.
+  for (auto& sh : shards_) {
+    stats_.merge_traffic(sh.traffic);
+    sh.traffic = RunStats{};
+  }
+  for_each_shard([this](unsigned s) { wake_shard(s); });
   stats_.rounds = round_;
   return !all_done();
 }

@@ -12,6 +12,7 @@
 #include "runtime/accounting.hpp"
 #include "runtime/inbox.hpp"
 #include "runtime/link.hpp"
+#include "runtime/shard.hpp"
 #include "runtime/stream.hpp"
 #include "util/ids.hpp"
 #include "util/rng.hpp"
@@ -47,6 +48,15 @@ struct NetConfig {
   unsigned bandwidth_factor = 8;
   std::uint64_t max_rounds = 1'000'000;
   std::uint64_t seed = 1;
+
+  /// Delivery/wake parallelism: the nodes are partitioned into this many
+  /// CSR-contiguous shards, each owning its active links, alarm buckets and
+  /// wake list, and the per-round phases run on a fixed pool of this many
+  /// threads. Fixed-seed executions are bit-identical at every value (the
+  /// two-phase round merges staged messages in shard order, which equals
+  /// the serial delivery order); 0 and 1 both mean the serial engine.
+  /// Clamped to [1, kMaxShards].
+  unsigned threads = 1;
 };
 
 /// The per-node view of the runtime: identity, topology (restricted to the
@@ -129,7 +139,7 @@ class NodeApi {
   NodeId id_;
 };
 
-/// Synchronous network simulator, event-driven.
+/// Synchronous network simulator, event-driven and shard-parallel.
 ///
 /// Executes rounds: (1) every directed edge with pending traffic delivers at
 /// most one message of at most B bits (CONGEST) or drains completely
@@ -138,6 +148,19 @@ class NodeApi {
 /// nothing: the simulator tracks an active set of links with pending traffic
 /// and a bucketed alarm queue, so per-round work is proportional to actual
 /// traffic, not to n + m, and fast-forwarding over an idle stretch is O(1).
+///
+/// With NetConfig::threads = k > 1 the nodes are partitioned into k
+/// CSR-contiguous shards and every round runs as a deterministic two-phase
+/// pipeline on a fixed thread pool: a parallel *stage* phase where each
+/// source shard schedules its active links into per-(src-shard → dst-shard)
+/// lanes, and a parallel *deliver + wake* phase where each destination
+/// shard merges its incoming lanes in ascending source-shard order, applies
+/// them to its nodes' inboxes, then runs its woken nodes in ID order.
+/// Because shards are contiguous ID ranges, the merge order equals the
+/// serial engine's global ascending-edge delivery order, so fixed-seed
+/// executions are bit-identical at every thread count (locked by
+/// tests/test_determinism.cpp).
+///
 /// Execution stops when every node is done, when max_rounds is hit (sets
 /// RunStats::hit_round_limit — the deterministic time-bound wrapper of
 /// Section 4.1), or when no traffic is pending and no alarm is set in the
@@ -174,11 +197,22 @@ class Network {
   }
 
   /// True when every node has set_done().
-  [[nodiscard]] bool all_done() const noexcept { return done_count_ == n_; }
+  [[nodiscard]] bool all_done() const noexcept {
+    NodeId done = 0;
+    for (const auto& sh : shards_) done += sh.done_count;
+    return done == n_;
+  }
 
   /// Links with pending traffic right now (introspection for tests/benches).
   [[nodiscard]] std::size_t active_link_count() const noexcept {
-    return active_links_.size();
+    std::size_t total = 0;
+    for (const auto& sh : shards_) total += sh.active_links.size();
+    return total;
+  }
+
+  /// Number of shards (== resolved thread count).
+  [[nodiscard]] unsigned shard_count() const noexcept {
+    return static_cast<unsigned>(shards_.size());
   }
 
  private:
@@ -195,28 +229,126 @@ class Network {
   };
   static constexpr std::uint64_t kNoAlarm = ~0ULL;
 
+  /// One staged message: everything the deliver phase needs to apply it to
+  /// the destination inbox without touching source-shard state.
+  struct StagedDelivery {
+    NodeId to = 0;
+    std::size_t back_index = 0;
+    Delivery d;
+  };
+
+  /// Reusable staging lane. Slots (and their symbol vectors' capacity)
+  /// persist across rounds, so a steady-state round stages messages without
+  /// allocating — the sharded counterpart of the old single scratch
+  /// Delivery.
+  struct Lane {
+    std::vector<StagedDelivery> items;
+    std::size_t used = 0;
+
+    StagedDelivery& next() {
+      if (used == items.size()) items.emplace_back();
+      return items[used++];
+    }
+    void unstage() noexcept { --used; }  // last next() produced no message
+    void reset() noexcept { used = 0; }
+  };
+
+  /// Everything one shard owns. During the parallel phases a shard's data
+  /// is touched only by the worker running that shard (lanes are written by
+  /// the source shard in the stage phase and read by the destination shard
+  /// in the deliver phase — the pool barrier between phases separates the
+  /// two), so no per-shard locking exists anywhere.
+  struct Shard {
+    NodeId begin = 0;  ///< first owned node
+    NodeId end = 0;    ///< one past the last owned node
+
+    /// Directed edges owned by this shard's nodes with pending traffic.
+    std::vector<std::size_t> active_links;
+
+    /// round -> armed owned nodes; entries lazily invalidated on re-arm.
+    std::map<std::uint64_t, std::vector<NodeId>> alarm_buckets;
+
+    /// Owned nodes to run this round.
+    std::vector<NodeId> wake_list;
+
+    /// Owned nodes that called set_done().
+    NodeId done_count = 0;
+
+    /// Staged outgoing messages, by destination shard.
+    std::vector<Lane> lanes;
+
+    /// Per-round traffic partials, reduced into stats_ after the deliver
+    /// phase (in shard order; integer sums/maxes make the reduction exact).
+    RunStats traffic;
+
+    /// LOCAL-mode drain scratch.
+    std::vector<Delivery> scratch_local;
+  };
+
   /// Executes one round; returns false when execution must stop.
   bool step(bool allow_fast_forward);
-  void deliver_round();
-  void deliver(NodeId to, std::size_t back_index, const Delivery& d);
 
-  /// Queues `v` for this round's on_round pass (no-op if done or queued).
-  void wake(NodeId v);
+  /// Stage phase: schedules shard s's active links into its outgoing lanes
+  /// and compacts the active set. Touches only shard-s-owned state.
+  void stage_shard(unsigned s);
+
+  /// The single-shard fast path: stage and deliver fused, reusing one
+  /// scratch slot per message instead of buffering the round in lanes —
+  /// the exact delivery order (and allocation profile) of the pre-sharding
+  /// serial engine.
+  void deliver_round_serial();
+
+  /// Deliver phase: merges every source shard's lane for destination shard
+  /// d in ascending source-shard order and applies the staged messages to
+  /// d's nodes (inboxes, rx counters, wake list, traffic partials).
+  void deliver_shard(unsigned d);
+
+  /// Wake phase: collects shard s's due alarms, then runs its woken nodes'
+  /// on_round in ascending ID order and re-scans their outgoing links.
+  void wake_shard(unsigned s);
+
+  /// Runs fn(s) for every shard — on the pool when one exists, inline
+  /// otherwise (threads = 1 never pays for synchronization).
+  template <typename Fn>
+  void for_each_shard(Fn&& fn) {
+    if (pool_) {
+      pool_->run(static_cast<unsigned>(shards_.size()),
+                 std::function<void(unsigned)>(std::forward<Fn>(fn)));
+    } else {
+      for (unsigned s = 0; s < shards_.size(); ++s) fn(s);
+    }
+  }
+
+  /// Applies one staged message to its destination node, charging the
+  /// destination shard's traffic partials.
+  void deliver(Shard& dst, const StagedDelivery& sd);
+
+  /// Queues `v` on its owning shard's wake list (no-op if done or queued).
+  void wake(Shard& sh, NodeId v);
 
   /// Re-scans v's outgoing links after one of its callbacks ran, adding any
-  /// that now carry traffic to the active set. All stream writes happen
-  /// inside the owning node's callbacks, so this is the only place a link
-  /// can turn pending.
+  /// that now carry traffic to its shard's active set. All stream writes
+  /// happen inside the owning node's callbacks, so this is the only place a
+  /// link can turn pending.
   void refresh_outgoing(NodeId v);
+
+  /// True when any shard has a pending link.
+  [[nodiscard]] bool any_active_links() const noexcept {
+    for (const auto& sh : shards_) {
+      if (!sh.active_links.empty()) return true;
+    }
+    return false;
+  }
 
   /// Smallest round with a validly armed alarm of a live node, or kNoAlarm.
   /// Lazily discards stale bucket entries (alarms that were overwritten or
-  /// whose node finished). O(1) amortized.
+  /// whose node finished). O(1) amortized; serial (runs between rounds).
   [[nodiscard]] std::uint64_t next_alarm_round();
 
-  /// Pops every alarm bucket due at or before the current round, waking the
-  /// nodes whose alarms are validly armed (one-shot: clears them).
-  void collect_due_alarms();
+  /// Pops shard s's alarm buckets due at or before the current round,
+  /// waking the nodes whose alarms are validly armed (one-shot: clears
+  /// them).
+  void collect_due_alarms(Shard& sh);
 
   const Graph* graph_;
   NetConfig config_;
@@ -225,7 +357,6 @@ class Network {
   unsigned header_bits_;
   std::size_t bandwidth_bits_;
   std::uint64_t round_ = 0;
-  NodeId done_count_ = 0;
   std::vector<std::unique_ptr<INode>> nodes_;
   std::vector<NodeState> states_;
 
@@ -240,18 +371,18 @@ class Network {
   // Shared iota [0, max_degree) so open_stream_all needs no allocation.
   std::vector<std::size_t> iota_;
 
-  // Active set: directed edges whose Link currently has pending traffic.
-  std::vector<std::size_t> active_links_;
-  std::vector<std::uint8_t> link_active_;  // 2m membership flags
+  // Membership flags for the per-shard active sets (2m; an edge is only
+  // ever touched by its owner's shard).
+  std::vector<std::uint8_t> link_active_;
 
-  // Wake machinery: nodes to run this round, and the alarm buckets
-  // (round -> armed nodes; entries are lazily invalidated on re-arm).
-  std::vector<NodeId> wake_list_;
-  std::map<std::uint64_t, std::vector<NodeId>> alarm_buckets_;
+  // The shard partition (contiguous node ranges balanced by degree), the
+  // shards themselves, and the fixed pool (absent when threads = 1).
+  ShardPlan plan_;
+  std::vector<Shard> shards_;
+  std::unique_ptr<ShardPool> pool_;
 
-  // Scratch buffers reused across deliveries (no per-message allocation).
-  Delivery scratch_;
-  std::vector<Delivery> scratch_local_;
+  // Single-shard fast path scratch (one message at a time, never buffered).
+  StagedDelivery scratch_;
 
   RunStats stats_;
 };

@@ -1,0 +1,112 @@
+#include "runtime/shard.hpp"
+
+#include <algorithm>
+
+namespace nc {
+
+ShardPlan plan_shards(const Graph& g, unsigned k) {
+  k = std::clamp(k, 1u, kMaxShards);
+  const NodeId n = g.n();
+
+  // Total weight and the greedy walk share one pass shape: cut shard s at
+  // the first node whose prefix weight reaches ceil(total * s / k), which
+  // keeps every boundary deterministic and the heaviest shard within one
+  // node's weight of the ideal.
+  std::uint64_t total = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    total += static_cast<std::uint64_t>(g.degree(v)) + 1;
+  }
+
+  ShardPlan plan;
+  plan.bounds.assign(static_cast<std::size_t>(k) + 1, n);
+  plan.bounds[0] = 0;
+  std::uint64_t prefix = 0;
+  unsigned s = 1;
+  for (NodeId v = 0; v < n && s < k; ++v) {
+    prefix += static_cast<std::uint64_t>(g.degree(v)) + 1;
+    // prefix now covers nodes [0, v]; close every shard whose quota
+    // (ceil(total * s / k)) this prefix reaches.
+    while (s < k && prefix * k >= total * s) {
+      plan.bounds[s++] = v + 1;
+    }
+  }
+
+  plan.node_shard.resize(n);
+  for (unsigned i = 0; i < k; ++i) {
+    for (NodeId v = plan.bounds[i]; v < plan.bounds[i + 1]; ++v) {
+      plan.node_shard[v] = i;
+    }
+  }
+  return plan;
+}
+
+ShardPool::ShardPool(unsigned threads) {
+  const unsigned spawn = threads > 1 ? threads - 1 : 0;
+  workers_.reserve(spawn);
+  for (unsigned i = 0; i < spawn; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ShardPool::~ShardPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ShardPool::run(unsigned jobs, const std::function<void(unsigned)>& fn) {
+  if (jobs == 0) return;
+  if (workers_.empty() || jobs == 1) {
+    for (unsigned i = 0; i < jobs; ++i) fn(i);
+    return;
+  }
+  auto state = std::make_shared<RunState>();
+  state->count = jobs;
+  state->fn = &fn;
+  state->pending = jobs;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    current_ = state;
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  work(*state);
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return state->pending == 0; });
+  if (state->first_error) std::rethrow_exception(state->first_error);
+}
+
+void ShardPool::work(RunState& state) {
+  while (true) {
+    const unsigned i = state.next.fetch_add(1, std::memory_order_acq_rel);
+    if (i >= state.count) return;
+    try {
+      (*state.fn)(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!state.first_error) state.first_error = std::current_exception();
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (--state.pending == 0) done_cv_.notify_all();
+  }
+}
+
+void ShardPool::worker_loop() {
+  std::uint64_t seen = 0;
+  while (true) {
+    std::shared_ptr<RunState> state;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      start_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      state = current_;
+    }
+    work(*state);
+  }
+}
+
+}  // namespace nc

@@ -22,6 +22,12 @@ struct OutStreamState {
 /// that is what makes the coordinate-pipelined convergecasts of Lemma 5.1
 /// possible — and `close()` marks the logical end of stream, which links
 /// deliver to receivers as an EOS flag.
+///
+/// Sharded-engine note: the producer appends from its node's wake-phase
+/// callback and the owning shard's stage phase reads the buffer in the
+/// *next* phase — writes and reads are separated by the pool barrier, so
+/// the shared state carries no locks. All links a broadcast was opened on
+/// share one OutStreamState and always live on the producer's shard.
 class OutChannel {
  public:
   OutChannel() : state_(std::make_shared<OutStreamState>()) {}

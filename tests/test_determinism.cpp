@@ -14,6 +14,11 @@
 // delivery order, wake-up order, alarm semantics or accounting shows up
 // here as a hard failure, which is the repository's guarantee that perf
 // work on the simulator core never changes simulated executions.
+//
+// Since the sharded delivery engine, every golden configuration is also
+// executed at net.threads = 4: the two-phase parallel round must reproduce
+// the same pre-refactor numbers bit-for-bit, and a direct k = 1 vs k = 4
+// comparison locks full RunStats/label equality across thread counts.
 
 namespace nc {
 namespace {
@@ -37,9 +42,11 @@ std::uint64_t label_hash(const std::vector<Label>& labels) {
   return h;
 }
 
-void expect_exact(const Graph& g, const DriverConfig& cfg,
-                  const Expected& want) {
+void expect_exact_at(const Graph& g, DriverConfig cfg, const Expected& want,
+                     unsigned threads) {
+  cfg.net.threads = threads;
   const auto res = run_dist_near_clique(g, cfg);
+  SCOPED_TRACE("threads=" + std::to_string(threads));
   EXPECT_FALSE(res.stats.stalled);
   EXPECT_FALSE(res.stats.hit_round_limit);
   EXPECT_EQ(res.stats.rounds, want.rounds);
@@ -54,6 +61,15 @@ void expect_exact(const Graph& g, const DriverConfig& cfg,
   for (const Label l : res.labels) nonbottom += (l != kBottom);
   EXPECT_EQ(nonbottom, want.nonbottom);
   EXPECT_EQ(res.total_local_ops, want.local_ops);
+}
+
+void expect_exact(const Graph& g, const DriverConfig& cfg,
+                  const Expected& want) {
+  // The serial engine must reproduce the pre-event-driven goldens, and the
+  // sharded engine at 4 threads must reproduce the serial engine — same
+  // numbers, any thread count.
+  expect_exact_at(g, cfg, want, 1);
+  expect_exact_at(g, cfg, want, 4);
 }
 
 TEST(DeterminismRegression, PlantedClique60) {
@@ -100,6 +116,38 @@ TEST(DeterminismRegression, ErdosRenyi40MinReportSize) {
   cfg.net.max_rounds = 300'000;
   expect_exact(g, cfg,
                Expected{66, 1996, 65272, 47, 2160690531911529915ULL, 0, 8411});
+}
+
+TEST(DeterminismRegression, ThreadCountsAreBitIdentical) {
+  // Direct k = 1 vs k = 4 (and an n < k shard count) comparison of the
+  // complete observable outcome: RunStats, per-kind bits and labels. This
+  // is the sharded engine's contract — thread count is a pure performance
+  // knob, never a semantic one.
+  Rng rng(13);
+  const auto inst = planted_partition(56, 4, 0.8, 0.06, rng);
+  DriverConfig cfg;
+  cfg.proto.eps = 0.2;
+  cfg.proto.p = 0.12;
+  cfg.proto.versions = 2;  // exercises version windows + fast-forward
+  cfg.net.seed = 41;
+  cfg.net.max_rounds = 300'000;
+
+  cfg.net.threads = 1;
+  const auto serial = run_dist_near_clique(inst.graph, cfg);
+  for (const unsigned threads : {2u, 4u, 64u}) {  // 64 > n: empty shards
+    cfg.net.threads = threads;
+    const auto sharded = run_dist_near_clique(inst.graph, cfg);
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    EXPECT_EQ(serial.stats.rounds, sharded.stats.rounds);
+    EXPECT_EQ(serial.stats.messages, sharded.stats.messages);
+    EXPECT_EQ(serial.stats.bits, sharded.stats.bits);
+    EXPECT_EQ(serial.stats.max_message_bits, sharded.stats.max_message_bits);
+    EXPECT_EQ(serial.stats.bits_by_kind, sharded.stats.bits_by_kind);
+    EXPECT_EQ(serial.stats.stalled, sharded.stats.stalled);
+    EXPECT_EQ(serial.stats.hit_round_limit, sharded.stats.hit_round_limit);
+    EXPECT_EQ(serial.labels, sharded.labels);
+    EXPECT_EQ(serial.total_local_ops, sharded.total_local_ops);
+  }
 }
 
 TEST(DeterminismRegression, RepeatRunsAreIdentical) {

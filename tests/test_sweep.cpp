@@ -117,6 +117,28 @@ TEST(TrialRunner, SeedSchedules) {
   EXPECT_EQ(seeds, (std::vector<std::uint64_t>{100 + 7919, 100 + 15838}));
 }
 
+TEST(TrialRunner, ThreadsKnobForwardsOnlyToDeclaringAlgorithms) {
+  // algorithm_runner's threads argument shards delivery for algorithms
+  // that declare the knob — bit-identical results, so the two runners
+  // must agree exactly — and is silently ignored for centralized
+  // baselines (so one batch can mix both kinds).
+  Rng rng(19);
+  const auto inst = planted_partition(48, 3, 0.85, 0.05, rng);
+  const AlgoParams params =
+      AlgoParams().with("eps", 0.2).with("max_rounds", 2'000'000);
+  const auto serial = algorithm_runner("dist_near_clique", params);
+  const auto sharded = algorithm_runner("dist_near_clique", params, 4);
+  const AlgoResult a = serial(inst.graph, 23);
+  const AlgoResult b = sharded(inst.graph, 23);
+  EXPECT_EQ(a.labels, b.labels);
+  EXPECT_EQ(a.stats.rounds, b.stats.rounds);
+  EXPECT_EQ(a.stats.bits, b.stats.bits);
+  EXPECT_EQ(a.local_ops, b.local_ops);
+
+  const auto central = algorithm_runner("peeling", {}, 4);  // no knob: ok
+  EXPECT_FALSE(central(inst.graph, 23).labels.empty());
+}
+
 TEST(Sweep, ValidatesBeforeRunning) {
   SweepSpec spec = tiny_spec();
   spec.scenario_family = "no_such_family";
