@@ -34,6 +34,12 @@ cmake --build "$BUILD_DIR" -j "$(nproc)"
 # speedups against the recorded hardware_concurrency (docs/benchmarks.md).
 "$BUILD_DIR/bench_parallel_scale" $FULL_FLAG --json "$REPO_ROOT/BENCH_parallel.json"
 
+# Fault-sweep curves: protocol quality + rounds-to-completion under
+# message loss, link delay and node churn on 100k (and, with --full, 1M)
+# planted instances. Fault decisions are keyed hashes, so the curves are
+# bit-identical at any thread count (docs/benchmarks.md).
+"$BUILD_DIR/bench_fault_sweep" $FULL_FLAG --json "$REPO_ROOT/BENCH_faults.json"
+
 # Small fixed-seed comparative sweep through the registry pair (scenario x
 # algorithm, see src/expt/README.md) so future PRs can track the
 # DistNearClique-vs-baselines trajectory. Per-algorithm brackets hold

@@ -5,14 +5,32 @@
 //   nearclique list-algorithms              algorithm catalogue + defaults
 //   nearclique run   --scenario=F [--params=k=v,..] --algo=A
 //                    [--algo-params=k=v,..] [--seed=N] [--threads=N]
+//                    [--faults=loss=0.05,delay_max=3,..]
 //                    [--json[=FILE]] [--dot=out.dot]
 //   nearclique sweep --scenario=F [--params=..] [--algos=A,B[k=v,..],..]
 //                    [--algo-params=..] [--grid=scenario.n=100:200,both.eps=0.1:0.2]
 //                    [--trials=N] [--seed=N] [--seq-seeds] [--threads=N]
+//                    [--faults=loss=0.05,..]
 //                    [--success=none|theorem57|effective|size_density]
 //                    [--success2=...] [--success-eps=..] [--success-delta=..]
 //                    [--success-min-size=..] [--success-max-eps=..]
 //                    [--json=FILE|-] [--title=..]
+//   nearclique sweep --spec=FILE.json [--json=FILE|-] [--title=..]
+//
+// --faults injects adversity (src/runtime/faults.hpp) into every listed
+// algorithm that declares the fault keys: iid loss (loss=), bursty
+// Gilbert–Elliott loss (ge_p=,ge_r=,ge_loss_good=,ge_loss_bad=), integer
+// link delay (delay_min=,delay_max=), and node churn
+// (crash_frac=,crash_round=,recover_after=). Decisions are keyed hashes of
+// (fault seed, round, src, dst), so faulty fixed-seed runs stay
+// bit-identical at every --threads value. Individual fault keys also work
+// as ordinary --algo-params entries and --grid axes (e.g.
+// --grid=algo.loss=0:0.05:0.1 sweeps the loss rate).
+//
+// --spec=FILE runs a sweep from a JSON spec document (the serialized
+// SweepSpec — see src/expt/README.md), round-tripping every field
+// including the faults plan; --title and --json still apply on top, and
+// every other sweep flag is rejected (it would be silently dead).
 //
 // Per-algorithm bracket parameters — `shingles[eps=0.2,min_size=4]` — are
 // the canonical way to parameterize a sweep's algorithms: each algorithm
@@ -50,6 +68,7 @@
 #include "expt/sweep.hpp"
 #include "graph/dot.hpp"
 #include "graph/metrics.hpp"
+#include "runtime/faults.hpp"
 #include "util/cli.hpp"
 #include "util/json.hpp"
 
@@ -64,16 +83,23 @@ int usage(std::FILE* to) {
       "  list-scenarios            registered scenario families\n"
       "  list-algorithms           registered algorithms\n"
       "  run    --scenario=F --algo=A [--params=..] [--algo-params=..]\n"
-      "         [--seed=N] [--threads=N] [--json[=FILE]] [--dot=out.dot]\n"
+      "         [--seed=N] [--threads=N] [--faults=loss=0.05,..]\n"
+      "         [--json[=FILE]] [--dot=out.dot]\n"
       "  sweep  --scenario=F [--algos=A,B[k=v,..]] [--params=..]\n"
       "         [--grid=scenario.k=v1:v2,algo.k=..,both.k=..] [--trials=N]\n"
-      "         [--seed=N] [--seq-seeds] [--threads=N] [--success=PRED]\n"
-      "         [--success2=PRED] [--json=FILE|-]\n"
+      "         [--seed=N] [--seq-seeds] [--threads=N] [--faults=..]\n"
+      "         [--success=PRED] [--success2=PRED] [--json=FILE|-]\n"
+      "  sweep  --spec=FILE.json [--json=FILE|-] [--title=..]\n"
       "per-algorithm params belong in brackets: --algos='a[eps=0.2],b'\n"
       "(the canonical form; a shared --algo-params list applies every key\n"
       "to every algorithm and is ambiguous with more than one).\n"
       "--threads=N shards delivery across N threads for algorithms that\n"
-      "declare the knob; fixed-seed results are identical at any N.\n");
+      "declare the knob; fixed-seed results are identical at any N.\n"
+      "--faults=loss=0.05,delay_max=3,crash_frac=0.01 injects message\n"
+      "loss / link delay / node churn into declaring algorithms; fault\n"
+      "keys also work as --algo-params entries and --grid axes.\n"
+      "--spec=FILE.json replays a serialized sweep spec (every field,\n"
+      "faults included; see src/expt/README.md for the schema).\n");
   return to == stdout ? 0 : 2;
 }
 
@@ -208,6 +234,38 @@ void apply_threads(AlgoSpec& spec, long long threads) {
   }
 }
 
+/// Parses --faults into a validated override bag (empty when the flag is
+/// absent). Unknown keys and out-of-range values fail here, with the fault
+/// catalogue, before anything runs.
+ParamSet faults_from_args(const Args& args) {
+  const std::string csv = args.get("faults", "");
+  if (csv.empty()) return {};
+  (void)parse_fault_plan(csv);  // full validation incl. ranges
+  return parse_params_csv(csv, &fault_param_defaults());
+}
+
+/// The shared run/sweep diagnostic for --faults on an algorithm without
+/// fault knobs (centralized baselines execute no network to disturb).
+void warn_faults_ignored(const std::string& algorithm) {
+  std::fprintf(stderr,
+               "note: algorithm '%s' does not declare fault parameters; "
+               "--faults ignored for it\n",
+               algorithm.c_str());
+}
+
+/// Applies --faults key by key to an algorithm's parameters (explicit
+/// --algo-params values win), warn-and-skip for non-declaring algorithms.
+void apply_faults(AlgoSpec& spec, const ParamSet& faults) {
+  if (faults.values().empty()) return;
+  if (!algorithm_declares(spec.name, "loss")) {
+    warn_faults_ignored(spec.name);
+    return;
+  }
+  for (const auto& [key, value] : faults.values()) {
+    if (!spec.params.has(key)) spec.params.with(key, value);
+  }
+}
+
 int cmd_run(const Args& args) {
   const auto scenario = args.get("scenario", "planted_near_clique");
   const auto algo = args.get("algo", "dist_near_clique");
@@ -217,6 +275,7 @@ int cmd_run(const Args& args) {
       parse_scenario_spec(scenario, args.get("params", ""), seed);
   AlgoSpec aspec = parse_algo_spec(algo, args.get("algo-params", ""), seed);
   apply_threads(aspec, threads_from_args(args));
+  apply_faults(aspec, faults_from_args(args));
 
   const Instance inst = ScenarioRegistry::global().make(sspec);
   const AlgoResult result = AlgorithmRegistry::global().run(inst.graph, aspec);
@@ -321,61 +380,93 @@ int cmd_run(const Args& args) {
 }
 
 int cmd_sweep(const Args& args) {
-  if (!args.has("scenario")) {
-    std::fprintf(stderr,
-                 "error: sweep requires --scenario=FAMILY (see "
-                 "nearclique list-scenarios)\n");
-    return 2;
-  }
   SweepSpec spec;
-  spec.title = args.get("title", "nearclique sweep");
-  spec.scenario_family = args.get("scenario");
-  const ScenarioSpec base = parse_scenario_spec(
-      spec.scenario_family, args.get("params", ""), /*seed=*/1);
-  spec.scenario_params = base.params;
-  for (const auto& item :
-       split_algos(args.get("algos", args.get("algo", "dist_near_clique")))) {
-    spec.algorithms.push_back(
-        parse_algo_item(item, args.get("algo-params", "")));
-  }
-  // Bracket params are the canonical per-algorithm form; a shared
-  // --algo-params list silently applies every key to every algorithm, which
-  // is ambiguous (and usually a validation error) in a comparison.
-  if (!args.get("algo-params", "").empty() && spec.algorithms.size() > 1) {
-    std::fprintf(stderr,
-                 "warning: --algo-params applies every key to all %zu listed "
-                 "algorithms; prefer per-algorithm brackets, e.g. "
-                 "--algos='dist_near_clique[eps=0.2],peeling[eps=0.2]'\n",
-                 spec.algorithms.size());
-  }
-  spec.axes = parse_grid(args.get("grid", ""));
-  const auto threads = threads_from_args(args);
-  spec.threads = static_cast<std::size_t>(threads);
-  if (threads > 1) {
-    // Same diagnostic as `run`: sharding only reaches algorithms that
-    // declare the knob; say so instead of silently running the rest serial.
-    for (const auto& algo : spec.algorithms) {
-      if (!algorithm_declares(algo.name, "threads")) {
-        warn_threads_ignored(algo.name);
+  if (args.has("spec")) {
+    // Spec-file mode: the JSON document is the whole configuration;
+    // --title and the --json output target still apply on top. Any other
+    // experiment-defining flag would be silently dead, so reject it.
+    for (const char* flag :
+         {"scenario", "params", "algos", "algo", "algo-params", "grid",
+          "trials", "seed", "seq-seeds", "threads", "faults", "success",
+          "success2", "success-eps", "success-delta", "success-min-size",
+          "success-max-eps"}) {
+      if (args.has(flag)) {
+        throw std::invalid_argument(
+            std::string("--") + flag +
+            " cannot be combined with --spec; put it in the spec document "
+            "(only --title and --json apply on top)");
       }
     }
+    const std::string path = args.get("spec");
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "error: cannot read spec file %s\n", path.c_str());
+      return 2;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    spec = sweep_spec_from_json(buf.str());
+    if (args.has("title")) spec.title = args.get("title");
+    if (spec.title.empty()) spec.title = "nearclique sweep";
+  } else {
+    if (!args.has("scenario")) {
+      std::fprintf(stderr,
+                   "error: sweep requires --scenario=FAMILY or --spec=FILE "
+                   "(see nearclique list-scenarios)\n");
+      return 2;
+    }
+    spec.title = args.get("title", "nearclique sweep");
+    spec.scenario_family = args.get("scenario");
+    const ScenarioSpec base = parse_scenario_spec(
+        spec.scenario_family, args.get("params", ""), /*seed=*/1);
+    spec.scenario_params = base.params;
+    for (const auto& item : split_algos(
+             args.get("algos", args.get("algo", "dist_near_clique")))) {
+      spec.algorithms.push_back(
+          parse_algo_item(item, args.get("algo-params", "")));
+    }
+    // Bracket params are the canonical per-algorithm form; a shared
+    // --algo-params list silently applies every key to every algorithm,
+    // which is ambiguous (and usually a validation error) in a comparison.
+    if (!args.get("algo-params", "").empty() && spec.algorithms.size() > 1) {
+      std::fprintf(stderr,
+                   "warning: --algo-params applies every key to all %zu "
+                   "listed algorithms; prefer per-algorithm brackets, e.g. "
+                   "--algos='dist_near_clique[eps=0.2],peeling[eps=0.2]'\n",
+                   spec.algorithms.size());
+    }
+    spec.axes = parse_grid(args.get("grid", ""));
+    spec.threads = static_cast<std::size_t>(threads_from_args(args));
+    spec.faults = faults_from_args(args);
+    const auto trials = args.get_int("trials", 5);
+    const auto seed = args.get_int("seed", 1);
+    if (trials < 1) {
+      throw std::invalid_argument("--trials must be >= 1, got " +
+                                  std::to_string(trials));
+    }
+    if (seed < 0) {
+      throw std::invalid_argument("--seed must be >= 0, got " +
+                                  std::to_string(seed));
+    }
+    spec.trials = static_cast<std::size_t>(trials);
+    spec.seed_base = static_cast<std::uint64_t>(seed);
+    spec.seeds = args.get_bool("seq-seeds") ? SeedSchedule::kSequential
+                                            : SeedSchedule::kSalted;
+    spec.success = success_from_args(args, "success");
+    spec.success2 = success_from_args(args, "success2");
   }
-  const auto trials = args.get_int("trials", 5);
-  const auto seed = args.get_int("seed", 1);
-  if (trials < 1) {
-    throw std::invalid_argument("--trials must be >= 1, got " +
-                                std::to_string(trials));
+  // Shared diagnostics for both entry paths: sharding and faults only
+  // reach algorithms that declare the knobs; say so instead of silently
+  // running the rest clean/serial.
+  for (const auto& algo : spec.algorithms) {
+    if (spec.threads > 1 && !algorithm_declares(algo.name, "threads")) {
+      warn_threads_ignored(algo.name);
+    }
+    if (!spec.faults.values().empty() &&
+        !algorithm_declares(algo.name, "loss")) {
+      warn_faults_ignored(algo.name);
+    }
   }
-  if (seed < 0) {
-    throw std::invalid_argument("--seed must be >= 0, got " +
-                                std::to_string(seed));
-  }
-  spec.trials = static_cast<std::size_t>(trials);
-  spec.seed_base = static_cast<std::uint64_t>(seed);
-  spec.seeds = args.get_bool("seq-seeds") ? SeedSchedule::kSequential
-                                          : SeedSchedule::kSalted;
-  spec.success = success_from_args(args, "success");
-  spec.success2 = success_from_args(args, "success2");
 
   const auto rows = run_sweep(spec);
 
@@ -424,6 +515,12 @@ int main(int argc, char** argv) {
     if (command == "help" || command == "--help") return usage(stdout);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  } catch (...) {
+    // A non-std exception thrown mid-run (user protocol code can throw
+    // anything) must still exit with a clean error status, not ripple out
+    // of main into std::terminate/abort.
+    std::fprintf(stderr, "error: algorithm threw a non-standard exception\n");
     return 2;
   }
   std::fprintf(stderr, "error: unknown command '%s'\n\n", command.c_str());

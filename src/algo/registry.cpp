@@ -10,6 +10,7 @@
 #include "baselines/peeling.hpp"
 #include "baselines/shingles.hpp"
 #include "core/boosting.hpp"
+#include "runtime/faults.hpp"
 #include "runtime/shard.hpp"
 #include "util/rng.hpp"
 
@@ -34,17 +35,25 @@ AlgorithmRegistry build_global_registry() {
   // examples historically built by hand (p = pn / n, seed into the network
   // RNG, run_boosted for the versions wrapper), so pre-registry fixed-seed
   // results are preserved bit-for-bit.
+  // The network-backed protocol also declares the complete fault-plan key
+  // set (loss, ge_*, delay_*, crash_*, fault_seed — src/runtime/faults.hpp),
+  // so adversity rides the ordinary param-bag/sweep-axis machinery:
+  // `--algo-params=loss=0.05` and `--grid=algo.loss=0:0.05:0.1` just work.
+  AlgoParams dnc_defaults = AlgoParams()
+                                .with("eps", 0.2)
+                                .with("pn", 9.0)
+                                .with("versions", 1)
+                                .with("window", 0)
+                                .with("max_rounds", 32'000'000)
+                                .with("threads", 1);
+  for (const auto& [key, value] : fault_param_defaults().values()) {
+    dnc_defaults.with(key, value);
+  }
   r.add({"dist_near_clique",
          "Algorithm DistNearClique (Section 4) with the Section 4.1 "
-         "time-bound and boosting wrappers (versions > 1)",
-         CostModel::kCongest,
-         AlgoParams()
-             .with("eps", 0.2)
-             .with("pn", 9.0)
-             .with("versions", 1)
-             .with("window", 0)
-             .with("max_rounds", 32'000'000)
-             .with("threads", 1),
+         "time-bound and boosting wrappers (versions > 1); fault-plan "
+         "params inject message loss / delay / churn",
+         CostModel::kCongest, std::move(dnc_defaults),
          [](const Graph& g, const AlgoParams& p, std::uint64_t seed) {
            DriverConfig cfg;
            cfg.proto.eps = p.get_double("eps");
@@ -52,6 +61,7 @@ AlgorithmRegistry build_global_registry() {
            cfg.net.seed = seed;
            cfg.net.max_rounds =
                static_cast<std::uint64_t>(p.get_double("max_rounds"));
+           cfg.net.faults = fault_plan_from_params(p);
            // Delivery sharding: a pure performance knob — fixed-seed runs
            // are bit-identical at every thread count.
            const auto threads = p.get_int("threads");

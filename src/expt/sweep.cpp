@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "graph/metrics.hpp"
+#include "runtime/faults.hpp"
 #include "util/json.hpp"
 
 namespace nc {
@@ -95,6 +96,92 @@ const char* schedule_name(SeedSchedule s) {
   return s == SeedSchedule::kSalted ? "salted" : "sequential";
 }
 
+const char* target_name(SweepAxis::Target t) {
+  switch (t) {
+    case SweepAxis::Target::kScenario:
+      return "scenario";
+    case SweepAxis::Target::kAlgorithm:
+      return "algo";
+    case SweepAxis::Target::kBoth:
+      return "both";
+  }
+  return "?";
+}
+
+SweepAxis::Target parse_target(const std::string& text) {
+  if (text == "scenario") return SweepAxis::Target::kScenario;
+  if (text == "algo" || text == "algorithm") {
+    return SweepAxis::Target::kAlgorithm;
+  }
+  if (text == "both") return SweepAxis::Target::kBoth;
+  throw std::invalid_argument("unknown axis target '" + text +
+                              "'; use scenario, algo or both");
+}
+
+/// Spec-file param objects: numbers stay numbers, strings stay strings,
+/// booleans become 1/0 (the ParamSet convention).
+ParamSet param_set_from_json(const JsonValue& v, const std::string& what) {
+  if (!v.is_object()) {
+    throw std::invalid_argument(what + " must be a JSON object");
+  }
+  ParamSet out;
+  for (const auto& [key, value] : v.object) {
+    switch (value.kind) {
+      case JsonValue::Kind::kNumber:
+        out.with(key, value.number);
+        break;
+      case JsonValue::Kind::kString:
+        out.with(key, value.string);
+        break;
+      case JsonValue::Kind::kBool:
+        out.with(key, value.boolean ? 1.0 : 0.0);
+        break;
+      default:
+        throw std::invalid_argument(what + "." + key +
+                                    " must be a number, string or boolean");
+    }
+  }
+  return out;
+}
+
+void write_success_spec(JsonWriter& w, const char* name,
+                        const SuccessSpec& spec) {
+  w.key(name).begin_object().key("kind").value(spec.name());
+  // kFromParams (NaN) means "derive per grid point"; the document encodes
+  // it by omission so round-tripping preserves the sentinel exactly.
+  if (!std::isnan(spec.eps)) w.key("eps").value(spec.eps);
+  if (!std::isnan(spec.delta)) w.key("delta").value(spec.delta);
+  w.key("min_size").value(spec.min_size);
+  w.key("max_eps").value(spec.max_eps);
+  w.end_object();
+}
+
+SuccessSpec success_spec_from_json(const JsonValue& v,
+                                   const std::string& what) {
+  if (!v.is_object()) {
+    throw std::invalid_argument(what + " must be a JSON object");
+  }
+  SuccessSpec spec;
+  for (const auto& [key, value] : v.object) {
+    if (key == "kind") {
+      spec.kind = parse_success_spec(value.as_string(what + ".kind")).kind;
+    } else if (key == "eps") {
+      spec.eps = value.as_number(what + ".eps");
+    } else if (key == "delta") {
+      spec.delta = value.as_number(what + ".delta");
+    } else if (key == "min_size") {
+      spec.min_size = value.as_number(what + ".min_size");
+    } else if (key == "max_eps") {
+      spec.max_eps = value.as_number(what + ".max_eps");
+    } else {
+      throw std::invalid_argument(
+          what + " has no field '" + key +
+          "'; fields: kind, eps, delta, min_size, max_eps");
+    }
+  }
+  return spec;
+}
+
 }  // namespace
 
 std::string SuccessSpec::name() const {
@@ -141,6 +228,12 @@ std::vector<SweepRow> run_sweep(const SweepSpec& spec) {
   const auto& family = scenarios.family(spec.scenario_family);
   if (spec.algorithms.empty()) {
     throw std::invalid_argument("sweep spec lists no algorithms");
+  }
+  if (!spec.faults.keys().empty()) {
+    // Unknown fault keys would otherwise be silently skipped by the
+    // declare-gated forwarding below; validate the bag as a plan up front.
+    (void)fault_plan_from_params(
+        merge_params(fault_param_defaults(), spec.faults, "fault plan"));
   }
   for (const auto& axis : spec.axes) {
     if (axis.values.empty()) {
@@ -206,6 +299,13 @@ std::vector<SweepRow> run_sweep(const SweepSpec& spec) {
       if (spec.threads > 1 && !row.algo_params.has("threads") &&
           algorithm_declares(algo.name, "threads")) {
         row.algo_params.with("threads", spec.threads);
+      }
+      // The sweep-level fault plan reaches declaring algorithms the same
+      // way, key by key; explicit per-algorithm and axis values win.
+      for (const auto& [key, value] : spec.faults.values()) {
+        if (!row.algo_params.has(key) && algorithm_declares(algo.name, key)) {
+          row.algo_params.with(key, value);
+        }
       }
       row.scenario_merged =
           merge_params(family.defaults, row.scenario_params,
@@ -300,6 +400,174 @@ std::string sweep_json_lines(const std::vector<SweepRow>& rows) {
     out += '\n';
   }
   return out;
+}
+
+std::string sweep_spec_json(const SweepSpec& spec) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("title").value(spec.title);
+  w.key("scenario").begin_object().key("family").value(spec.scenario_family);
+  write_params(w, "params", spec.scenario_params);
+  w.end_object();
+  w.key("algorithms").begin_array();
+  for (const auto& algo : spec.algorithms) {
+    w.begin_object().key("name").value(algo.name);
+    write_params(w, "params", algo.params);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("axes").begin_array();
+  for (const auto& axis : spec.axes) {
+    w.begin_object()
+        .key("target")
+        .value(target_name(axis.target))
+        .key("key")
+        .value(axis.key)
+        .key("values")
+        .begin_array();
+    for (const double v : axis.values) w.value(v);
+    w.end_array().end_object();
+  }
+  w.end_array();
+  w.key("trials").value(static_cast<std::uint64_t>(spec.trials));
+  w.key("seed_base").value(spec.seed_base);
+  w.key("seeds").value(schedule_name(spec.seeds));
+  w.key("threads").value(static_cast<std::uint64_t>(spec.threads));
+  write_params(w, "faults", spec.faults);
+  write_success_spec(w, "success", spec.success);
+  write_success_spec(w, "success2", spec.success2);
+  w.end_object();
+  return w.str();
+}
+
+SweepSpec sweep_spec_from_json(const std::string& text) {
+  const JsonValue doc = parse_json(text);
+  if (!doc.is_object()) {
+    throw std::invalid_argument("sweep spec must be a JSON object");
+  }
+  SweepSpec spec;
+  bool have_scenario = false;
+  bool have_algorithms = false;
+  for (const auto& [key, value] : doc.object) {
+    if (key == "title") {
+      spec.title = value.as_string("title");
+    } else if (key == "scenario") {
+      if (!value.is_object()) {
+        throw std::invalid_argument("scenario must be a JSON object");
+      }
+      for (const auto& [skey, svalue] : value.object) {
+        if (skey == "family") {
+          spec.scenario_family = svalue.as_string("scenario.family");
+        } else if (skey == "params") {
+          spec.scenario_params =
+              param_set_from_json(svalue, "scenario.params");
+        } else {
+          throw std::invalid_argument("scenario has no field '" + skey +
+                                      "'; fields: family, params");
+        }
+      }
+      have_scenario = !spec.scenario_family.empty();
+    } else if (key == "algorithms") {
+      for (const auto& item : value.as_array("algorithms")) {
+        if (!item.is_object()) {
+          throw std::invalid_argument(
+              "algorithms entries must be JSON objects");
+        }
+        AlgoSpec algo;
+        for (const auto& [akey, avalue] : item.object) {
+          if (akey == "name") {
+            algo.name = avalue.as_string("algorithm.name");
+          } else if (akey == "params") {
+            algo.params = param_set_from_json(avalue, "algorithm.params");
+          } else {
+            throw std::invalid_argument("algorithm entry has no field '" +
+                                        akey + "'; fields: name, params");
+          }
+        }
+        if (algo.name.empty()) {
+          throw std::invalid_argument("algorithm entry needs a name");
+        }
+        spec.algorithms.push_back(std::move(algo));
+      }
+      have_algorithms = !spec.algorithms.empty();
+    } else if (key == "axes") {
+      for (const auto& item : value.as_array("axes")) {
+        if (!item.is_object()) {
+          throw std::invalid_argument("axes entries must be JSON objects");
+        }
+        SweepAxis axis;
+        for (const auto& [akey, avalue] : item.object) {
+          if (akey == "target") {
+            axis.target = parse_target(avalue.as_string("axis.target"));
+          } else if (akey == "key") {
+            axis.key = avalue.as_string("axis.key");
+          } else if (akey == "values") {
+            for (const auto& v : avalue.as_array("axis.values")) {
+              axis.values.push_back(v.as_number("axis value"));
+            }
+          } else {
+            throw std::invalid_argument("axis entry has no field '" + akey +
+                                        "'; fields: target, key, values");
+          }
+        }
+        if (axis.key.empty() || axis.values.empty()) {
+          throw std::invalid_argument(
+              "each axis needs a key and at least one value");
+        }
+        spec.axes.push_back(std::move(axis));
+      }
+    } else if (key == "trials") {
+      const double t = value.as_number("trials");
+      if (t < 1 || t != std::floor(t)) {
+        throw std::invalid_argument("trials must be an integer >= 1");
+      }
+      spec.trials = static_cast<std::size_t>(t);
+    } else if (key == "seed_base") {
+      const double s = value.as_number("seed_base");
+      if (s < 0 || s != std::floor(s)) {
+        throw std::invalid_argument("seed_base must be an integer >= 0");
+      }
+      spec.seed_base = static_cast<std::uint64_t>(s);
+    } else if (key == "seeds") {
+      const std::string& name = value.as_string("seeds");
+      if (name == "salted") {
+        spec.seeds = SeedSchedule::kSalted;
+      } else if (name == "sequential") {
+        spec.seeds = SeedSchedule::kSequential;
+      } else {
+        throw std::invalid_argument("seeds must be 'salted' or 'sequential'");
+      }
+    } else if (key == "threads") {
+      const double t = value.as_number("threads");
+      if (t < 1 || t != std::floor(t)) {
+        throw std::invalid_argument("threads must be an integer >= 1");
+      }
+      spec.threads = static_cast<std::size_t>(t);
+    } else if (key == "faults") {
+      spec.faults = param_set_from_json(value, "faults");
+      // Fail on unknown keys / bad ranges now, with the fault catalogue,
+      // instead of at run time.
+      (void)fault_plan_from_params(
+          merge_params(fault_param_defaults(), spec.faults, "fault plan"));
+    } else if (key == "success") {
+      spec.success = success_spec_from_json(value, "success");
+    } else if (key == "success2") {
+      spec.success2 = success_spec_from_json(value, "success2");
+    } else {
+      throw std::invalid_argument(
+          "sweep spec has no field '" + key +
+          "'; fields: title, scenario, algorithms, axes, trials, seed_base, "
+          "seeds, threads, faults, success, success2");
+    }
+  }
+  if (!have_scenario) {
+    throw std::invalid_argument("sweep spec needs scenario.family");
+  }
+  if (!have_algorithms) {
+    throw std::invalid_argument(
+        "sweep spec needs at least one algorithms entry");
+  }
+  return spec;
 }
 
 Table sweep_table(const std::vector<SweepRow>& rows) {

@@ -85,6 +85,14 @@ struct SweepSpec {
   /// lives here beside trials/seeds rather than in the parameter grid.
   std::size_t threads = 1;
 
+  /// Fault-plan overrides (src/runtime/faults.hpp keys: loss, ge_*,
+  /// delay_*, crash_*, fault_seed) applied to every listed algorithm that
+  /// declares the key, exactly like `threads` — explicit per-algorithm
+  /// overrides and axis values win. One `--faults=loss=0.05,delay_max=3`
+  /// therefore subjects every network-backed algorithm in a comparison to
+  /// the same adversity while centralized baselines are unaffected.
+  ParamSet faults;
+
   SuccessSpec success;
   SuccessSpec success2;
 };
@@ -133,5 +141,32 @@ std::string sweep_json_lines(const std::vector<SweepRow>& rows);
 
 /// Human-readable comparison table of the rows.
 Table sweep_table(const std::vector<SweepRow>& rows);
+
+/// Serializes a SweepSpec as a pretty-printed JSON document (every field,
+/// including the faults overrides), the inverse of sweep_spec_from_json —
+/// round-tripping is exact up to key order.
+std::string sweep_spec_json(const SweepSpec& spec);
+
+/// Parses a sweep spec document (the `nearclique sweep --spec=FILE`
+/// format):
+///
+///   {
+///     "title": "...",
+///     "scenario": {"family": "theorem", "params": {"n": 60}},
+///     "algorithms": [{"name": "dist_near_clique",
+///                     "params": {"eps": 0.2}}],
+///     "axes": [{"target": "both", "key": "eps",
+///               "values": [0.1, 0.2]}],
+///     "trials": 4, "seed_base": 1, "seeds": "salted",
+///     "threads": 2, "faults": {"loss": 0.05, "delay_max": 3},
+///     "success": {"kind": "theorem57"},
+///     "success2": {"kind": "none"}
+///   }
+///
+/// Every key is optional except scenario.family and algorithms; omitted
+/// keys take the SweepSpec defaults. "faults" keys are validated against
+/// the declared fault parameter set. Throws std::invalid_argument with a
+/// self-explaining message on malformed JSON, unknown keys or bad values.
+SweepSpec sweep_spec_from_json(const std::string& text);
 
 }  // namespace nc

@@ -12,6 +12,11 @@ void RunStats::absorb(const RunStats& other) {
   max_message_bits = std::max(max_message_bits, other.max_message_bits);
   hit_round_limit = hit_round_limit || other.hit_round_limit;
   stalled = stalled || other.stalled;
+  messages_lost += other.messages_lost;
+  messages_delayed += other.messages_delayed;
+  messages_dropped_crash += other.messages_dropped_crash;
+  crash_events += other.crash_events;
+  recover_events += other.recover_events;
   for (std::size_t k = 0; k < bits_by_kind.size(); ++k) {
     bits_by_kind[k] += other.bits_by_kind[k];
   }
@@ -21,6 +26,12 @@ void RunStats::merge_traffic(const RunStats& other) {
   messages += other.messages;
   bits += other.bits;
   max_message_bits = std::max(max_message_bits, other.max_message_bits);
+  // Per-message fault outcomes are decided in the parallel stage/deliver
+  // phases, so they are shard partials too; churn events are counted by
+  // the serial round loop and deliberately not merged here.
+  messages_lost += other.messages_lost;
+  messages_delayed += other.messages_delayed;
+  messages_dropped_crash += other.messages_dropped_crash;
   for (std::size_t k = 0; k < bits_by_kind.size(); ++k) {
     bits_by_kind[k] += other.bits_by_kind[k];
   }
@@ -32,6 +43,14 @@ std::string RunStats::summary() const {
      << " max_msg_bits=" << max_message_bits
      << (hit_round_limit ? " [round-limit]" : "")
      << (stalled ? " [stalled]" : "");
+  if (messages_lost > 0) os << " lost=" << messages_lost;
+  if (messages_delayed > 0) os << " delayed=" << messages_delayed;
+  if (messages_dropped_crash > 0) {
+    os << " crash_dropped=" << messages_dropped_crash;
+  }
+  if (crash_events > 0) {
+    os << " crashes=" << crash_events << " recoveries=" << recover_events;
+  }
   return os.str();
 }
 

@@ -22,6 +22,20 @@ struct RunStats {
   bool hit_round_limit = false;        ///< aborted by the time-bound wrapper
   bool stalled = false;                ///< protocol deadlock (bug guard)
 
+  // Fault-engine accounting (src/runtime/faults.hpp; all zero in clean
+  // runs). Lost and crash-silenced messages are counted here and *not* in
+  // messages/bits — those track what was actually delivered. A deferral
+  // is charged to messages_delayed when the message is scheduled; it then
+  // normally also lands in messages on arrival, unless the receiver
+  // crashes while it rides, in which case the arrival is charged to
+  // messages_dropped_crash instead (the counters are per-pipeline-point
+  // event counts, not a partition of scheduled traffic).
+  std::uint64_t messages_lost = 0;          ///< dropped by the loss models
+  std::uint64_t messages_delayed = 0;       ///< deferred by link delay
+  std::uint64_t messages_dropped_crash = 0; ///< silenced by node churn
+  std::uint64_t crash_events = 0;           ///< nodes that crashed
+  std::uint64_t recover_events = 0;         ///< nodes that recovered
+
   /// Wire bits per message kind, indexed by kind. A fixed array (not a map):
   /// kinds are bounded by the 5-bit header field, the hot path increments a
   /// slot per delivery, and the layout matches the runtime's rx counters.

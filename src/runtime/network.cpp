@@ -152,6 +152,20 @@ Network::Network(const Graph& g, const NetConfig& config,
   }
   if (k > 1) pool_ = std::make_unique<ShardPool>(k);
 
+  // Fault engine + per-shard churn schedule (only for active plans; the
+  // fault-free path carries no engine and no buckets).
+  if (config.faults.any()) {
+    faults_ = std::make_unique<FaultEngine>(config.faults, n_, directed_edges,
+                                            config.seed);
+    for (NodeId v = 0; v < n_; ++v) {
+      Shard& sh = shards_[plan_.node_shard[v]];
+      const std::uint64_t cr = faults_->crash_round(v);
+      if (cr != FaultEngine::kNever) sh.fault_events[cr].push_back(v);
+      const std::uint64_t rr = faults_->recover_round(v);
+      if (rr != FaultEngine::kNever) sh.fault_events[rr].push_back(v);
+    }
+  }
+
   const Rng master(config.seed);
   nodes_.reserve(n_);
   states_.reserve(n_);
@@ -162,13 +176,20 @@ Network::Network(const Graph& g, const NetConfig& config,
     states_.push_back(std::move(st));
     nodes_.push_back(factory(v));
   }
-  // on_start runs serially: it is one-time work, and factories/initializers
-  // are user code the runtime makes no thread-safety assumptions about.
-  for (NodeId v = 0; v < n_; ++v) {
-    NodeApi api(*this, v);
-    nodes_[v]->on_start(api);
-    refresh_outgoing(v);
-  }
+  // Factories run serially (user code frequently captures shared state for
+  // construction), but on_start runs shard-parallel: each callback touches
+  // only its own node's state plus shard-owned structures (active links,
+  // alarm buckets, done counts), and no messages are exchanged before round
+  // 1, so parallel initialization is unobservable — fixed-seed executions
+  // stay bit-identical at every thread count. Within a shard the calls
+  // keep ascending ID order.
+  for_each_shard([this](unsigned s) {
+    for (NodeId v = shards_[s].begin; v < shards_[s].end; ++v) {
+      NodeApi api(*this, v);
+      nodes_[v]->on_start(api);
+      refresh_outgoing(v);
+    }
+  });
 }
 
 void Network::wake(Shard& sh, NodeId v) {
@@ -230,6 +251,40 @@ void Network::collect_due_alarms(Shard& sh) {
   }
 }
 
+void Network::apply_fault_events() {
+  for (auto& sh : shards_) {
+    while (!sh.fault_events.empty() &&
+           sh.fault_events.begin()->first <= round_) {
+      // A popped bucket holds crash and/or recovery events for this round;
+      // which one a node fires is determined by its precomputed schedule.
+      for (const NodeId v : sh.fault_events.begin()->second) {
+        auto& st = states_[v];
+        NodeApi api(*this, v);
+        if (faults_->crash_round(v) == round_) {
+          stats_.crash_events += 1;
+          if (!st.done) nodes_[v]->on_crash(api);
+          st.alarm = kNoAlarm;  // one-shot alarms are lost in the crash
+          if (faults_->recover_round(v) == FaultEngine::kNever && !st.done) {
+            // Permanent: done-equivalent, so the execution can terminate
+            // without it. The node's output registers keep whatever state
+            // the crash froze.
+            st.done = true;
+            ++sh.done_count;
+          }
+        } else {
+          stats_.recover_events += 1;
+          if (!st.done) {
+            nodes_[v]->on_recover(api);
+            wake(sh, v);  // guarantee an on_round to re-arm alarms
+          }
+        }
+        refresh_outgoing(v);
+      }
+      sh.fault_events.erase(sh.fault_events.begin());
+    }
+  }
+}
+
 void Network::deliver(Shard& dst, const StagedDelivery& sd) {
   auto& st = states_[sd.to];
   st.rx_by_kind[sd.d.key.kind] += 1;
@@ -242,6 +297,26 @@ void Network::deliver(Shard& dst, const StagedDelivery& sd) {
   dst.traffic.max_message_bits = std::max<std::uint64_t>(
       dst.traffic.max_message_bits, sd.d.wire_bits);
   dst.traffic.bits_by_kind[sd.d.key.kind] += sd.d.wire_bits;
+}
+
+bool Network::fault_verdict(Shard& sh, std::size_t e, NodeId from, NodeId to,
+                            std::uint64_t count,
+                            std::uint64_t* deliver_round) {
+  *deliver_round = 0;
+  if (faults_->crashed_at(from, round_) || faults_->crashed_at(to, round_)) {
+    sh.traffic.messages_dropped_crash += count;
+    return true;
+  }
+  if (faults_->lose(e, from, to, round_)) {
+    sh.traffic.messages_lost += count;
+    return true;
+  }
+  const std::uint64_t delay = faults_->delay_of(e, from, to, round_);
+  if (delay > 0) {
+    *deliver_round = round_ + delay;
+    sh.traffic.messages_delayed += count;
+  }
+  return false;
 }
 
 void Network::stage_shard(unsigned s) {
@@ -263,15 +338,25 @@ void Network::stage_shard(unsigned s) {
     if (config_.mode == NetConfig::Mode::kLocal) {
       sh.scratch_local.clear();
       link.drain_all_into(header_bits_, sh.scratch_local);
-      for (auto& d : sh.scratch_local) {
-        StagedDelivery& slot = lane.next();
-        slot.to = to;
-        slot.back_index = reverse_index_[e];
-        slot.d = std::move(d);
+      std::uint64_t deliver_round = 0;
+      const bool drop =
+          faults_ && !sh.scratch_local.empty() &&
+          fault_verdict(sh, e, from, to, sh.scratch_local.size(),
+                        &deliver_round);
+      if (!drop) {
+        for (auto& d : sh.scratch_local) {
+          StagedDelivery& slot = lane.next();
+          slot.to = to;
+          slot.back_index = reverse_index_[e];
+          slot.deliver_round = deliver_round;
+          slot.d = std::move(d);
+        }
       }
     } else {
       StagedDelivery& slot = lane.next();
-      if (link.schedule_into(bandwidth_bits_, header_bits_, slot.d)) {
+      if (link.schedule_into(bandwidth_bits_, header_bits_, slot.d) &&
+          !(faults_ &&
+            fault_verdict(sh, e, from, to, 1, &slot.deliver_round))) {
         slot.to = to;
         slot.back_index = reverse_index_[e];
       } else {
@@ -321,10 +406,37 @@ void Network::deliver_round_serial() {
 
 void Network::deliver_shard(unsigned d) {
   Shard& dst = shards_[d];
-  for (const Shard& src : shards_) {
-    const Lane& lane = src.lanes[d];
+  if (faults_) {
+    // Delayed traffic falls due ahead of this round's on-time traffic, in
+    // the order it was queued (by stage round, then canonical merge order
+    // within one — a thread-count-invariant sequence). A destination that
+    // crashed while the message was in flight silences it on arrival.
+    while (!dst.delayed.empty() && dst.delayed.begin()->first <= round_) {
+      for (const StagedDelivery& sd : dst.delayed.begin()->second) {
+        if (faults_->crashed_at(sd.to, round_)) {
+          dst.traffic.messages_dropped_crash += 1;
+        } else {
+          deliver(dst, sd);
+        }
+      }
+      dst.delayed.erase(dst.delayed.begin());
+    }
+  }
+  for (Shard& src : shards_) {
+    Lane& lane = src.lanes[d];
     for (std::size_t i = 0; i < lane.used; ++i) {
-      deliver(dst, lane.items[i]);
+      if (faults_ && lane.items[i].deliver_round > round_) {
+        // In flight: move the staged message (symbols and all) into this
+        // shard's future bucket. Lane slots are reset next round, so the
+        // move leaves nothing dangling. Writing lane[src][d] from shard d
+        // is safe: in the deliver phase a lane is touched only by its
+        // destination shard (the pool barrier separates it from the stage
+        // phase's writes).
+        dst.delayed[lane.items[i].deliver_round].push_back(
+            std::move(lane.items[i]));
+      } else {
+        deliver(dst, lane.items[i]);
+      }
     }
   }
 }
@@ -347,9 +459,13 @@ void Network::wake_shard(unsigned s) {
 bool Network::step(bool allow_fast_forward) {
   if (all_done()) return false;
   if (!any_active_links()) {
-    const std::uint64_t next = next_alarm_round();
-    // Alarms are one-shot: an alarm at or before the current round already
-    // had its wake-up, so an idle network with only stale alarms is stuck.
+    // The next thing that can happen: an armed alarm, an in-flight delayed
+    // message falling due, or a scheduled churn event. Alarms are one-shot
+    // (an alarm at or before the current round already had its wake-up) and
+    // the other two sources are strictly future by construction, so an idle
+    // network with nothing ahead is stuck.
+    std::uint64_t next = std::min(next_alarm_round(), next_delayed_round());
+    next = std::min(next, next_fault_event_round());
     if (next == kNoAlarm || next <= round_) {
       stats_.stalled = true;
       stats_.rounds = round_;
@@ -365,11 +481,16 @@ bool Network::step(bool allow_fast_forward) {
     return false;
   }
   ++round_;
+  // Churn events fire at the top of their round, before any traffic of the
+  // round is staged: a node crashing in round r already silences round r.
+  if (faults_) apply_fault_events();
   // Two-phase delivery, then wake dispatch — each phase parallel over
   // shards with a barrier in between (stage writes source-shard state,
   // deliver reads the staged lanes and writes destination-shard state).
-  // A single shard fuses the two phases: no lanes, no round-sized buffer.
-  if (shards_.size() == 1) {
+  // A single shard fuses the two phases: no lanes, no round-sized buffer —
+  // except under an active fault plan, where even one shard takes the
+  // staged path so the loss/delay/churn decision points exist exactly once.
+  if (shards_.size() == 1 && !faults_) {
     deliver_round_serial();
   } else {
     for_each_shard([this](unsigned s) { stage_shard(s); });

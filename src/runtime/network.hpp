@@ -10,6 +10,7 @@
 
 #include "graph/graph.hpp"
 #include "runtime/accounting.hpp"
+#include "runtime/faults.hpp"
 #include "runtime/inbox.hpp"
 #include "runtime/link.hpp"
 #include "runtime/shard.hpp"
@@ -37,6 +38,23 @@ class INode {
   virtual ~INode() = default;
   virtual void on_start(NodeApi& api) = 0;
   virtual void on_round(NodeApi& api) = 0;
+
+  /// Churn hooks (NetConfig::faults; see src/runtime/faults.hpp). The
+  /// runtime fires on_crash at the start of the node's crash round —
+  /// before any delivery of that round — and on_recover at the start of
+  /// its recovery round, after which the node is woken normally. While
+  /// crashed the node is never woken, its alarms are cancelled (one-shot,
+  /// so they are simply lost), and every message *scheduled* on its links
+  /// during the window — in either direction — is silently dropped; a
+  /// message addressed to it that falls due mid-window is dropped on
+  /// arrival. One asymmetry, deliberately the physical semantics: a
+  /// delayed message already in flight when its *sender* crashes is still
+  /// delivered — it left the node before the crash. Local state survives
+  /// the window; a protocol that wants crash-restart semantics resets
+  /// itself in on_recover. Defaults are no-ops so existing nodes are
+  /// unaffected.
+  virtual void on_crash(NodeApi& api) { (void)api; }
+  virtual void on_recover(NodeApi& api) { (void)api; }
 };
 
 /// Execution model: CONGEST (B = bandwidth_factor * ceil(log2(n+1)) bits per
@@ -57,6 +75,13 @@ struct NetConfig {
   /// the serial delivery order); 0 and 1 both mean the serial engine.
   /// Clamped to [1, kMaxShards].
   unsigned threads = 1;
+
+  /// Injected adversity: message loss, link delay and node churn
+  /// (src/runtime/faults.hpp). The default plan is fault-free and costs
+  /// the hot path nothing. Fault decisions are keyed hashes of
+  /// (fault seed, round, src, dst), so a fixed-seed faulty run is
+  /// bit-identical at every thread count too.
+  FaultPlan faults;
 };
 
 /// The per-node view of the runtime: identity, topology (restricted to the
@@ -161,10 +186,22 @@ class NodeApi {
 /// executions are bit-identical at every thread count (locked by
 /// tests/test_determinism.cpp).
 ///
+/// With NetConfig::faults active the stage phase additionally runs every
+/// scheduled message through the fault engine — crash silencing, loss,
+/// delay — and the deliver phase holds delayed messages in per-destination-
+/// shard round buckets until they fall due (drained ahead of the round's
+/// on-time traffic, in canonical order). Fault decisions are keyed hashes
+/// of (fault seed, round, src, dst), never draws tied to iteration order,
+/// so faulty fixed-seed executions remain bit-identical at every thread
+/// count. Node churn fires the INode::on_crash / on_recover hooks at the
+/// boundary rounds; a permanently crashed node counts as done so the
+/// execution can still terminate.
+///
 /// Execution stops when every node is done, when max_rounds is hit (sets
 /// RunStats::hit_round_limit — the deterministic time-bound wrapper of
-/// Section 4.1), or when no traffic is pending and no alarm is set in the
-/// future (sets RunStats::stalled; a liveness guard that protocol bugs and
+/// Section 4.1), or when no traffic is pending (including in-flight delayed
+/// messages), no alarm is set and no churn event is scheduled in the future
+/// (sets RunStats::stalled; a liveness guard that protocol bugs and
 /// fault-injection tests exercise).
 class Network {
  public:
@@ -234,6 +271,9 @@ class Network {
   struct StagedDelivery {
     NodeId to = 0;
     std::size_t back_index = 0;
+    /// Fault-engine delay: 0 = deliver this round; otherwise the (strictly
+    /// future) round the destination shard must hold the message until.
+    std::uint64_t deliver_round = 0;
     Delivery d;
   };
 
@@ -283,6 +323,18 @@ class Network {
 
     /// LOCAL-mode drain scratch.
     std::vector<Delivery> scratch_local;
+
+    /// In-flight delayed messages addressed to this shard's nodes, bucketed
+    /// by delivery round (fault engine only). Filled by this shard's own
+    /// deliver phase — staged items whose deliver_round is in the future
+    /// are moved here in canonical merge order, so the bucket's insertion
+    /// order is thread-count-invariant — and drained at the start of the
+    /// deliver phase of the due round.
+    std::map<std::uint64_t, std::vector<StagedDelivery>> delayed;
+
+    /// Churn schedule for this shard's nodes: round -> nodes whose crash or
+    /// recovery fires then. Precomputed at construction; never stale.
+    std::map<std::uint64_t, std::vector<NodeId>> fault_events;
   };
 
   /// Executes one round; returns false when execution must stop.
@@ -323,6 +375,15 @@ class Network {
   /// destination shard's traffic partials.
   void deliver(Shard& dst, const StagedDelivery& sd);
 
+  /// Fault-engine verdict for the traffic scheduled on edge e this round
+  /// (`count` physical messages: 1 in CONGEST, the drained batch in LOCAL —
+  /// one channel decision covers the round). Returns true when it must be
+  /// dropped, charging the source shard's lost/crash counter; otherwise
+  /// stores the delivery round (0 = on time) and charges the delay counter.
+  /// Only called when faults_ is active.
+  bool fault_verdict(Shard& sh, std::size_t e, NodeId from, NodeId to,
+                     std::uint64_t count, std::uint64_t* deliver_round);
+
   /// Queues `v` on its owning shard's wake list (no-op if done or queued).
   void wake(Shard& sh, NodeId v);
 
@@ -339,6 +400,38 @@ class Network {
     }
     return false;
   }
+
+  /// Smallest future round holding an in-flight delayed message, or
+  /// kNoAlarm. Buckets at or before the current round are always drained
+  /// by the round's deliver phase, so every key is strictly future.
+  [[nodiscard]] std::uint64_t next_delayed_round() const noexcept {
+    std::uint64_t best = kNoAlarm;
+    for (const auto& sh : shards_) {
+      if (!sh.delayed.empty()) {
+        best = std::min(best, sh.delayed.begin()->first);
+      }
+    }
+    return best;
+  }
+
+  /// Smallest unprocessed churn-event round, or kNoAlarm. Keeps the round
+  /// loop alive (and fast-forwarding correctly) up to crashes/recoveries
+  /// even when no traffic or alarm is pending.
+  [[nodiscard]] std::uint64_t next_fault_event_round() const noexcept {
+    std::uint64_t best = kNoAlarm;
+    for (const auto& sh : shards_) {
+      if (!sh.fault_events.empty()) {
+        best = std::min(best, sh.fault_events.begin()->first);
+      }
+    }
+    return best;
+  }
+
+  /// Fires the churn events due this round, in ascending shard (hence
+  /// node-ID) order: on_crash / on_recover hooks, alarm cancellation, wake
+  /// on recovery, done-accounting for permanent crashes. Serial — churn
+  /// events are rare and hook order should be deterministic and documented.
+  void apply_fault_events();
 
   /// Smallest round with a validly armed alarm of a live node, or kNoAlarm.
   /// Lazily discards stale bucket entries (alarms that were overwritten or
@@ -380,6 +473,12 @@ class Network {
   ShardPlan plan_;
   std::vector<Shard> shards_;
   std::unique_ptr<ShardPool> pool_;
+
+  // Fault engine (null for the default fault-free plan). When active, even
+  // a 1-shard network takes the staged two-phase round so the loss/delay/
+  // churn decision points exist exactly once, in the stage and deliver
+  // phases.
+  std::unique_ptr<FaultEngine> faults_;
 
   // Single-shard fast path scratch (one message at a time, never buffered).
   StagedDelivery scratch_;

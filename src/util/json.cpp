@@ -2,6 +2,8 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
 
 namespace nc {
 
@@ -129,6 +131,279 @@ std::string JsonWriter::number(double v) {
   char buf[32];
   std::snprintf(buf, sizeof buf, "%.10g", v);
   return buf;
+}
+
+// ---------------------------------------------------------------------------
+// JsonValue / parse_json
+// ---------------------------------------------------------------------------
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+double JsonValue::as_number(const std::string& what) const {
+  if (kind != Kind::kNumber) {
+    throw std::invalid_argument(what + " must be a number");
+  }
+  return number;
+}
+
+const std::string& JsonValue::as_string(const std::string& what) const {
+  if (kind != Kind::kString) {
+    throw std::invalid_argument(what + " must be a string");
+  }
+  return string;
+}
+
+const std::vector<JsonValue>& JsonValue::as_array(
+    const std::string& what) const {
+  if (kind != Kind::kArray) {
+    throw std::invalid_argument(what + " must be an array");
+  }
+  return array;
+}
+
+namespace {
+
+/// Recursive-descent parser over the document. Position-stamped errors so a
+/// broken spec file points at the offending byte.
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing content after JSON value");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::invalid_argument("JSON parse error at byte " +
+                                std::to_string(pos_) + ": " + why);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      fail(std::string("expected '") + c + "', got '" + text_[pos_] + "'");
+    }
+    ++pos_;
+  }
+
+  bool try_consume(const char* literal) {
+    const std::size_t len = std::char_traits<char>::length(literal);
+    if (text_.compare(pos_, len, literal) == 0) {
+      pos_ += len;
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') {
+      JsonValue v;
+      v.kind = JsonValue::Kind::kString;
+      v.string = parse_string();
+      return v;
+    }
+    if (try_consume("true")) {
+      JsonValue v;
+      v.kind = JsonValue::Kind::kBool;
+      v.boolean = true;
+      return v;
+    }
+    if (try_consume("false")) {
+      JsonValue v;
+      v.kind = JsonValue::Kind::kBool;
+      return v;
+    }
+    if (try_consume("null")) return {};
+    if (c == '-' || (c >= '0' && c <= '9')) return parse_number();
+    fail("unexpected character");
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      v.object.emplace_back(std::move(key), parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if ((c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' ||
+          c == '+' || c == '-') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double parsed = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size() || token.empty()) {
+      pos_ = start;
+      fail("malformed number '" + token + "'");
+    }
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    v.number = parsed;
+    return v;
+  }
+
+  void append_utf8(std::string& out, unsigned cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xc0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3f));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xe0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+      out += static_cast<char>(0x80 | (cp & 0x3f));
+    } else {
+      out += static_cast<char>(0xf0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3f));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+      out += static_cast<char>(0x80 | (cp & 0x3f));
+    }
+  }
+
+  unsigned parse_u_escape() {
+    if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+    unsigned cp = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char h = text_[pos_++];
+      cp <<= 4;
+      if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+      else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+      else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+      else fail("bad hex digit in \\u escape");
+    }
+    return cp;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned cp = parse_u_escape();
+          if (cp >= 0xd800 && cp <= 0xdbff) {
+            // High surrogate: RFC 8259 encodes non-BMP code points as a
+            // \uXXXX\uXXXX pair; combine instead of emitting CESU-8.
+            if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              fail("high surrogate not followed by \\u low surrogate");
+            }
+            pos_ += 2;
+            const unsigned lo = parse_u_escape();
+            if (lo < 0xdc00 || lo > 0xdfff) {
+              fail("high surrogate followed by a non-low-surrogate");
+            }
+            cp = 0x10000 + ((cp - 0xd800) << 10) + (lo - 0xdc00);
+          } else if (cp >= 0xdc00 && cp <= 0xdfff) {
+            fail("lone low surrogate");
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default:
+          fail(std::string("unknown escape '\\") + esc + "'");
+      }
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue parse_json(const std::string& text) {
+  return JsonParser(text).parse_document();
 }
 
 }  // namespace nc

@@ -51,4 +51,41 @@ class JsonWriter {
   bool after_key_ = false;
 };
 
+/// Parsed JSON value — the reader counterpart of JsonWriter, used by the
+/// sweep spec-file front end (`nearclique sweep --spec=FILE`). A small
+/// tagged struct rather than a variant zoo: numbers are doubles (every
+/// numeric field in this codebase is a count, probability or fraction, the
+/// same convention as ParamSet), objects keep insertion order.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  [[nodiscard]] bool is_object() const { return kind == Kind::kObject; }
+  [[nodiscard]] bool is_array() const { return kind == Kind::kArray; }
+  [[nodiscard]] bool is_number() const { return kind == Kind::kNumber; }
+  [[nodiscard]] bool is_string() const { return kind == Kind::kString; }
+
+  /// Object member lookup; nullptr when absent (or not an object).
+  [[nodiscard]] const JsonValue* find(const std::string& key) const;
+
+  /// Checked accessors: throw std::invalid_argument naming `what` when the
+  /// value has the wrong kind.
+  [[nodiscard]] double as_number(const std::string& what) const;
+  [[nodiscard]] const std::string& as_string(const std::string& what) const;
+  [[nodiscard]] const std::vector<JsonValue>& as_array(
+      const std::string& what) const;
+};
+
+/// Parses a complete JSON document (one value; trailing whitespace only).
+/// Supports the full scalar/array/object grammar with string escapes
+/// (\uXXXX included, encoded as UTF-8). Throws std::invalid_argument with
+/// the byte offset on malformed input.
+JsonValue parse_json(const std::string& text);
+
 }  // namespace nc

@@ -187,6 +187,53 @@ TEST(AlgorithmRegistry, PeelingObjectivesDiffer) {
   EXPECT_FALSE(densest.largest_cluster().empty());
 }
 
+TEST(AlgorithmRegistry, MidRunThrowSurfacesAsAnOrdinaryException) {
+  // versions >= 16 passes the adapter's [1, 1023] range check but exceeds
+  // the wire format's 4-bit version field, so the protocol throws from
+  // open_stream *mid-run* (version 16's window start), not during
+  // validation. The regression `nearclique run` relies on: the throw must
+  // surface as a std::invalid_argument from AlgorithmRegistry::run — at
+  // any thread count — which the CLI maps to a nonzero exit status,
+  // instead of aborting the process.
+  const auto inst = small_instance();
+  for (const unsigned threads : {1u, 4u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    EXPECT_THROW((void)run_algorithm(inst.graph, "dist_near_clique",
+                                     AlgoParams()
+                                         .with("versions", 16)
+                                         .with("window", 40)
+                                         .with("threads", threads),
+                                     3),
+                 std::invalid_argument);
+  }
+  // The registry stays usable after the failure.
+  EXPECT_NO_THROW((void)run_algorithm(
+      inst.graph, "dist_near_clique",
+      AlgoParams().with("max_rounds", 100'000), 3));
+}
+
+TEST(AlgorithmRegistry, FaultParamsReachTheNetwork) {
+  // The dist_near_clique adapter builds a FaultPlan from the declared
+  // fault keys: a lossy run must report lost traffic in its RunStats and
+  // stay a pure function of (graph, params, seed).
+  const auto inst = small_instance();
+  const AlgoParams params = AlgoParams()
+                                .with("loss", 0.05)
+                                .with("delay_max", 1)
+                                .with("max_rounds", 50'000);
+  const auto a = run_algorithm(inst.graph, "dist_near_clique", params, 7);
+  const auto b = run_algorithm(inst.graph, "dist_near_clique", params, 7);
+  EXPECT_GT(a.stats.messages_lost, 0u);
+  EXPECT_GT(a.stats.messages_delayed, 0u);
+  EXPECT_EQ(a.stats.messages, b.stats.messages);
+  EXPECT_EQ(a.stats.messages_lost, b.stats.messages_lost);
+  EXPECT_EQ(a.labels, b.labels);
+  // Out-of-range fault params are rejected by the plan validator.
+  EXPECT_THROW((void)run_algorithm(inst.graph, "dist_near_clique",
+                                   AlgoParams().with("loss", 1.5), 1),
+               std::invalid_argument);
+}
+
 TEST(AlgorithmRegistry, ParseAlgoSpecRoundTrip) {
   const auto spec = parse_algo_spec("dist_near_clique", "eps=0.15,pn=6", 9);
   EXPECT_EQ(spec.name, "dist_near_clique");

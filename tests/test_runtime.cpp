@@ -432,6 +432,70 @@ TEST(Runtime, OutOfRangeKindIsRejected) {
   EXPECT_FALSE(stats.stalled);
 }
 
+TEST(Runtime, MidRunExceptionPropagatesCleanlyAtEveryThreadCount) {
+  // Regression for `nearclique run` exiting nonzero instead of aborting:
+  // a protocol callback that throws mid-run (here at round 3) must surface
+  // as an ordinary exception from Network::run() — including when the
+  // callback runs on a pool worker — leave the Network destructible, and
+  // leave the process healthy enough to build and run a fresh network.
+  struct Boom {};  // deliberately NOT std::exception: the worst case
+  class ThrowingNode : public INode {
+   public:
+    void on_start(NodeApi& api) override { api.set_alarm(1); }
+    void on_round(NodeApi& api) override {
+      if (api.round() >= 3) throw Boom{};
+      api.set_alarm(api.round() + 1);
+    }
+  };
+  const Graph g = testing::complete_graph(8);
+  for (const unsigned threads : {1u, 4u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    NetConfig cfg;
+    cfg.threads = threads;
+    {
+      Network net(g, cfg,
+                  [](NodeId) { return std::make_unique<ThrowingNode>(); });
+      EXPECT_THROW(net.run(), Boom);
+    }  // destruction after the throw must not hang or crash the pool
+    // The runtime is reusable after the failure.
+    Network ok(g, cfg, [](NodeId) { return std::make_unique<EchoNode>(4); });
+    const auto stats = ok.run();
+    EXPECT_FALSE(stats.stalled);
+    EXPECT_GT(stats.messages, 0u);
+  }
+}
+
+TEST(Runtime, OnStartRunsOnceForEveryNodeUnderSharding) {
+  // on_start is dispatched shard-parallel since the fault-engine PR; every
+  // node must still get exactly one call, and fixed-seed results must not
+  // depend on the shard count (locked broadly by test_determinism; this is
+  // the direct contract check).
+  const Graph g = testing::complete_graph(32);
+  for (const unsigned threads : {1u, 4u, 64u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    NetConfig cfg;
+    cfg.threads = threads;
+    cfg.bandwidth_factor = 16;
+    std::vector<int> starts(g.n(), 0);
+    class CountingStart : public EchoNode {
+     public:
+      CountingStart(int* slot) : EchoNode(2), slot_(slot) {}
+      void on_start(NodeApi& api) override {
+        ++*slot_;  // slot is this node's own entry: no cross-node sharing
+        EchoNode::on_start(api);
+      }
+     private:
+      int* slot_;
+    };
+    Network net(g, cfg, [&starts](NodeId v) {
+      return std::make_unique<CountingStart>(&starts[v]);
+    });
+    const auto stats = net.run();
+    EXPECT_FALSE(stats.stalled);
+    for (NodeId v = 0; v < g.n(); ++v) EXPECT_EQ(starts[v], 1) << v;
+  }
+}
+
 TEST(Runtime, RunStatsAbsorbMerges) {
   RunStats a, b;
   a.rounds = 10;

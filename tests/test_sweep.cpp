@@ -207,6 +207,164 @@ TEST(Sweep, SuccessSpecParsesByName) {
   EXPECT_THROW(parse_success_spec("always"), std::invalid_argument);
 }
 
+TEST(Sweep, FaultOverridesReachOnlyDeclaringAlgorithms) {
+  // SweepSpec.faults forwards key by key to algorithms that declare the
+  // fault knobs (dist_near_clique), mirroring the threads rule; the
+  // centralized baseline in the same comparison stays clean.
+  SweepSpec spec;
+  spec.scenario_family = "theorem";
+  spec.scenario_params = ScenarioParams().with("n", 40);
+  spec.algorithms = {{"dist_near_clique",
+                      AlgoParams().with("max_rounds", 50'000)},
+                     {"peeling", {}}};
+  spec.trials = 1;
+  spec.faults = ParamSet().with("loss", 0.05).with("delay_max", 2);
+  const auto rows = run_sweep(spec);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(rows[0].algo_merged.get_double("loss"), 0.05);
+  EXPECT_EQ(rows[0].algo_merged.get_int("delay_max"), 2);
+  EXPECT_FALSE(rows[1].algo_merged.has("loss"));
+
+  // An explicit per-algorithm override wins over the sweep-level plan.
+  spec.algorithms[0].params.with("loss", 0.2);
+  EXPECT_DOUBLE_EQ(
+      run_sweep(spec).at(0).algo_merged.get_double("loss"), 0.2);
+
+  // Unknown fault keys fail up front with the fault catalogue.
+  spec.faults = ParamSet().with("packet_loss", 0.05);
+  EXPECT_THROW((void)run_sweep(spec), std::invalid_argument);
+}
+
+TEST(Sweep, FaultKeysWorkAsGridAxes) {
+  // A loss axis crosses like any other algorithm parameter: one row per
+  // loss value, each run under its own adversity.
+  SweepSpec spec;
+  spec.scenario_family = "theorem";
+  spec.scenario_params = ScenarioParams().with("n", 40);
+  spec.algorithms = {{"dist_near_clique",
+                      AlgoParams().with("max_rounds", 20'000)}};
+  spec.axes = {{SweepAxis::Target::kAlgorithm, "loss", {0.0, 0.05}}};
+  spec.trials = 1;
+  const auto rows = run_sweep(spec);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(rows[0].algo_merged.get_double("loss"), 0.0);
+  EXPECT_DOUBLE_EQ(rows[1].algo_merged.get_double("loss"), 0.05);
+}
+
+SweepSpec full_spec() {
+  SweepSpec spec;
+  spec.title = "spec file roundtrip";
+  spec.scenario_family = "planted_near_clique";
+  spec.scenario_params =
+      ScenarioParams().with("n", 120).with("clique_size", 24);
+  spec.algorithms = {
+      {"dist_near_clique", AlgoParams().with("eps", 0.25).with("pn", 8.0)},
+      {"peeling", AlgoParams().with("objective", "densest")}};
+  spec.axes = {{SweepAxis::Target::kBoth, "eps", {0.1, 0.2}},
+               {SweepAxis::Target::kScenario, "n", {120, 240}}};
+  spec.trials = 3;
+  spec.seed_base = 42;
+  spec.seeds = SeedSchedule::kSequential;
+  spec.threads = 2;
+  spec.faults = ParamSet().with("loss", 0.02).with("delay_max", 3);
+  spec.success.kind = SuccessSpec::Kind::kTheorem57;
+  spec.success.eps = 0.15;
+  spec.success2.kind = SuccessSpec::Kind::kSizeDensity;
+  spec.success2.min_size = 5;
+  spec.success2.max_eps = 0.3;
+  return spec;
+}
+
+TEST(SweepSpecJson, RoundTripsEveryField) {
+  const SweepSpec spec = full_spec();
+  const SweepSpec back = sweep_spec_from_json(sweep_spec_json(spec));
+
+  EXPECT_EQ(back.title, spec.title);
+  EXPECT_EQ(back.scenario_family, spec.scenario_family);
+  EXPECT_EQ(back.scenario_params.values(), spec.scenario_params.values());
+  ASSERT_EQ(back.algorithms.size(), spec.algorithms.size());
+  for (std::size_t i = 0; i < spec.algorithms.size(); ++i) {
+    EXPECT_EQ(back.algorithms[i].name, spec.algorithms[i].name);
+    EXPECT_EQ(back.algorithms[i].params.values(),
+              spec.algorithms[i].params.values());
+    EXPECT_EQ(back.algorithms[i].params.strings(),
+              spec.algorithms[i].params.strings());
+  }
+  ASSERT_EQ(back.axes.size(), spec.axes.size());
+  for (std::size_t i = 0; i < spec.axes.size(); ++i) {
+    EXPECT_EQ(back.axes[i].target, spec.axes[i].target);
+    EXPECT_EQ(back.axes[i].key, spec.axes[i].key);
+    EXPECT_EQ(back.axes[i].values, spec.axes[i].values);
+  }
+  EXPECT_EQ(back.trials, spec.trials);
+  EXPECT_EQ(back.seed_base, spec.seed_base);
+  EXPECT_EQ(back.seeds, spec.seeds);
+  EXPECT_EQ(back.threads, spec.threads);
+  EXPECT_EQ(back.faults.values(), spec.faults.values());
+  EXPECT_EQ(back.success.kind, spec.success.kind);
+  EXPECT_DOUBLE_EQ(back.success.eps, spec.success.eps);
+  EXPECT_TRUE(std::isnan(back.success.delta));  // kFromParams survives
+  EXPECT_EQ(back.success2.kind, spec.success2.kind);
+  EXPECT_DOUBLE_EQ(back.success2.min_size, spec.success2.min_size);
+  EXPECT_DOUBLE_EQ(back.success2.max_eps, spec.success2.max_eps);
+
+  // And a re-serialization is textually identical (canonical key order).
+  EXPECT_EQ(sweep_spec_json(back), sweep_spec_json(spec));
+}
+
+TEST(SweepSpecJson, ParsedSpecRunsIdenticallyToTheStructOne) {
+  SweepSpec spec;
+  spec.scenario_family = "barbell";
+  spec.algorithms = {{"peeling", AlgoParams().with("eps", 0.2)}};
+  spec.axes = {{SweepAxis::Target::kScenario, "n", {24, 32}}};
+  spec.trials = 2;
+  spec.seed_base = 5;
+  spec.success.kind = SuccessSpec::Kind::kSizeDensity;
+  spec.success.min_size = 4;
+  spec.success.max_eps = 0.25;
+  const auto direct = run_sweep(spec);
+  const auto via_json = run_sweep(sweep_spec_from_json(sweep_spec_json(spec)));
+  ASSERT_EQ(direct.size(), via_json.size());
+  for (std::size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_EQ(sweep_row_json(direct[i]), sweep_row_json(via_json[i]));
+  }
+}
+
+TEST(SweepSpecJson, RejectsMalformedDocuments) {
+  EXPECT_THROW((void)sweep_spec_from_json("not json"),
+               std::invalid_argument);
+  EXPECT_THROW((void)sweep_spec_from_json("[1,2]"), std::invalid_argument);
+  // Missing required fields.
+  EXPECT_THROW((void)sweep_spec_from_json("{}"), std::invalid_argument);
+  EXPECT_THROW((void)sweep_spec_from_json(
+                   R"({"scenario":{"family":"barbell"}})"),
+               std::invalid_argument);
+  // Unknown top-level and nested fields name themselves.
+  try {
+    (void)sweep_spec_from_json(
+        R"({"scenario":{"family":"barbell"},)"
+        R"("algorithms":[{"name":"peeling"}],"gridd":[]})");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("gridd"), std::string::npos);
+  }
+  // Bad fault keys are caught at parse time.
+  EXPECT_THROW((void)sweep_spec_from_json(
+                   R"({"scenario":{"family":"barbell"},)"
+                   R"("algorithms":[{"name":"peeling"}],)"
+                   R"("faults":{"packet_loss":0.1}})"),
+               std::invalid_argument);
+  // Count fields must be integral, matching the CLI flags' strictness.
+  for (const char* bad :
+       {R"("trials": 2.9)", R"("seed_base": 1.5)", R"("threads": 2.5)"}) {
+    EXPECT_THROW((void)sweep_spec_from_json(
+                     std::string(R"({"scenario":{"family":"barbell"},)") +
+                     R"("algorithms":[{"name":"peeling"}],)" + bad + "}"),
+                 std::invalid_argument)
+        << bad;
+  }
+}
+
 TEST(SweepJson, GoldenSchema) {
   const auto rows = run_sweep(tiny_spec());
   const std::string actual = sweep_json_lines(rows);

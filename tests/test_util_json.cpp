@@ -68,5 +68,69 @@ TEST(JsonWriter, ControlCharactersAreEscaped) {
             "a\\u0001b\\tc");
 }
 
+TEST(JsonParser, ParsesTheFullGrammar) {
+  const JsonValue v = parse_json(
+      R"(  {"n": 150, "neg": -2.5e-1, "flag": true, "off": false,
+            "nothing": null, "name": "a\"b\\c\n\u0041",
+            "arr": [1, [2, 3], {"x": 4}], "obj": {"k": "v"}}  )");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_DOUBLE_EQ(v.find("n")->as_number("n"), 150.0);
+  EXPECT_DOUBLE_EQ(v.find("neg")->as_number("neg"), -0.25);
+  EXPECT_TRUE(v.find("flag")->boolean);
+  EXPECT_FALSE(v.find("off")->boolean);
+  EXPECT_EQ(v.find("nothing")->kind, JsonValue::Kind::kNull);
+  EXPECT_EQ(v.find("name")->as_string("name"), "a\"b\\c\nA");
+  const auto& arr = v.find("arr")->as_array("arr");
+  ASSERT_EQ(arr.size(), 3u);
+  EXPECT_DOUBLE_EQ(arr[0].as_number("a0"), 1.0);
+  EXPECT_EQ(arr[1].as_array("a1").size(), 2u);
+  EXPECT_DOUBLE_EQ(arr[2].find("x")->as_number("x"), 4.0);
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(JsonParser, RoundTripsWriterOutput) {
+  JsonWriter w;
+  w.begin_object()
+      .key("a")
+      .begin_array()
+      .value(0.5)
+      .value(true)
+      .null()
+      .end_array()
+      .key("s")
+      .value("quote \" backslash \\ tab \t")
+      .end_object();
+  const JsonValue v = parse_json(w.str());
+  EXPECT_EQ(v.find("s")->as_string("s"), "quote \" backslash \\ tab \t");
+  EXPECT_DOUBLE_EQ(v.find("a")->as_array("a")[0].as_number("a0"), 0.5);
+}
+
+TEST(JsonParser, DecodesSurrogatePairsAsOneCodePoint) {
+  // RFC 8259 escapes non-BMP characters as a surrogate pair; the parser
+  // must combine them into one 4-byte UTF-8 sequence (U+1F600 here), not
+  // two encoded surrogates. Lone surrogates are malformed.
+  const JsonValue v = parse_json("\"\\ud83d\\ude00\"");
+  EXPECT_EQ(v.as_string("s"), "\xf0\x9f\x98\x80");
+  EXPECT_THROW((void)parse_json("\"\\ud83d\""), std::invalid_argument);
+  EXPECT_THROW((void)parse_json("\"\\ud83dxx\""), std::invalid_argument);
+  EXPECT_THROW((void)parse_json("\"\\ud83d\\u0041\""), std::invalid_argument);
+  EXPECT_THROW((void)parse_json("\"\\ude00\""), std::invalid_argument);
+}
+
+TEST(JsonParser, RejectsMalformedInputWithPosition) {
+  for (const char* bad :
+       {"", "{", "[1,", "{\"a\" 1}", "{\"a\":}", "tru", "1.2.3",
+        "\"unterminated", "{\"a\":1} trailing", "\"bad\\q\"",
+        "\"\\u12g4\""}) {
+    EXPECT_THROW((void)parse_json(bad), std::invalid_argument) << bad;
+  }
+  try {
+    (void)parse_json("{\"a\": oops}");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("byte"), std::string::npos);
+  }
+}
+
 }  // namespace
 }  // namespace nc
