@@ -129,6 +129,7 @@ struct Row {
   std::uint64_t bits = 0;
   double run_seconds = 0;
   double speedup_vs_1t = 1.0;
+  NetProfile profile;  // per-phase seconds + arena/lane high-water marks
 
   [[nodiscard]] double rounds_per_sec() const {
     return run_seconds > 0 ? static_cast<double>(rounds) / run_seconds : 0;
@@ -166,6 +167,7 @@ Row bench_ring_chatter(const Graph& g, NodeId n, unsigned threads,
   cfg.seed = 7;
   cfg.max_rounds = target_rounds + 64;
   cfg.threads = threads;
+  cfg.profile = &row.profile;
   Network net(g, cfg, [&](NodeId v) -> std::unique_ptr<INode> {
     const auto nb = g.neighbors(v);
     const NodeId succ = (v + 1) % n;
@@ -202,6 +204,7 @@ Row bench_planted_protocol(const Graph& g, NodeId n, unsigned threads) {
   cfg.net.seed = 5;
   cfg.net.max_rounds = 400'000;
   cfg.net.threads = threads;
+  cfg.net.profile = &row.profile;
 
   const auto t0 = Clock::now();
   const auto res = run_dist_near_clique(g, cfg);
@@ -229,7 +232,15 @@ bool write_json(const std::string& path, const std::vector<Row>& rows) {
        << ", \"bits\": " << r.bits << ", \"run_seconds\": " << r.run_seconds
        << ", \"rounds_per_sec\": " << r.rounds_per_sec()
        << ", \"deliveries_per_sec\": " << r.deliveries_per_sec()
-       << ", \"speedup_vs_1t\": " << r.speedup_vs_1t << "}"
+       << ", \"speedup_vs_1t\": " << r.speedup_vs_1t
+       // Per-phase engine profile (docs/benchmarks.md): the serial fused
+       // path books its combined stage+deliver under deliver_seconds.
+       << ", \"stage_seconds\": " << r.profile.stage_seconds
+       << ", \"deliver_seconds\": " << r.profile.deliver_seconds
+       << ", \"wake_seconds\": " << r.profile.wake_seconds
+       << ", \"arena_bytes_total\": " << r.profile.arena_bytes_total
+       << ", \"arena_bytes_peak_shard\": " << r.profile.arena_bytes_peak_shard
+       << ", \"lane_msgs_peak\": " << r.profile.lane_msgs_peak << "}"
        << (i + 1 < rows.size() ? "," : "") << "\n";
   }
   os << "  ]\n}\n";

@@ -137,6 +137,7 @@ struct Row {
   std::uint64_t bits = 0;
   double build_seconds = 0;
   double run_seconds = 0;
+  NetProfile profile;  // per-phase seconds + arena/lane high-water marks
 
   [[nodiscard]] double rounds_per_sec() const {
     return run_seconds > 0 ? static_cast<double>(rounds) / run_seconds : 0;
@@ -177,6 +178,7 @@ Row bench_sparse_idle(NodeId n, std::uint64_t target_rounds, unsigned pairs) {
   NetConfig cfg;
   cfg.seed = 7;
   cfg.max_rounds = horizon + 16;
+  cfg.profile = &row.profile;
   Network net(g, cfg, [&](NodeId v) -> std::unique_ptr<INode> {
     if (lo[v] != kNoNode) {
       // Find the partner's index among v's sorted neighbours.
@@ -213,6 +215,7 @@ Row bench_planted_protocol(NodeId n, NodeId clique) {
   cfg.proto.versions = 1;
   cfg.net.seed = 5;
   cfg.net.max_rounds = 400'000;
+  cfg.net.profile = &row.profile;
 
   const auto t0 = Clock::now();
   const Schedule schedule = make_schedule(cfg.proto, g.n(), cfg.net.max_rounds);
@@ -256,7 +259,15 @@ bool write_json(const std::string& path, const std::vector<Row>& rows) {
        << ", \"build_seconds\": " << r.build_seconds
        << ", \"run_seconds\": " << r.run_seconds
        << ", \"rounds_per_sec\": " << r.rounds_per_sec()
-       << ", \"deliveries_per_sec\": " << r.deliveries_per_sec() << "}"
+       << ", \"deliveries_per_sec\": " << r.deliveries_per_sec()
+       // Per-phase engine profile (docs/benchmarks.md): the serial fused
+       // path books its combined stage+deliver under deliver_seconds.
+       << ", \"stage_seconds\": " << r.profile.stage_seconds
+       << ", \"deliver_seconds\": " << r.profile.deliver_seconds
+       << ", \"wake_seconds\": " << r.profile.wake_seconds
+       << ", \"arena_bytes_total\": " << r.profile.arena_bytes_total
+       << ", \"arena_bytes_peak_shard\": " << r.profile.arena_bytes_peak_shard
+       << ", \"lane_msgs_peak\": " << r.profile.lane_msgs_peak << "}"
        << (i + 1 < rows.size() ? "," : "") << "\n";
   }
   os << "  ]\n}\n";
@@ -293,7 +304,10 @@ int main(int argc, char** argv) {
               << " rounds=" << r.rounds << " messages=" << r.messages
               << " build=" << r.build_seconds << "s run=" << r.run_seconds
               << "s rounds/sec=" << r.rounds_per_sec()
-              << " deliveries/sec=" << r.deliveries_per_sec() << "\n";
+              << " deliveries/sec=" << r.deliveries_per_sec()
+              << " [deliver=" << r.profile.deliver_seconds
+              << "s wake=" << r.profile.wake_seconds
+              << "s arena=" << r.profile.arena_bytes_total << "B]\n";
   }
   if (!nc::write_json(json_path, rows)) {
     std::cerr << "error: could not write " << json_path << "\n";

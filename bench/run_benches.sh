@@ -2,12 +2,20 @@
 # Builds the Release preset, runs the benchmark binaries and collects the
 # BENCH_*.json artifacts into the repository root.
 #
-# Usage: bench/run_benches.sh [--full] [--experiments]
+# Usage: bench/run_benches.sh [--full] [--force] [--experiments]
 #   --full         run bench_runtime_scale with the 500k-node configuration,
 #                  bench_generator_scale with the 4M-node configuration,
 #                  bench_parallel_scale with the 1M-node configurations, and
 #                  the 1M-node end-to-end protocol sweep (slow)
+#   --force        allow overwriting the committed BENCH_*.json artifacts
+#                  with a quick (non --full) run
 #   --experiments  also run the (slow) E1..E12 google-benchmark experiments
+#
+# The committed BENCH_*.json artifacts are full-configuration runs; a quick
+# run writes rows for fewer configurations and would silently shrink the
+# artifacts. The script therefore refuses to overwrite committed artifacts
+# unless --full (regenerating the real thing) or --force (you know what
+# you're doing) is given.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -15,14 +23,28 @@ REPO_ROOT=$(pwd)
 BUILD_DIR=build-release
 
 FULL_FLAG=""
+FORCE=0
 RUN_EXPERIMENTS=0
 for arg in "$@"; do
   case "$arg" in
     --full) FULL_FLAG="--full" ;;
+    --force) FORCE=1 ;;
     --experiments) RUN_EXPERIMENTS=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
+
+if [[ -z "$FULL_FLAG" && "$FORCE" -ne 1 ]]; then
+  committed=$(cd "$REPO_ROOT" && git ls-files 'BENCH_*.json' 2>/dev/null || true)
+  for f in $committed; do
+    if [[ -e "$REPO_ROOT/$f" ]]; then
+      echo "error: a quick run would overwrite the committed artifact $f." >&2
+      echo "Rerun with --full to regenerate the full artifacts, or --force" >&2
+      echo "to overwrite them with a quick run anyway." >&2
+      exit 2
+    fi
+  done
+fi
 
 cmake --preset release -DNC_BUILD_TESTS=OFF
 cmake --build "$BUILD_DIR" -j "$(nproc)"

@@ -6,6 +6,7 @@
 //   nearclique run   --scenario=F [--params=k=v,..] --algo=A
 //                    [--algo-params=k=v,..] [--seed=N] [--threads=N]
 //                    [--faults=loss=0.05,delay_max=3,..]
+//                    [--repeat=N] [--time]
 //                    [--json[=FILE]] [--dot=out.dot]
 //   nearclique sweep --scenario=F [--params=..] [--algos=A,B[k=v,..],..]
 //                    [--algo-params=..] [--grid=scenario.n=100:200,both.eps=0.1:0.2]
@@ -55,10 +56,13 @@
 // `sweep --json=-` emits one JSON object per line on stdout (the table goes
 // to stderr), so results pipe straight into jq / pandas.
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <exception>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -84,7 +88,7 @@ int usage(std::FILE* to) {
       "  list-algorithms           registered algorithms\n"
       "  run    --scenario=F --algo=A [--params=..] [--algo-params=..]\n"
       "         [--seed=N] [--threads=N] [--faults=loss=0.05,..]\n"
-      "         [--json[=FILE]] [--dot=out.dot]\n"
+      "         [--repeat=N] [--time] [--json[=FILE]] [--dot=out.dot]\n"
       "  sweep  --scenario=F [--algos=A,B[k=v,..]] [--params=..]\n"
       "         [--grid=scenario.k=v1:v2,algo.k=..,both.k=..] [--trials=N]\n"
       "         [--seed=N] [--seq-seeds] [--threads=N] [--faults=..]\n"
@@ -99,7 +103,9 @@ int usage(std::FILE* to) {
       "loss / link delay / node churn into declaring algorithms; fault\n"
       "keys also work as --algo-params entries and --grid axes.\n"
       "--spec=FILE.json replays a serialized sweep spec (every field,\n"
-      "faults included; see src/expt/README.md for the schema).\n");
+      "faults included; see src/expt/README.md for the schema).\n"
+      "run --repeat=N --time re-runs the fixed-seed execution N times and\n"
+      "reports min/median/mean wall-clock (scenario build excluded).\n");
   return to == stdout ? 0 : 2;
 }
 
@@ -277,9 +283,38 @@ int cmd_run(const Args& args) {
   apply_threads(aspec, threads_from_args(args));
   apply_faults(aspec, faults_from_args(args));
 
+  // --repeat=N re-runs the (fixed-seed, hence identical) execution N times
+  // and --time reports min/median/mean wall-clock over the repeats — the
+  // scenario build is excluded, so the numbers isolate the engine+protocol.
+  // min is the honest headline on a noisy machine; median shows the spread.
+  const auto repeat = args.get_int("repeat", 1);
+  if (repeat < 1) {
+    throw std::invalid_argument("--repeat must be >= 1, got " +
+                                std::to_string(repeat));
+  }
+  const bool timed = args.get_bool("time");
+
   const Instance inst = ScenarioRegistry::global().make(sspec);
-  const AlgoResult result = AlgorithmRegistry::global().run(inst.graph, aspec);
+  std::vector<double> seconds;
+  seconds.reserve(static_cast<std::size_t>(repeat));
+  std::optional<AlgoResult> last;
+  for (long long i = 0; i < repeat; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    last = AlgorithmRegistry::global().run(inst.graph, aspec);
+    seconds.push_back(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count());
+  }
+  const AlgoResult& result = *last;
   const auto clusters = result.clusters();
+
+  std::vector<double> sorted = seconds;
+  std::sort(sorted.begin(), sorted.end());
+  const double t_min = sorted.front();
+  const double t_median = sorted[sorted.size() / 2];
+  double t_mean = 0;
+  for (const double s : seconds) t_mean += s;
+  t_mean /= static_cast<double>(seconds.size());
 
   const auto overlap_of = [&](const std::vector<NodeId>& members) {
     std::size_t overlap = 0;
@@ -315,6 +350,19 @@ int cmd_run(const Args& args) {
     w.key("max_msg_bits").value(result.stats.max_message_bits);
     w.key("local_ops").value(result.local_ops);
     w.key("aborted").value(result.aborted);
+    if (timed) {
+      w.key("timing")
+          .begin_object()
+          .key("repeats")
+          .value(static_cast<std::uint64_t>(seconds.size()))
+          .key("min_seconds")
+          .value(t_min)
+          .key("median_seconds")
+          .value(t_median)
+          .key("mean_seconds")
+          .value(t_mean)
+          .end_object();
+    }
     w.key("clusters").begin_array();
     for (const auto& [label, members] : clusters) {
       w.begin_object()
@@ -353,6 +401,12 @@ int cmd_run(const Args& args) {
   }
   std::printf("\nalgorithm %s [%s]: %s\n", algo.c_str(),
               cost_model_name(result.model), result.cost_summary().c_str());
+  if (timed) {
+    std::printf("wall-clock over %zu run%s: min %.3fs, median %.3fs, "
+                "mean %.3fs\n",
+                seconds.size(), seconds.size() == 1 ? "" : "s", t_min,
+                t_median, t_mean);
+  }
   std::printf("near-cliques found: %zu\n", clusters.size());
   for (const auto& [label, members] : clusters) {
     std::printf("  label %llu: %zu nodes, density %.4f, %zu/%zu of planted\n",

@@ -37,6 +37,17 @@ void RunStats::merge_traffic(const RunStats& other) {
   }
 }
 
+void NetProfile::absorb(const NetProfile& other) {
+  stage_seconds += other.stage_seconds;
+  deliver_seconds += other.deliver_seconds;
+  wake_seconds += other.wake_seconds;
+  arena_bytes_total = std::max(arena_bytes_total, other.arena_bytes_total);
+  arena_bytes_peak_shard =
+      std::max(arena_bytes_peak_shard, other.arena_bytes_peak_shard);
+  lane_msgs_peak = std::max(lane_msgs_peak, other.lane_msgs_peak);
+  delayed_msgs_peak = std::max(delayed_msgs_peak, other.delayed_msgs_peak);
+}
+
 std::string RunStats::summary() const {
   std::ostringstream os;
   os << "rounds=" << rounds << " messages=" << messages << " bits=" << bits

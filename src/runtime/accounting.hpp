@@ -57,4 +57,59 @@ struct RunStats {
   [[nodiscard]] std::string summary() const;
 };
 
+/// Per-phase batch of traffic charges. The deliver phase charges every
+/// message into one of these (a handful of register-resident counters) and
+/// flushes into the shard's RunStats partial once per phase — instead of
+/// five read-modify-writes against the shard struct per message. Sums and
+/// maxes commute exactly over the integers, so batching is invisible in the
+/// final statistics.
+struct TrafficBatch {
+  std::uint64_t messages = 0;
+  std::uint64_t bits = 0;
+  std::uint64_t max_message_bits = 0;
+  std::array<std::uint64_t, kMaxMsgKinds> bits_by_kind{};
+
+  void charge(std::uint16_t kind, std::uint64_t wire_bits) noexcept {
+    messages += 1;
+    bits += wire_bits;
+    if (wire_bits > max_message_bits) max_message_bits = wire_bits;
+    bits_by_kind[kind] += wire_bits;
+  }
+
+  void flush_into(RunStats& stats) const noexcept {
+    stats.messages += messages;
+    stats.bits += bits;
+    if (max_message_bits > stats.max_message_bits) {
+      stats.max_message_bits = max_message_bits;
+    }
+    for (std::size_t k = 0; k < bits_by_kind.size(); ++k) {
+      stats.bits_by_kind[k] += bits_by_kind[k];
+    }
+  }
+};
+
+/// Engine-internals profile of one Network's lifetime, opt-in via
+/// NetConfig::profile (nullptr, the default, costs the hot path nothing).
+/// The bench artifacts publish these so a perf regression is attributable
+/// to a phase and a memory footprint, not just a headline rate
+/// (docs/benchmarks.md documents the JSON fields).
+struct NetProfile {
+  double stage_seconds = 0.0;    ///< wall-clock in the stage phase
+  double deliver_seconds = 0.0;  ///< deliver phase (incl. the serial fused path)
+  double wake_seconds = 0.0;     ///< wake phase (protocol callbacks)
+
+  /// Arena accounting: sum and per-shard max of the shard arenas'
+  /// high-water marks (bytes of per-round transient storage).
+  std::uint64_t arena_bytes_total = 0;
+  std::uint64_t arena_bytes_peak_shard = 0;
+
+  /// Peak messages staged by one shard in one round, and peak in-flight
+  /// delayed messages held by one shard (fault runs only).
+  std::uint64_t lane_msgs_peak = 0;
+  std::uint64_t delayed_msgs_peak = 0;
+
+  /// Accumulates another profile (multi-trial benches).
+  void absorb(const NetProfile& other);
+};
+
 }  // namespace nc

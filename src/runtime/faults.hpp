@@ -27,6 +27,10 @@ namespace nc {
 /// chain's exact t-step closed form; the advance is keyed on (round, edge)
 /// and an edge's state is only ever touched by its owning source shard, so
 /// the guarantee extends to it unchanged.
+///
+/// Storage note: a delayed message outlives the round that staged it, so
+/// the engine copies it out of the per-round arena lanes into heap-backed
+/// per-shard buckets (Network::Shard::delayed) before the arenas rewind.
 struct FaultPlan {
   /// iid loss: every scheduled message is dropped independently with this
   /// probability. [0, 1].

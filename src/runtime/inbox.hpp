@@ -31,26 +31,51 @@ namespace nc {
 /// between the phases — the inbox itself needs no synchronization.
 class Inbox {
  public:
-  /// Stream from neighbour index `ni` with key `key`, or nullptr.
+  /// Stream from neighbour index `ni` with key `key`, or nullptr. Shares
+  /// open()'s last-hit memo (protocols poll the same stream every round).
   [[nodiscard]] InStream* find(std::size_t ni, const StreamKey& key) {
-    auto& bucket = buckets_[check_kind(key.kind)];
+    const std::uint16_t kind = check_kind(key.kind);
+    auto& bucket = buckets_[kind];
+    if (kind == last_kind_ && last_idx_ < bucket.size()) {
+      Entry& e = bucket[last_idx_];
+      if (e.ni == ni && e.tag == key.tag && e.version == key.version) {
+        return &e.stream;
+      }
+    }
     const auto it = lower_bound(bucket, ni, key);
     if (it == bucket.end() || it->ni != ni || it->tag != key.tag ||
         it->version != key.version) {
       return nullptr;
     }
+    last_kind_ = kind;
+    last_idx_ = static_cast<std::size_t>(it - bucket.begin());
     return &it->stream;
   }
 
   /// Stream from `ni` with key `key`, created empty if absent (runtime use,
   /// on delivery).
+  ///
+  /// Deliveries cluster: a multi-round stream hits the same (ni, key) every
+  /// round, so the last successful lookup is memoized and revalidated by
+  /// value before the binary search. The check is safe against intervening
+  /// inserts and bucket reallocation — if the memoized slot no longer holds
+  /// that exact entry, the comparison fails and the slow path runs.
   [[nodiscard]] InStream& open(std::size_t ni, const StreamKey& key) {
-    auto& bucket = buckets_[check_kind(key.kind)];
+    const std::uint16_t kind = check_kind(key.kind);
+    auto& bucket = buckets_[kind];
+    if (kind == last_kind_ && last_idx_ < bucket.size()) {
+      Entry& e = bucket[last_idx_];
+      if (e.ni == ni && e.tag == key.tag && e.version == key.version) {
+        return e.stream;
+      }
+    }
     auto it = lower_bound(bucket, ni, key);
     if (it == bucket.end() || it->ni != ni || it->tag != key.tag ||
         it->version != key.version) {
       it = bucket.insert(it, Entry{ni, key.tag, key.version, InStream{}});
     }
+    last_kind_ = kind;
+    last_idx_ = static_cast<std::size_t>(it - bucket.begin());
     return it->stream;
   }
 
@@ -99,6 +124,11 @@ class Inbox {
   }
 
   std::array<std::vector<Entry>, kMaxMsgKinds> buckets_;
+
+  // open()'s last-hit memo; revalidated by value, so it can never go stale
+  // in an observable way (kMaxMsgKinds is an impossible kind == no memo).
+  std::uint16_t last_kind_ = kMaxMsgKinds;
+  std::size_t last_idx_ = 0;
 };
 
 }  // namespace nc

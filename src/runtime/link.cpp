@@ -21,6 +21,8 @@ void Link::prune_done() {
   // dropping them keeps per-round scheduling proportional to *active*
   // streams (long executions accumulate thousands of finished one-shot
   // streams otherwise) and releases their shared payload buffers.
+  if (!any_done_) return;
+  any_done_ = false;
   std::size_t kept = 0;
   for (std::size_t i = 0; i < streams_.size(); ++i) {
     if (!streams_[i].eos_done) {
@@ -34,8 +36,8 @@ void Link::prune_done() {
   }
 }
 
-bool Link::schedule_into(std::size_t budget_bits, unsigned header_bits,
-                         Delivery& out) {
+bool Link::schedule_view(std::size_t budget_bits, unsigned header_bits,
+                         MsgView& out) {
   prune_done();
   if (streams_.empty()) return false;
   // Round-robin: find the next stream with pending work.
@@ -53,25 +55,31 @@ bool Link::schedule_into(std::size_t budget_bits, unsigned header_bits,
 
   ActiveStream& s = streams_[chosen];
   out.key = s.key;
-  out.symbols.clear();
+  out.buf = &s.state->buf;
+  out.first_symbol = s.next_symbol;
+  out.symbol_count = 0;
+  out.bit_off = s.bit_off;
+  out.bit_len = 0;
   out.eos = false;
   out.wire_bits = header_bits;
   if (budget_bits < header_bits) {
     throw std::runtime_error(
         "CONGEST violation: bandwidth smaller than stream header");
   }
+  const std::uint8_t* widths = s.state->buf.widths();
+  const std::size_t total = s.state->buf.size();
   std::size_t room = budget_bits - header_bits;
-  while (s.pending_symbols() > 0) {
-    const unsigned w = s.state->buf.width_at(s.next_symbol);
+  while (s.next_symbol < total) {
+    const unsigned w = widths[s.next_symbol];
     if (w > room) {
-      if (out.symbols.empty() && w > budget_bits - header_bits) {
+      if (out.symbol_count == 0 && w > budget_bits - header_bits) {
         throw std::runtime_error(
             "CONGEST violation: symbol wider than message budget");
       }
       break;
     }
-    out.symbols.emplace_back(s.state->buf.value_at(s.bit_off, w),
-                             static_cast<std::uint8_t>(w));
+    ++out.symbol_count;
+    out.bit_len += w;
     out.wire_bits += w;
     room -= w;
     s.bit_off += w;
@@ -81,17 +89,55 @@ bool Link::schedule_into(std::size_t budget_bits, unsigned header_bits,
   if (s.state->closed && s.pending_symbols() == 0 && !s.eos_done) {
     out.eos = true;
     s.eos_done = true;
+    any_done_ = true;
   }
-  if (out.symbols.empty() && !out.eos) {
+  if (out.symbol_count == 0 && !out.eos) {
     // Nothing fit (symbol wider than remaining room can't happen with empty
     // payload — handled above) or state raced; treat as idle.
     return false;
   }
+  // Pruning is the caller's job (release_idle) — it would invalidate the
+  // view we just handed out.
+  return true;
+}
+
+namespace {
+
+// Materializes a view into the legacy symbol-vector form (wrapper paths).
+void copy_view(const MsgView& v, Delivery& out) {
+  out.key = v.key;
+  out.symbols.clear();
+  out.eos = v.eos;
+  out.wire_bits = v.wire_bits;
+  std::size_t bit = v.bit_off;
+  for (std::size_t i = 0; i < v.symbol_count; ++i) {
+    const unsigned w = v.buf->width_at(v.first_symbol + i);
+    out.symbols.emplace_back(v.buf->value_at(bit, w),
+                             static_cast<std::uint8_t>(w));
+    bit += w;
+  }
+}
+
+}  // namespace
+
+bool Link::schedule_into(std::size_t budget_bits, unsigned header_bits,
+                         Delivery& out) {
+  MsgView v;
+  if (!schedule_view(budget_bits, header_bits, v)) return false;
+  copy_view(v, out);
   // The link just went idle: release finished streams now, since an
   // event-driven simulator will not touch this link again until new traffic
   // appears (the old per-round scan pruned as a side effect).
-  if (!has_pending()) prune_done();
+  release_idle();
   return true;
+}
+
+std::size_t Link::pending_stream_count() const noexcept {
+  std::size_t count = 0;
+  for (const auto& s : streams_) {
+    if (s.pending()) ++count;
+  }
+  return count;
 }
 
 std::optional<Delivery> Link::schedule(std::size_t budget_bits,
@@ -103,28 +149,12 @@ std::optional<Delivery> Link::schedule(std::size_t budget_bits,
 
 std::size_t Link::drain_all_into(unsigned header_bits,
                                  std::vector<Delivery>& out) {
-  std::size_t appended = 0;
-  for (auto& s : streams_) {
-    if (!s.pending()) continue;
+  const std::size_t appended = drain_views(header_bits, [&](const MsgView& v) {
     Delivery d;
-    d.key = s.key;
-    d.wire_bits = header_bits;
-    while (s.pending_symbols() > 0) {
-      const unsigned w = s.state->buf.width_at(s.next_symbol);
-      d.symbols.emplace_back(s.state->buf.value_at(s.bit_off, w),
-                             static_cast<std::uint8_t>(w));
-      d.wire_bits += w;
-      s.bit_off += w;
-      ++s.next_symbol;
-    }
-    if (s.state->closed && !s.eos_done) {
-      d.eos = true;
-      s.eos_done = true;
-    }
+    copy_view(v, d);
     out.push_back(std::move(d));
-    ++appended;
-  }
-  if (appended > 0 && !has_pending()) prune_done();
+  });
+  if (appended > 0) release_idle();
   return appended;
 }
 

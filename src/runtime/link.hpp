@@ -19,6 +19,26 @@ struct Delivery {
   std::size_t wire_bits = 0;  // header + payload, what the accountant charges
 };
 
+/// Zero-copy description of one scheduled message: a symbol run inside the
+/// producer's shared payload buffer. This is what the hot path hands to the
+/// staging lanes — the payload is copied exactly once, straight into the
+/// lane's packed words (src/runtime/msgblock.hpp), never into a per-message
+/// symbol vector.
+///
+/// Lifetime: the view borrows `buf` from the link's stream state. It is
+/// valid until the link's streams are pruned — consume it before calling
+/// release_idle() (the schedulers below never prune while a view is out).
+struct MsgView {
+  StreamKey key;
+  const SymbolBuffer* buf = nullptr;  ///< null only when symbol_count == 0
+  std::size_t first_symbol = 0;       ///< index of the run's first symbol
+  std::size_t symbol_count = 0;
+  std::size_t bit_off = 0;   ///< bit offset of the run's first symbol in buf
+  std::size_t bit_len = 0;   ///< total payload bits in the run
+  bool eos = false;
+  std::size_t wire_bits = 0;  ///< header + payload
+};
+
 /// Outbound side of one directed edge.
 ///
 /// Holds the set of active streams and schedules at most one message per
@@ -42,12 +62,18 @@ class Link {
   /// True if any stream has undelivered symbols or an undelivered EOS.
   [[nodiscard]] bool has_pending() const noexcept;
 
-  /// Schedules one message within `budget_bits` total (header included) into
-  /// `out`, reusing its symbol buffer (the simulator keeps one scratch
-  /// Delivery, so the hot path performs no per-message allocation). Returns
-  /// false when nothing is pending. Throws std::runtime_error if a single
-  /// symbol cannot fit even in an otherwise empty message (CONGEST violation
-  /// — the protocol used a symbol wider than the model allows).
+  /// Schedules one message within `budget_bits` total (header included) as a
+  /// zero-copy view into the chosen stream's shared payload buffer. The
+  /// stream advances (its symbols count as sent); the caller must consume
+  /// the view — copy it into a lane or deliver it — before release_idle().
+  /// Returns false when nothing is pending. Throws std::runtime_error if a
+  /// single symbol cannot fit even in an otherwise empty message (CONGEST
+  /// violation — the protocol used a symbol wider than the model allows).
+  bool schedule_view(std::size_t budget_bits, unsigned header_bits,
+                     MsgView& out);
+
+  /// Copying wrapper around schedule_view (tests and compatibility callers):
+  /// materializes the view into `out`'s symbol vector and end-prunes.
   bool schedule_into(std::size_t budget_bits, unsigned header_bits,
                      Delivery& out);
 
@@ -60,10 +86,52 @@ class Link {
   /// called by the schedulers).
   void prune_done();
 
-  /// Drains *all* pending streams into `out`, one unbounded message per
-  /// stream — the LOCAL model of Peleg [20], used by the
-  /// neighbours-of-neighbours baseline. Returns the number of deliveries
-  /// appended.
+  /// Releases finished streams once the link has gone idle. The view
+  /// schedulers leave pruning to the caller (a prune would invalidate the
+  /// outstanding view); call this after consuming the round's views so an
+  /// event-driven engine — which will not touch an idle link again — does
+  /// not pin finished streams' payload buffers.
+  void release_idle() {
+    if (!has_pending()) prune_done();
+  }
+
+  /// Streams that would produce a message right now (one each in LOCAL
+  /// mode). Lets the fault engine charge a whole drained batch before the
+  /// streams advance.
+  [[nodiscard]] std::size_t pending_stream_count() const noexcept;
+
+  /// Drains *all* pending streams — one unbounded message per stream, the
+  /// LOCAL model of Peleg [20], used by the neighbours-of-neighbours
+  /// baseline — invoking `fn(const MsgView&)` per message. Streams advance
+  /// regardless of what fn does (a dropped message was still sent). Returns
+  /// the number of messages produced; the caller release_idle()s afterwards.
+  template <typename Fn>
+  std::size_t drain_views(unsigned header_bits, Fn&& fn) {
+    std::size_t produced = 0;
+    for (auto& s : streams_) {
+      if (!s.pending()) continue;
+      MsgView v;
+      v.key = s.key;
+      v.buf = &s.state->buf;
+      v.first_symbol = s.next_symbol;
+      v.symbol_count = s.pending_symbols();
+      v.bit_off = s.bit_off;
+      v.bit_len = s.state->buf.bit_size() - s.bit_off;
+      v.wire_bits = header_bits + v.bit_len;
+      s.next_symbol = s.state->buf.size();
+      s.bit_off = s.state->buf.bit_size();
+      if (s.state->closed && !s.eos_done) {
+        v.eos = true;
+        s.eos_done = true;
+        any_done_ = true;
+      }
+      fn(static_cast<const MsgView&>(v));
+      ++produced;
+    }
+    return produced;
+  }
+
+  /// Copying wrapper around drain_views (tests and compatibility callers).
   std::size_t drain_all_into(unsigned header_bits, std::vector<Delivery>& out);
 
   /// Convenience wrapper for drain_all_into.
@@ -92,6 +160,9 @@ class Link {
 
   std::vector<ActiveStream> streams_;
   std::size_t rr_pos_ = 0;
+  // Set when some stream's EOS got delivered; prune_done early-outs on it
+  // (it runs once per scheduled message, and usually nothing has finished).
+  bool any_done_ = false;
 };
 
 }  // namespace nc

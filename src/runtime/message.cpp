@@ -29,6 +29,32 @@ void SymbolBuffer::put(std::uint64_t value, unsigned width) {
   widths_.push_back(static_cast<std::uint8_t>(width));
 }
 
+void SymbolBuffer::append_packed(const std::uint64_t* src_words,
+                                 std::size_t src_word_count,
+                                 std::size_t src_bit, std::size_t nbits,
+                                 const std::uint8_t* widths,
+                                 std::size_t count) {
+  widths_.insert(widths_.end(), widths, widths + count);
+  const std::size_t end_bits = total_bits_ + nbits;
+  // put() never writes above total_bits_, so the tail word's high bits are
+  // zero and resize() zero-fills the rest: OR-merging chunks is exact.
+  words_.resize((end_bits + 63) >> 6, 0);
+  std::size_t dst = total_bits_;
+  std::size_t src = src_bit;
+  for (std::size_t rem = nbits; rem > 0;) {
+    const unsigned take = rem >= 64 ? 64u : static_cast<unsigned>(rem);
+    const std::uint64_t v = read_packed_bits(src_words, src_word_count, src, take);
+    const std::size_t word = dst >> 6;
+    const unsigned off = static_cast<unsigned>(dst & 63);
+    words_[word] |= v << off;
+    if (off + take > 64) words_[word + 1] |= v >> (64 - off);
+    dst += take;
+    src += take;
+    rem -= take;
+  }
+  total_bits_ = end_bits;
+}
+
 std::uint64_t SymbolBuffer::value_at(std::size_t bit_off,
                                      unsigned width) const noexcept {
   const std::size_t word = bit_off >> 6;

@@ -75,11 +75,46 @@ class SymbolBuffer {
   [[nodiscard]] std::uint64_t value_at(std::size_t bit_off,
                                        unsigned width) const noexcept;
 
+  /// Raw packed words (little-endian bit order within each word). With
+  /// word_count() and widths(), lets the runtime's SoA lanes blit symbol
+  /// runs in 64-bit chunks instead of re-packing symbol by symbol.
+  [[nodiscard]] const std::uint64_t* words() const noexcept {
+    return words_.data();
+  }
+  [[nodiscard]] std::size_t word_count() const noexcept {
+    return words_.size();
+  }
+  [[nodiscard]] const std::uint8_t* widths() const noexcept {
+    return widths_.data();
+  }
+
+  /// Bulk append: copies `count` symbols totalling `nbits` payload bits out
+  /// of another packed word array, starting at bit `src_bit`. Produces the
+  /// exact buffer a sequence of put() calls with the same values/widths
+  /// would — the deliver path uses it to move a whole message in word-sized
+  /// chunks.
+  void append_packed(const std::uint64_t* src_words, std::size_t src_word_count,
+                     std::size_t src_bit, std::size_t nbits,
+                     const std::uint8_t* widths, std::size_t count);
+
  private:
   std::vector<std::uint64_t> words_;
   std::vector<std::uint8_t> widths_;
   std::size_t total_bits_ = 0;
 };
+
+/// Reads `take` (1..64) bits starting at absolute bit `bit` from a packed
+/// word array. `word_count` guards the straddling read at the array's end.
+[[nodiscard]] inline std::uint64_t read_packed_bits(
+    const std::uint64_t* words, std::size_t word_count, std::size_t bit,
+    unsigned take) noexcept {
+  const std::size_t word = bit >> 6;
+  const unsigned off = static_cast<unsigned>(bit & 63);
+  std::uint64_t v = words[word] >> off;
+  if (off != 0 && word + 1 < word_count) v |= words[word + 1] << (64 - off);
+  if (take < 64) v &= (1ULL << take) - 1;
+  return v;
+}
 
 /// Sequential reader over a (possibly still growing) SymbolBuffer.
 class SymbolCursor {

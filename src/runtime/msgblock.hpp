@@ -1,0 +1,261 @@
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+#include "runtime/link.hpp"
+#include "runtime/message.hpp"
+#include "util/arena.hpp"
+#include "util/ids.hpp"
+
+namespace nc {
+
+/// Structure-of-arrays block of staged messages — the storage behind the
+/// sharded engine's (src-shard → dst-shard) lanes and the fault engine's
+/// delayed buckets.
+///
+/// Each staged message is a row across parallel flat columns (destination,
+/// back index, stream key, meta flags, wire bits, symbol count, two inline
+/// words) — a deliver phase is a linear scan over contiguous arrays, no
+/// pointer chasing, no per-message heap symbol vector. The payload encoding
+/// is two-tier:
+///   - *inline*: messages of at most two symbols — the dominant CONGEST
+///     kinds carry 1–2 machine words — store their symbol values directly
+///     in the v0/v1 columns and their widths packed into the w01 column;
+///   - *spilled*: anything larger blits its packed payload into the block's
+///     shared payload region (word-aligned per message, so copies between
+///     blocks are memcpys) and stores (word offset, width offset) in v0/v1.
+/// Either way the payload is copied exactly once at stage time, straight
+/// from the producer's shared SymbolBuffer via a MsgView.
+///
+/// Backing storage is an ArenaVec per column: lanes bind the owning shard's
+/// per-round Arena (begin_round() re-carves them after the arena's O(1)
+/// reset); delayed buckets stay heap-backed, because they outlive rounds and
+/// a bump arena can never rewind one bucket out of the middle of a round's
+/// allocations. RunStats bit accounting is untouched: wire_bits carries
+/// header + payload exactly as the Delivery path charged it.
+class MsgBlock {
+ public:
+  /// Decoded row handed to the deliver phase.
+  struct Rec {
+    NodeId to;
+    std::uint32_t back_index;
+    StreamKey key;
+    bool eos;
+    bool spilled;
+    std::uint32_t symbol_count;
+    std::uint64_t wire_bits;
+    std::uint64_t deliver_round;
+    // Inline payload (spilled == false): up to two value/width pairs.
+    std::uint64_t v0, v1;
+    unsigned w0, w1;
+    // Spilled payload (spilled == true): word-aligned packed symbol run.
+    const std::uint64_t* pay_words;
+    std::size_t pay_word_count;
+    std::size_t pay_bits;
+    const std::uint8_t* pay_widths;
+  };
+
+  /// Binds every column to `arena` (nullptr = heap mode). Call once, while
+  /// empty.
+  void bind(Arena* arena) noexcept {
+    to_.bind(arena);
+    back_.bind(arena);
+    tag_.bind(arena);
+    meta_.bind(arena);
+    wire_.bind(arena);
+    count_.bind(arena);
+    round_.bind(arena);
+    v0_.bind(arena);
+    v1_.bind(arena);
+    w01_.bind(arena);
+    pay_words_.bind(arena);
+    pay_widths_.bind(arena);
+    arena_mode_ = arena != nullptr;
+  }
+
+  /// Arena mode only: called after the owning arena's reset() invalidated
+  /// last round's spans. Drops them and re-carves capacity for the sizes the
+  /// previous round needed, so a steady-state round allocates each column
+  /// exactly once and never grows mid-round.
+  void begin_round() {
+    const std::size_t recs = to_.size();
+    const std::size_t words = pay_words_.size();
+    const std::size_t wids = pay_widths_.size();
+    release_columns();
+    if (arena_mode_ && recs > 0) {
+      to_.reserve(recs);
+      back_.reserve(recs);
+      tag_.reserve(recs);
+      meta_.reserve(recs);
+      wire_.reserve(recs);
+      count_.reserve(recs);
+      round_.reserve(recs);
+      v0_.reserve(recs);
+      v1_.reserve(recs);
+      w01_.reserve(recs);
+      if (words > 0) pay_words_.reserve(words);
+      if (wids > 0) pay_widths_.reserve(wids);
+    }
+  }
+
+  /// Stages one scheduled message. The view's payload is copied into the
+  /// block now (inline words or a word-aligned blit into the payload
+  /// region); the caller may prune the source link afterwards.
+  void push(const MsgView& v, NodeId to, std::uint32_t back_index,
+            std::uint64_t deliver_round) {
+    const bool spill = v.symbol_count > kInlineSymbols;
+    to_.push_back(to);
+    back_.push_back(back_index);
+    tag_.push_back(v.key.tag);
+    meta_.push_back(pack_meta(v.key, v.eos, spill));
+    wire_.push_back(v.wire_bits);
+    count_.push_back(static_cast<std::uint32_t>(v.symbol_count));
+    round_.push_back(deliver_round);
+    if (!spill) {
+      std::uint64_t v0 = 0, v1 = 0;
+      unsigned w0 = 0, w1 = 0;
+      if (v.symbol_count >= 1) {
+        w0 = v.buf->width_at(v.first_symbol);
+        v0 = v.buf->value_at(v.bit_off, w0);
+      }
+      if (v.symbol_count == 2) {
+        w1 = v.buf->width_at(v.first_symbol + 1);
+        v1 = v.buf->value_at(v.bit_off + w0, w1);
+      }
+      v0_.push_back(v0);
+      v1_.push_back(v1);
+      w01_.push_back(static_cast<std::uint16_t>(w0 | (w1 << 8)));
+    } else {
+      const std::size_t word_off = pay_words_.size();
+      const std::size_t width_off = pay_widths_.size();
+      const std::size_t nwords = (v.bit_len + 63) >> 6;
+      std::uint64_t* dst = pay_words_.append(nwords);
+      std::size_t rem = v.bit_len;
+      for (std::size_t w = 0; rem > 0; ++w) {
+        const unsigned take = rem >= 64 ? 64u : static_cast<unsigned>(rem);
+        dst[w] = read_packed_bits(v.buf->words(), v.buf->word_count(),
+                                  v.bit_off + (w << 6), take);
+        rem -= take;
+      }
+      std::memcpy(pay_widths_.append(v.symbol_count),
+                  v.buf->widths() + v.first_symbol, v.symbol_count);
+      v0_.push_back(word_off);
+      v1_.push_back(width_off);
+      w01_.push_back(0);
+    }
+  }
+
+  /// Copies row `i` of `src` into this block (delayed-bucket hand-off; this
+  /// block is heap-backed, the source lane is arena-backed and about to be
+  /// reset). Spilled payloads are word-aligned, so the copy is a memcpy.
+  void append_from(const MsgBlock& src, std::size_t i, unsigned header_bits) {
+    to_.push_back(src.to_[i]);
+    back_.push_back(src.back_[i]);
+    tag_.push_back(src.tag_[i]);
+    meta_.push_back(src.meta_[i]);
+    wire_.push_back(src.wire_[i]);
+    count_.push_back(src.count_[i]);
+    round_.push_back(src.round_[i]);
+    if ((src.meta_[i] & kSpillBit) == 0) {
+      v0_.push_back(src.v0_[i]);
+      v1_.push_back(src.v1_[i]);
+      w01_.push_back(src.w01_[i]);
+    } else {
+      const std::size_t pay_bits = src.wire_[i] - header_bits;
+      const std::size_t nwords = (pay_bits + 63) >> 6;
+      const std::size_t word_off = pay_words_.size();
+      const std::size_t width_off = pay_widths_.size();
+      std::memcpy(pay_words_.append(nwords),
+                  src.pay_words_.data() + src.v0_[i], nwords * sizeof(std::uint64_t));
+      std::memcpy(pay_widths_.append(src.count_[i]),
+                  src.pay_widths_.data() + src.v1_[i], src.count_[i]);
+      v0_.push_back(word_off);
+      v1_.push_back(width_off);
+      w01_.push_back(0);
+    }
+  }
+
+  /// Decodes row `i`. `header_bits` recovers the payload bit length from
+  /// wire_bits (wire = header + payload by construction).
+  [[nodiscard]] Rec record(std::size_t i, unsigned header_bits) const {
+    Rec r;
+    r.to = to_[i];
+    r.back_index = back_[i];
+    const std::uint16_t meta = meta_[i];
+    r.key = StreamKey{static_cast<std::uint16_t>(meta & 31u), tag_[i],
+                      static_cast<std::uint16_t>((meta >> 5) & 15u)};
+    r.eos = (meta & kEosBit) != 0;
+    r.spilled = (meta & kSpillBit) != 0;
+    r.symbol_count = count_[i];
+    r.wire_bits = wire_[i];
+    r.deliver_round = round_[i];
+    if (!r.spilled) {
+      r.v0 = v0_[i];
+      r.v1 = v1_[i];
+      r.w0 = w01_[i] & 0xffu;
+      r.w1 = w01_[i] >> 8;
+      r.pay_words = nullptr;
+      r.pay_word_count = 0;
+      r.pay_bits = 0;
+      r.pay_widths = nullptr;
+    } else {
+      r.v0 = r.v1 = 0;
+      r.w0 = r.w1 = 0;
+      r.pay_bits = static_cast<std::size_t>(wire_[i]) - header_bits;
+      r.pay_word_count = (r.pay_bits + 63) >> 6;
+      r.pay_words = pay_words_.data() + v0_[i];
+      r.pay_widths = pay_widths_.data() + v1_[i];
+    }
+    return r;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return to_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return to_.empty(); }
+
+ private:
+  static constexpr std::size_t kInlineSymbols = 2;
+  static constexpr std::uint16_t kEosBit = 1u << 9;
+  static constexpr std::uint16_t kSpillBit = 1u << 10;
+
+  // meta layout: kind (5 bits) | version (4 bits) | eos (1) | spilled (1).
+  // The widths mirror the wire header's fields (see stream_header_bits), so
+  // kMaxMsgKinds/kMaxStreamVersions bound them by construction.
+  static std::uint16_t pack_meta(const StreamKey& key, bool eos,
+                                 bool spill) noexcept {
+    return static_cast<std::uint16_t>(key.kind | (key.version << 5) |
+                                      (eos ? kEosBit : 0) |
+                                      (spill ? kSpillBit : 0));
+  }
+
+  void release_columns() noexcept {
+    to_.release();
+    back_.release();
+    tag_.release();
+    meta_.release();
+    wire_.release();
+    count_.release();
+    round_.release();
+    v0_.release();
+    v1_.release();
+    w01_.release();
+    pay_words_.release();
+    pay_widths_.release();
+  }
+
+  ArenaVec<NodeId> to_;
+  ArenaVec<std::uint32_t> back_;
+  ArenaVec<NodeId> tag_;
+  ArenaVec<std::uint16_t> meta_;
+  ArenaVec<std::uint64_t> wire_;
+  ArenaVec<std::uint32_t> count_;
+  ArenaVec<std::uint64_t> round_;  ///< fault-engine deliver round (0 = now)
+  ArenaVec<std::uint64_t> v0_;     ///< inline value 0 / payload word offset
+  ArenaVec<std::uint64_t> v1_;     ///< inline value 1 / payload width offset
+  ArenaVec<std::uint16_t> w01_;    ///< inline widths, low byte w0, high w1
+  ArenaVec<std::uint64_t> pay_words_;  ///< spilled payloads, word-aligned
+  ArenaVec<std::uint8_t> pay_widths_;  ///< spilled payloads' symbol widths
+  bool arena_mode_ = false;
+};
+
+}  // namespace nc

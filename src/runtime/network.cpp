@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <limits>
 #include <stdexcept>
 
@@ -149,6 +150,9 @@ Network::Network(const Graph& g, const NetConfig& config,
     shards_[s].begin = plan_.begin(s);
     shards_[s].end = plan_.end(s);
     shards_[s].lanes.resize(k);
+    // Lane columns carve from the owning shard's per-round arena; the
+    // cross-round delayed buckets stay heap-backed (default bind).
+    for (auto& lane : shards_[s].lanes) lane.bind(&shards_[s].arena);
   }
   if (k > 1) pool_ = std::make_unique<ShardPool>(k);
 
@@ -285,18 +289,46 @@ void Network::apply_fault_events() {
   }
 }
 
-void Network::deliver(Shard& dst, const StagedDelivery& sd) {
-  auto& st = states_[sd.to];
-  st.rx_by_kind[sd.d.key.kind] += 1;
-  InStream& stream = st.inbox.open(sd.back_index, sd.d.key);
-  for (const auto& [value, width] : sd.d.symbols) stream.deliver(value, width);
-  if (sd.d.eos) stream.deliver_eos();
-  wake(dst, sd.to);
-  dst.traffic.messages += 1;
-  dst.traffic.bits += sd.d.wire_bits;
-  dst.traffic.max_message_bits = std::max<std::uint64_t>(
-      dst.traffic.max_message_bits, sd.d.wire_bits);
-  dst.traffic.bits_by_kind[sd.d.key.kind] += sd.d.wire_bits;
+void Network::deliver_view(Shard& dst, TrafficBatch& batch, NodeId to,
+                           std::size_t back_index, const MsgView& v) {
+  auto& st = states_[to];
+  st.rx_by_kind[v.key.kind] += 1;
+  InStream& stream = st.inbox.open(back_index, v.key);
+  if (v.symbol_count > 0 && v.symbol_count <= 2) {
+    // Inline fast path mirroring deliver_record: the dominant CONGEST kinds
+    // carry 1–2 symbols, not worth the bulk-blit setup.
+    const std::uint8_t* widths = v.buf->widths() + v.first_symbol;
+    stream.deliver(v.buf->value_at(v.bit_off, widths[0]), widths[0]);
+    if (v.symbol_count == 2) {
+      stream.deliver(v.buf->value_at(v.bit_off + widths[0], widths[1]),
+                     widths[1]);
+    }
+  } else if (v.symbol_count > 0) {
+    stream.deliver_packed(v.buf->words(), v.buf->word_count(), v.bit_off,
+                          v.bit_len, v.buf->widths() + v.first_symbol,
+                          v.symbol_count);
+  }
+  if (v.eos) stream.deliver_eos();
+  wake(dst, to);
+  batch.charge(v.key.kind, v.wire_bits);
+}
+
+void Network::deliver_record(Shard& dst, TrafficBatch& batch,
+                             const MsgBlock::Rec& r) {
+  auto& st = states_[r.to];
+  st.rx_by_kind[r.key.kind] += 1;
+  InStream& stream = st.inbox.open(r.back_index, r.key);
+  if (r.spilled) {
+    stream.deliver_packed(r.pay_words, r.pay_word_count, 0, r.pay_bits,
+                          r.pay_widths, r.symbol_count);
+  } else {
+    // Inline fast path: the dominant CONGEST kinds carry 1–2 words.
+    if (r.symbol_count >= 1) stream.deliver(r.v0, r.w0);
+    if (r.symbol_count == 2) stream.deliver(r.v1, r.w1);
+  }
+  if (r.eos) stream.deliver_eos();
+  wake(dst, r.to);
+  batch.charge(r.key.kind, r.wire_bits);
 }
 
 bool Network::fault_verdict(Shard& sh, std::size_t e, NodeId from, NodeId to,
@@ -321,46 +353,48 @@ bool Network::fault_verdict(Shard& sh, std::size_t e, NodeId from, NodeId to,
 
 void Network::stage_shard(unsigned s) {
   Shard& sh = shards_[s];
-  for (auto& lane : sh.lanes) lane.reset();
+  // O(1) rewind of the whole previous round's transient storage, then
+  // re-carve the lane columns at last round's sizes.
+  sh.arena.reset();
+  for (auto& lane : sh.lanes) lane.begin_round();
   if (sh.active_links.empty()) return;
   // Ascending (owner, neighbour-index) order within the shard; shards are
   // contiguous ID ranges, so concatenating the shards' sorted sets in shard
   // order reproduces the historical global-scan delivery order exactly —
-  // the invariant the determinism guarantee rests on.
-  std::sort(sh.active_links.begin(), sh.active_links.end());
+  // the invariant the determinism guarantee rests on. Steady-state rounds
+  // keep the previous round's already-sorted prefix, so check first.
+  if (!std::is_sorted(sh.active_links.begin(), sh.active_links.end())) {
+    std::sort(sh.active_links.begin(), sh.active_links.end());
+  }
   std::size_t kept = 0;
+  MsgView view;
   for (const std::size_t e : sh.active_links) {
     const NodeId from = edge_owner_[e];
     const std::size_t ni = e - edge_base_[from];
     Link& link = states_[from].out_links[ni];
     const NodeId to = graph_->neighbors(from)[ni];
-    Lane& lane = sh.lanes[plan_.node_shard[to]];
+    MsgBlock& lane = sh.lanes[plan_.node_shard[to]];
+    const auto back = static_cast<std::uint32_t>(reverse_index_[e]);
     if (config_.mode == NetConfig::Mode::kLocal) {
-      sh.scratch_local.clear();
-      link.drain_all_into(header_bits_, sh.scratch_local);
+      // One channel decision covers the whole drained batch; the count is
+      // known up front (one message per pending stream). A dropped batch
+      // still advances the streams — the traffic was sent, then lost.
+      const std::size_t count = link.pending_stream_count();
       std::uint64_t deliver_round = 0;
-      const bool drop =
-          faults_ && !sh.scratch_local.empty() &&
-          fault_verdict(sh, e, from, to, sh.scratch_local.size(),
-                        &deliver_round);
-      if (!drop) {
-        for (auto& d : sh.scratch_local) {
-          StagedDelivery& slot = lane.next();
-          slot.to = to;
-          slot.back_index = reverse_index_[e];
-          slot.deliver_round = deliver_round;
-          slot.d = std::move(d);
-        }
-      }
+      const bool drop = faults_ && count > 0 &&
+                        fault_verdict(sh, e, from, to, count, &deliver_round);
+      const std::size_t produced =
+          link.drain_views(header_bits_, [&](const MsgView& v) {
+            if (!drop) lane.push(v, to, back, deliver_round);
+          });
+      if (produced > 0) link.release_idle();
     } else {
-      StagedDelivery& slot = lane.next();
-      if (link.schedule_into(bandwidth_bits_, header_bits_, slot.d) &&
-          !(faults_ &&
-            fault_verdict(sh, e, from, to, 1, &slot.deliver_round))) {
-        slot.to = to;
-        slot.back_index = reverse_index_[e];
-      } else {
-        lane.unstage();
+      if (link.schedule_view(bandwidth_bits_, header_bits_, view)) {
+        std::uint64_t deliver_round = 0;
+        if (!(faults_ && fault_verdict(sh, e, from, to, 1, &deliver_round))) {
+          lane.push(view, to, back, deliver_round);
+        }
+        link.release_idle();
       }
     }
     if (link.has_pending()) {
@@ -370,29 +404,38 @@ void Network::stage_shard(unsigned s) {
     }
   }
   sh.active_links.resize(kept);
+  if (config_.profile != nullptr) {
+    std::uint64_t staged = 0;
+    for (const auto& lane : sh.lanes) staged += lane.size();
+    if (staged > sh.staged_peak) sh.staged_peak = staged;
+  }
 }
 
 void Network::deliver_round_serial() {
   Shard& sh = shards_[0];
   if (sh.active_links.empty()) return;
-  std::sort(sh.active_links.begin(), sh.active_links.end());
+  if (!std::is_sorted(sh.active_links.begin(), sh.active_links.end())) {
+    std::sort(sh.active_links.begin(), sh.active_links.end());
+  }
   std::size_t kept = 0;
+  MsgView view;
+  TrafficBatch batch;
   for (const std::size_t e : sh.active_links) {
     const NodeId from = edge_owner_[e];
     const std::size_t ni = e - edge_base_[from];
     Link& link = states_[from].out_links[ni];
-    scratch_.to = graph_->neighbors(from)[ni];
-    scratch_.back_index = reverse_index_[e];
+    const NodeId to = graph_->neighbors(from)[ni];
+    const std::size_t back = reverse_index_[e];
     if (config_.mode == NetConfig::Mode::kLocal) {
-      sh.scratch_local.clear();
-      link.drain_all_into(header_bits_, sh.scratch_local);
-      for (auto& d : sh.scratch_local) {
-        scratch_.d = std::move(d);
-        deliver(sh, scratch_);
-      }
+      const std::size_t produced =
+          link.drain_views(header_bits_, [&](const MsgView& v) {
+            deliver_view(sh, batch, to, back, v);
+          });
+      if (produced > 0) link.release_idle();
     } else {
-      if (link.schedule_into(bandwidth_bits_, header_bits_, scratch_.d)) {
-        deliver(sh, scratch_);
+      if (link.schedule_view(bandwidth_bits_, header_bits_, view)) {
+        deliver_view(sh, batch, to, back, view);
+        link.release_idle();
       }
     }
     if (link.has_pending()) {
@@ -402,49 +445,63 @@ void Network::deliver_round_serial() {
     }
   }
   sh.active_links.resize(kept);
+  batch.flush_into(sh.traffic);
 }
 
 void Network::deliver_shard(unsigned d) {
   Shard& dst = shards_[d];
+  TrafficBatch batch;
   if (faults_) {
     // Delayed traffic falls due ahead of this round's on-time traffic, in
     // the order it was queued (by stage round, then canonical merge order
     // within one — a thread-count-invariant sequence). A destination that
     // crashed while the message was in flight silences it on arrival.
     while (!dst.delayed.empty() && dst.delayed.begin()->first <= round_) {
-      for (const StagedDelivery& sd : dst.delayed.begin()->second) {
-        if (faults_->crashed_at(sd.to, round_)) {
+      MsgBlock& bucket = dst.delayed.begin()->second;
+      for (std::size_t i = 0; i < bucket.size(); ++i) {
+        const MsgBlock::Rec r = bucket.record(i, header_bits_);
+        if (faults_->crashed_at(r.to, round_)) {
           dst.traffic.messages_dropped_crash += 1;
         } else {
-          deliver(dst, sd);
+          deliver_record(dst, batch, r);
         }
       }
+      if (config_.profile != nullptr) dst.delayed_msgs -= bucket.size();
       dst.delayed.erase(dst.delayed.begin());
     }
   }
   for (Shard& src : shards_) {
-    Lane& lane = src.lanes[d];
-    for (std::size_t i = 0; i < lane.used; ++i) {
-      if (faults_ && lane.items[i].deliver_round > round_) {
-        // In flight: move the staged message (symbols and all) into this
-        // shard's future bucket. Lane slots are reset next round, so the
-        // move leaves nothing dangling. Writing lane[src][d] from shard d
-        // is safe: in the deliver phase a lane is touched only by its
-        // destination shard (the pool barrier separates it from the stage
-        // phase's writes).
-        dst.delayed[lane.items[i].deliver_round].push_back(
-            std::move(lane.items[i]));
+    const MsgBlock& lane = src.lanes[d];
+    for (std::size_t i = 0; i < lane.size(); ++i) {
+      const MsgBlock::Rec r = lane.record(i, header_bits_);
+      if (faults_ && r.deliver_round > round_) {
+        // In flight: copy the staged row (payload and all) into this
+        // shard's future bucket — the arena-backed lane is rewound next
+        // round, so the bucket owns a heap copy. Touching lane[src][d]
+        // from shard d is safe: in the deliver phase a lane is read only
+        // by its destination shard (the pool barrier separates it from
+        // the stage phase's writes).
+        dst.delayed[r.deliver_round].append_from(lane, i, header_bits_);
+        if (config_.profile != nullptr) {
+          ++dst.delayed_msgs;
+          if (dst.delayed_msgs > dst.delayed_peak) {
+            dst.delayed_peak = dst.delayed_msgs;
+          }
+        }
       } else {
-        deliver(dst, lane.items[i]);
+        deliver_record(dst, batch, r);
       }
     }
   }
+  batch.flush_into(dst.traffic);
 }
 
 void Network::wake_shard(unsigned s) {
   Shard& sh = shards_[s];
   collect_due_alarms(sh);
-  std::sort(sh.wake_list.begin(), sh.wake_list.end());
+  if (!std::is_sorted(sh.wake_list.begin(), sh.wake_list.end())) {
+    std::sort(sh.wake_list.begin(), sh.wake_list.end());
+  }
   for (const NodeId v : sh.wake_list) {
     auto& st = states_[v];
     st.woken = false;
@@ -490,11 +547,31 @@ bool Network::step(bool allow_fast_forward) {
   // A single shard fuses the two phases: no lanes, no round-sized buffer —
   // except under an active fault plan, where even one shard takes the
   // staged path so the loss/delay/churn decision points exist exactly once.
+  // Clock reads exist only on the opt-in profiling path.
+  using clock = std::chrono::steady_clock;
+  const bool prof = config_.profile != nullptr;
+  clock::time_point t0;
+  if (prof) t0 = clock::now();
   if (shards_.size() == 1 && !faults_) {
     deliver_round_serial();
+    if (prof) {
+      const auto t1 = clock::now();
+      prof_.deliver_seconds += std::chrono::duration<double>(t1 - t0).count();
+      t0 = t1;
+    }
   } else {
     for_each_shard([this](unsigned s) { stage_shard(s); });
+    if (prof) {
+      const auto t1 = clock::now();
+      prof_.stage_seconds += std::chrono::duration<double>(t1 - t0).count();
+      t0 = t1;
+    }
     for_each_shard([this](unsigned s) { deliver_shard(s); });
+    if (prof) {
+      const auto t1 = clock::now();
+      prof_.deliver_seconds += std::chrono::duration<double>(t1 - t0).count();
+      t0 = t1;
+    }
   }
   // Serial reduction in shard order: exact (integer sums/maxes), so stats_
   // is bit-identical to serial accumulation at every shard count.
@@ -503,13 +580,36 @@ bool Network::step(bool allow_fast_forward) {
     sh.traffic = RunStats{};
   }
   for_each_shard([this](unsigned s) { wake_shard(s); });
+  if (prof) {
+    prof_.wake_seconds +=
+        std::chrono::duration<double>(clock::now() - t0).count();
+  }
   stats_.rounds = round_;
   return !all_done();
+}
+
+void Network::flush_profile() {
+  if (config_.profile == nullptr) return;
+  prof_.arena_bytes_total = 0;
+  prof_.arena_bytes_peak_shard = 0;
+  prof_.lane_msgs_peak = 0;
+  prof_.delayed_msgs_peak = 0;
+  for (const auto& sh : shards_) {
+    const auto hw = static_cast<std::uint64_t>(sh.arena.high_water_bytes());
+    prof_.arena_bytes_total += hw;
+    prof_.arena_bytes_peak_shard = std::max(prof_.arena_bytes_peak_shard, hw);
+    prof_.lane_msgs_peak = std::max(prof_.lane_msgs_peak, sh.staged_peak);
+    prof_.delayed_msgs_peak = std::max(prof_.delayed_msgs_peak, sh.delayed_peak);
+  }
+  // Cumulative over the network's lifetime: repeated run_rounds() calls
+  // overwrite the destination with ever-growing totals.
+  *config_.profile = prof_;
 }
 
 RunStats Network::run() {
   while (step(/*allow_fast_forward=*/true)) {
   }
+  flush_profile();
   return stats_;
 }
 
@@ -517,6 +617,7 @@ bool Network::run_rounds(std::uint64_t rounds) {
   for (std::uint64_t i = 0; i < rounds; ++i) {
     if (!step(/*allow_fast_forward=*/false)) break;
   }
+  flush_profile();
   return all_done();
 }
 

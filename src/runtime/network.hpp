@@ -13,8 +13,10 @@
 #include "runtime/faults.hpp"
 #include "runtime/inbox.hpp"
 #include "runtime/link.hpp"
+#include "runtime/msgblock.hpp"
 #include "runtime/shard.hpp"
 #include "runtime/stream.hpp"
+#include "util/arena.hpp"
 #include "util/ids.hpp"
 #include "util/rng.hpp"
 
@@ -82,6 +84,12 @@ struct NetConfig {
   /// (fault seed, round, src, dst), so a fixed-seed faulty run is
   /// bit-identical at every thread count too.
   FaultPlan faults;
+
+  /// Opt-in engine profiling: when non-null, the network accumulates
+  /// per-phase wall-clock and arena/lane peaks here over its lifetime
+  /// (flushed at the end of run()/run_rounds()). Null — the default —
+  /// keeps the hot path free of clock reads and peak bookkeeping.
+  NetProfile* profile = nullptr;
 };
 
 /// The per-node view of the runtime: identity, topology (restricted to the
@@ -266,33 +274,6 @@ class Network {
   };
   static constexpr std::uint64_t kNoAlarm = ~0ULL;
 
-  /// One staged message: everything the deliver phase needs to apply it to
-  /// the destination inbox without touching source-shard state.
-  struct StagedDelivery {
-    NodeId to = 0;
-    std::size_t back_index = 0;
-    /// Fault-engine delay: 0 = deliver this round; otherwise the (strictly
-    /// future) round the destination shard must hold the message until.
-    std::uint64_t deliver_round = 0;
-    Delivery d;
-  };
-
-  /// Reusable staging lane. Slots (and their symbol vectors' capacity)
-  /// persist across rounds, so a steady-state round stages messages without
-  /// allocating — the sharded counterpart of the old single scratch
-  /// Delivery.
-  struct Lane {
-    std::vector<StagedDelivery> items;
-    std::size_t used = 0;
-
-    StagedDelivery& next() {
-      if (used == items.size()) items.emplace_back();
-      return items[used++];
-    }
-    void unstage() noexcept { --used; }  // last next() produced no message
-    void reset() noexcept { used = 0; }
-  };
-
   /// Everything one shard owns. During the parallel phases a shard's data
   /// is touched only by the worker running that shard (lanes are written by
   /// the source shard in the stage phase and read by the destination shard
@@ -314,23 +295,36 @@ class Network {
     /// Owned nodes that called set_done().
     NodeId done_count = 0;
 
-    /// Staged outgoing messages, by destination shard.
-    std::vector<Lane> lanes;
+    /// Per-round transient storage: every lane column below carves from
+    /// this bump arena, which the stage phase rewinds in O(1) at the top of
+    /// each round (src/util/arena.hpp).
+    Arena arena;
+
+    /// Staged outgoing messages, by destination shard — SoA columns plus a
+    /// shared packed-payload region per lane (src/runtime/msgblock.hpp),
+    /// arena-backed.
+    std::vector<MsgBlock> lanes;
 
     /// Per-round traffic partials, reduced into stats_ after the deliver
     /// phase (in shard order; integer sums/maxes make the reduction exact).
     RunStats traffic;
 
-    /// LOCAL-mode drain scratch.
-    std::vector<Delivery> scratch_local;
-
     /// In-flight delayed messages addressed to this shard's nodes, bucketed
     /// by delivery round (fault engine only). Filled by this shard's own
-    /// deliver phase — staged items whose deliver_round is in the future
-    /// are moved here in canonical merge order, so the bucket's insertion
+    /// deliver phase — staged rows whose deliver_round is in the future are
+    /// copied here in canonical merge order, so the bucket's insertion
     /// order is thread-count-invariant — and drained at the start of the
-    /// deliver phase of the due round.
-    std::map<std::uint64_t, std::vector<StagedDelivery>> delayed;
+    /// deliver phase of the due round. Heap-backed MsgBlocks, deliberately
+    /// outside the arena: buckets outlive rounds, and a bump arena cannot
+    /// rewind storage that crosses its reset boundary.
+    std::map<std::uint64_t, MsgBlock> delayed;
+
+    /// Profiling partials (NetConfig::profile only; zero cost otherwise):
+    /// peak rows staged by this shard in one round, and the current /
+    /// peak count of messages parked in `delayed`.
+    std::uint64_t staged_peak = 0;
+    std::uint64_t delayed_msgs = 0;
+    std::uint64_t delayed_peak = 0;
 
     /// Churn schedule for this shard's nodes: round -> nodes whose crash or
     /// recovery fires then. Precomputed at construction; never stale.
@@ -344,9 +338,9 @@ class Network {
   /// and compacts the active set. Touches only shard-s-owned state.
   void stage_shard(unsigned s);
 
-  /// The single-shard fast path: stage and deliver fused, reusing one
-  /// scratch slot per message instead of buffering the round in lanes —
-  /// the exact delivery order (and allocation profile) of the pre-sharding
+  /// The single-shard fast path: stage and deliver fused — each scheduled
+  /// view is applied to its destination inbox immediately, with no lane
+  /// buffering at all — in the exact delivery order of the pre-sharding
   /// serial engine.
   void deliver_round_serial();
 
@@ -371,9 +365,15 @@ class Network {
     }
   }
 
-  /// Applies one staged message to its destination node, charging the
-  /// destination shard's traffic partials.
-  void deliver(Shard& dst, const StagedDelivery& sd);
+  /// Applies one just-scheduled view directly to its destination node
+  /// (serial fused path: the payload moves producer buffer → inbox in one
+  /// blit, never touching a lane). Charges `batch`.
+  void deliver_view(Shard& dst, TrafficBatch& batch, NodeId to,
+                    std::size_t back_index, const MsgView& v);
+
+  /// Applies one staged lane/bucket row to its destination node, charging
+  /// `batch` (flushed into the shard's traffic partial once per phase).
+  void deliver_record(Shard& dst, TrafficBatch& batch, const MsgBlock::Rec& r);
 
   /// Fault-engine verdict for the traffic scheduled on edge e this round
   /// (`count` physical messages: 1 in CONGEST, the drained batch in LOCAL —
@@ -480,8 +480,13 @@ class Network {
   // phases.
   std::unique_ptr<FaultEngine> faults_;
 
-  // Single-shard fast path scratch (one message at a time, never buffered).
-  StagedDelivery scratch_;
+  // Engine profile partials, accumulated only when config_.profile is set
+  // and flushed into *config_.profile at the end of run()/run_rounds().
+  NetProfile prof_;
+
+  /// Publishes prof_ (plus the arenas' current high-water marks and the
+  /// shards' peak counters) into *config_.profile. No-op when unprofiled.
+  void flush_profile();
 
   RunStats stats_;
 };

@@ -67,6 +67,16 @@ class InStream {
   /// Appends a delivered symbol (runtime use).
   void deliver(std::uint64_t value, unsigned width) { buf_.put(value, width); }
 
+  /// Appends a whole run of `count` symbols (`nbits` payload bits) blitted
+  /// from a packed word array in 64-bit chunks (runtime use — the deliver
+  /// phase moves a message's payload with this instead of per-symbol puts;
+  /// the resulting buffer is bit-identical to the put() sequence).
+  void deliver_packed(const std::uint64_t* words, std::size_t word_count,
+                      std::size_t src_bit, std::size_t nbits,
+                      const std::uint8_t* widths, std::size_t count) {
+    buf_.append_packed(words, word_count, src_bit, nbits, widths, count);
+  }
+
   /// Marks EOS delivered (runtime use).
   void deliver_eos() noexcept { closed_ = true; }
 
