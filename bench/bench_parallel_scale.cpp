@@ -234,13 +234,17 @@ bool write_json(const std::string& path, const std::vector<Row>& rows) {
        << ", \"deliveries_per_sec\": " << r.deliveries_per_sec()
        << ", \"speedup_vs_1t\": " << r.speedup_vs_1t
        // Per-phase engine profile (docs/benchmarks.md): the serial fused
-       // path books its combined stage+deliver under deliver_seconds.
+       // path books its combined stage+deliver pass under fused_seconds,
+       // so 1-thread rows honestly show stage/deliver = 0 and fused > 0.
        << ", \"stage_seconds\": " << r.profile.stage_seconds
        << ", \"deliver_seconds\": " << r.profile.deliver_seconds
+       << ", \"fused_seconds\": " << r.profile.fused_seconds
        << ", \"wake_seconds\": " << r.profile.wake_seconds
        << ", \"arena_bytes_total\": " << r.profile.arena_bytes_total
        << ", \"arena_bytes_peak_shard\": " << r.profile.arena_bytes_peak_shard
-       << ", \"lane_msgs_peak\": " << r.profile.lane_msgs_peak << "}"
+       << ", \"lane_msgs_peak\": " << r.profile.lane_msgs_peak
+       << ", \"broadcast_payload_bytes_saved\": "
+       << r.profile.broadcast_payload_bytes_saved << "}"
        << (i + 1 < rows.size() ? "," : "") << "\n";
   }
   os << "  ]\n}\n";

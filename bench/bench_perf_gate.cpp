@@ -1,6 +1,6 @@
-// CI perf-regression gate: two pinned runtime workloads with committed
+// CI perf-regression gate: three pinned runtime workloads with committed
 // rounds/sec floors. The gate FAILS (exit 1) if the best of three runs of
-// either workload drops below its floor — catching order-of-magnitude hot
+// any workload drops below its floor — catching order-of-magnitude hot
 // path regressions (an accidental O(n) scan, a lost fast path) while being
 // deliberately insensitive to machine speed:
 //
@@ -24,7 +24,10 @@
 //  - sparse_idle n=10k: event-driven idle scheduling — per-round cost must
 //    track the handful of busy links, not n or m.
 //  - planted_protocol n=10k: DistNearClique end-to-end — the mixed
-//    stage/deliver/wake + protocol load.
+//    stage/deliver/wake + protocol load (avg degree ~4).
+//  - broadcast_fanout n=4k: DistNearClique on an avg-degree ~50 graph —
+//    the broadcast payload-dedup path; a lost dedup fast path shows up
+//    here long before it moves the low-degree rows.
 //
 // Usage: bench_perf_gate [--floor-scale=X] [--json PATH]
 
@@ -59,8 +62,9 @@ using Clock = std::chrono::steady_clock;
 // container that regenerated BENCH_runtime.json for this change, then
 // divided by >= 2x to absorb runner-to-runner spread; see the artifact for
 // the measured numbers these derive from.
-constexpr double kSparseIdleFloor = 55'000.0;   // measured ~140k-147k r/s
-constexpr double kPlantedProtoFloor = 140.0;    // measured ~300-380 r/s
+constexpr double kSparseIdleFloor = 70'000.0;      // measured ~156k r/s
+constexpr double kPlantedProtoFloor = 180.0;       // measured ~410 r/s
+constexpr double kBroadcastFanoutFloor = 140.0;    // measured ~314 r/s
 
 double seconds_since(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
@@ -188,10 +192,12 @@ double run_sparse_idle() {
   return secs > 0 ? static_cast<double>(stats.rounds) / secs : 0;
 }
 
-/// One timed run of the planted_protocol workload (bench_runtime_scale's
-/// n=10k row); returns rounds/sec.
-double run_planted_protocol() {
-  const Graph g = planted_clique_sparse(10'000, 32, 2, 3, /*seed=*/11);
+/// One timed DistNearClique run on a planted_clique_sparse graph; returns
+/// rounds/sec. chords_per_node=2 is the classic sparse planted_protocol
+/// load; chords_per_node=24 (avg degree ~50) is the broadcast_fanout load
+/// that exercises the stage-side payload dedup.
+double run_protocol(NodeId n, unsigned chords_per_node) {
+  const Graph g = planted_clique_sparse(n, 32, chords_per_node, 3, /*seed=*/11);
 
   DriverConfig cfg;
   cfg.proto.eps = 0.2;
@@ -209,6 +215,10 @@ double run_planted_protocol() {
   const double secs = seconds_since(t0);
   return secs > 0 ? static_cast<double>(stats.rounds) / secs : 0;
 }
+
+double run_planted_protocol() { return run_protocol(10'000, 2); }
+
+double run_broadcast_fanout() { return run_protocol(4'000, 24); }
 
 struct GateResult {
   std::string name;
@@ -263,6 +273,8 @@ int main(int argc, char** argv) {
                              nc::run_sparse_idle));
   results.push_back(nc::gate("planted_protocol_10k", nc::kPlantedProtoFloor,
                              scale, nc::run_planted_protocol));
+  results.push_back(nc::gate("broadcast_fanout_4k", nc::kBroadcastFanoutFloor,
+                             scale, nc::run_broadcast_fanout));
 
   if (!json_path.empty()) {
     std::ofstream os(json_path);

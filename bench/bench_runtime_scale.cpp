@@ -11,6 +11,11 @@
 //    not to n or m.
 //  - planted_protocol: the full DistNearClique protocol on a sparse
 //    background graph with a planted clique; end-to-end deliveries/sec.
+//  - broadcast_fanout: the same protocol on a dense background (avg degree
+//    ~50). The protocol is broadcast-shaped — nearly every kind is an
+//    open_stream_all — so staged bytes grow with degree unless the engine
+//    dedups broadcast payloads; this row is the degree-scaling witness for
+//    the broadcast-aware fan-out path (broadcast_payload_bytes_saved).
 //
 // Usage: bench_runtime_scale [--json PATH] [--full]
 //   --json PATH  write the JSON artifact to PATH (default BENCH_runtime.json)
@@ -202,12 +207,16 @@ Row bench_sparse_idle(NodeId n, std::uint64_t target_rounds, unsigned pairs) {
   return row;
 }
 
-/// planted_protocol: DistNearClique end-to-end on a sparse planted-clique
-/// graph.
-Row bench_planted_protocol(NodeId n, NodeId clique) {
+/// planted_protocol / broadcast_fanout: DistNearClique end-to-end on a
+/// planted-clique graph; `chords_per_node` sets the background density
+/// (2 chords ≈ avg degree 7 — the sparse row; 24 chords ≈ avg degree 50 —
+/// the broadcast fan-out row).
+Row bench_protocol(const std::string& name, NodeId n, NodeId clique,
+                   unsigned chords_per_node) {
   Row row;
-  row.name = "planted_protocol";
-  const Graph g = planted_clique_sparse(n, clique, 2, 3, /*seed=*/11);
+  row.name = name;
+  const Graph g = planted_clique_sparse(n, clique, chords_per_node,
+                                        /*halo_per_member=*/3, /*seed=*/11);
 
   DriverConfig cfg;
   cfg.proto.eps = 0.2;
@@ -261,13 +270,18 @@ bool write_json(const std::string& path, const std::vector<Row>& rows) {
        << ", \"rounds_per_sec\": " << r.rounds_per_sec()
        << ", \"deliveries_per_sec\": " << r.deliveries_per_sec()
        // Per-phase engine profile (docs/benchmarks.md): the serial fused
-       // path books its combined stage+deliver under deliver_seconds.
+       // path books its combined stage+deliver pass under fused_seconds
+       // (stage_seconds/deliver_seconds are the staged engine's phases and
+       // stay 0 on the 1-thread clean path by construction).
        << ", \"stage_seconds\": " << r.profile.stage_seconds
        << ", \"deliver_seconds\": " << r.profile.deliver_seconds
+       << ", \"fused_seconds\": " << r.profile.fused_seconds
        << ", \"wake_seconds\": " << r.profile.wake_seconds
        << ", \"arena_bytes_total\": " << r.profile.arena_bytes_total
        << ", \"arena_bytes_peak_shard\": " << r.profile.arena_bytes_peak_shard
-       << ", \"lane_msgs_peak\": " << r.profile.lane_msgs_peak << "}"
+       << ", \"lane_msgs_peak\": " << r.profile.lane_msgs_peak
+       << ", \"broadcast_payload_bytes_saved\": "
+       << r.profile.broadcast_payload_bytes_saved << "}"
        << (i + 1 < rows.size() ? "," : "") << "\n";
   }
   os << "  ]\n}\n";
@@ -296,8 +310,9 @@ int main(int argc, char** argv) {
   rows.push_back(nc::bench_sparse_idle(10'000, 1'000, 16));
   rows.push_back(nc::bench_sparse_idle(100'000, 1'000, 16));
   if (full) rows.push_back(nc::bench_sparse_idle(500'000, 1'000, 16));
-  rows.push_back(nc::bench_planted_protocol(10'000, 32));
-  if (full) rows.push_back(nc::bench_planted_protocol(50'000, 32));
+  rows.push_back(nc::bench_protocol("planted_protocol", 10'000, 32, 2));
+  if (full) rows.push_back(nc::bench_protocol("planted_protocol", 50'000, 32, 2));
+  rows.push_back(nc::bench_protocol("broadcast_fanout", 10'000, 32, 24));
 
   for (const auto& r : rows) {
     std::cout << r.name << " n=" << r.n << " m=" << r.m
@@ -305,7 +320,7 @@ int main(int argc, char** argv) {
               << " build=" << r.build_seconds << "s run=" << r.run_seconds
               << "s rounds/sec=" << r.rounds_per_sec()
               << " deliveries/sec=" << r.deliveries_per_sec()
-              << " [deliver=" << r.profile.deliver_seconds
+              << " [fused=" << r.profile.fused_seconds
               << "s wake=" << r.profile.wake_seconds
               << "s arena=" << r.profile.arena_bytes_total << "B]\n";
   }

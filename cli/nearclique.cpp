@@ -6,7 +6,7 @@
 //   nearclique run   --scenario=F [--params=k=v,..] --algo=A
 //                    [--algo-params=k=v,..] [--seed=N] [--threads=N]
 //                    [--faults=loss=0.05,delay_max=3,..]
-//                    [--repeat=N] [--time]
+//                    [--repeat=N] [--time] [--profile]
 //                    [--json[=FILE]] [--dot=out.dot]
 //   nearclique sweep --scenario=F [--params=..] [--algos=A,B[k=v,..],..]
 //                    [--algo-params=..] [--grid=scenario.n=100:200,both.eps=0.1:0.2]
@@ -88,7 +88,8 @@ int usage(std::FILE* to) {
       "  list-algorithms           registered algorithms\n"
       "  run    --scenario=F --algo=A [--params=..] [--algo-params=..]\n"
       "         [--seed=N] [--threads=N] [--faults=loss=0.05,..]\n"
-      "         [--repeat=N] [--time] [--json[=FILE]] [--dot=out.dot]\n"
+      "         [--repeat=N] [--time] [--profile] [--json[=FILE]]\n"
+      "         [--dot=out.dot]\n"
       "  sweep  --scenario=F [--algos=A,B[k=v,..]] [--params=..]\n"
       "         [--grid=scenario.k=v1:v2,algo.k=..,both.k=..] [--trials=N]\n"
       "         [--seed=N] [--seq-seeds] [--threads=N] [--faults=..]\n"
@@ -105,7 +106,9 @@ int usage(std::FILE* to) {
       "--spec=FILE.json replays a serialized sweep spec (every field,\n"
       "faults included; see src/expt/README.md for the schema).\n"
       "run --repeat=N --time re-runs the fixed-seed execution N times and\n"
-      "reports min/median/mean wall-clock (scenario build excluded).\n");
+      "reports min/median/mean wall-clock (scenario build excluded).\n"
+      "run --profile adds engine per-phase seconds (stage/deliver/fused/\n"
+      "wake) and broadcast dedup savings to the text and JSON output.\n");
   return to == stdout ? 0 : 2;
 }
 
@@ -283,6 +286,20 @@ int cmd_run(const Args& args) {
   apply_threads(aspec, threads_from_args(args));
   apply_faults(aspec, faults_from_args(args));
 
+  // --profile: opt-in engine per-phase profiling (same declare-or-warn
+  // convention as --threads; an explicit --algo-params=profile=.. wins).
+  const bool profiled = args.get_bool("profile");
+  if (profiled && !aspec.params.has("profile")) {
+    if (algorithm_declares(algo, "profile")) {
+      aspec.params.with("profile", 1);
+    } else {
+      std::fprintf(stderr,
+                   "note: algorithm '%s' does not declare a 'profile' "
+                   "parameter; --profile ignored for it\n",
+                   algo.c_str());
+    }
+  }
+
   // --repeat=N re-runs the (fixed-seed, hence identical) execution N times
   // and --time reports min/median/mean wall-clock over the repeats — the
   // scenario build is excluded, so the numbers isolate the engine+protocol.
@@ -350,6 +367,30 @@ int cmd_run(const Args& args) {
     w.key("max_msg_bits").value(result.stats.max_message_bits);
     w.key("local_ops").value(result.local_ops);
     w.key("aborted").value(result.aborted);
+    if (profiled) {
+      const NetProfile& pr = result.profile;
+      w.key("profile")
+          .begin_object()
+          .key("stage_seconds")
+          .value(pr.stage_seconds)
+          .key("deliver_seconds")
+          .value(pr.deliver_seconds)
+          .key("fused_seconds")
+          .value(pr.fused_seconds)
+          .key("wake_seconds")
+          .value(pr.wake_seconds)
+          .key("arena_bytes_total")
+          .value(pr.arena_bytes_total)
+          .key("arena_bytes_peak_shard")
+          .value(pr.arena_bytes_peak_shard)
+          .key("lane_msgs_peak")
+          .value(pr.lane_msgs_peak)
+          .key("delayed_msgs_peak")
+          .value(pr.delayed_msgs_peak)
+          .key("broadcast_payload_bytes_saved")
+          .value(pr.broadcast_payload_bytes_saved)
+          .end_object();
+    }
     if (timed) {
       w.key("timing")
           .begin_object()
@@ -406,6 +447,18 @@ int cmd_run(const Args& args) {
                 "mean %.3fs\n",
                 seconds.size(), seconds.size() == 1 ? "" : "s", t_min,
                 t_median, t_mean);
+  }
+  if (profiled) {
+    // Per-phase engine seconds of the last run. fused covers the 1-thread
+    // clean-run stage+deliver pass (stage/deliver stay 0 there); bytes
+    // saved counts lane payload copies avoided by broadcast dedup.
+    const NetProfile& pr = result.profile;
+    std::printf(
+        "per-phase: stage %.3fs, deliver %.3fs, fused %.3fs, wake %.3fs; "
+        "broadcast payload bytes saved: %llu\n",
+        pr.stage_seconds, pr.deliver_seconds, pr.fused_seconds,
+        pr.wake_seconds,
+        static_cast<unsigned long long>(pr.broadcast_payload_bytes_saved));
   }
   std::printf("near-cliques found: %zu\n", clusters.size());
   for (const auto& [label, members] : clusters) {

@@ -45,7 +45,8 @@ AlgorithmRegistry build_global_registry() {
                                 .with("versions", 1)
                                 .with("window", 0)
                                 .with("max_rounds", 32'000'000)
-                                .with("threads", 1);
+                                .with("threads", 1)
+                                .with("profile", 0);
   for (const auto& [key, value] : fault_param_defaults().values()) {
     dnc_defaults.with(key, value);
   }
@@ -76,9 +77,17 @@ AlgorithmRegistry build_global_registry() {
              throw std::invalid_argument(
                  "algorithm parameter 'versions' must be in [1, 1023]");
            }
-           return to_algo_result(run_boosted(
+           // Opt-in engine profiling ('profile=1', or `run --profile`):
+           // the network fills the local sink during the run and the
+           // result carries it out, so per-phase seconds reach the CLI
+           // without anyone writing a bench.
+           NetProfile prof;
+           if (p.get_int("profile") != 0) cfg.net.profile = &prof;
+           AlgoResult out = to_algo_result(run_boosted(
                g, cfg, static_cast<std::uint16_t>(lambda),
                static_cast<std::uint64_t>(p.get_double("window"))));
+           out.profile = prof;
+           return out;
          }});
 
   r.add({"shingles",

@@ -45,6 +45,11 @@ struct AlgoResult {
   /// local-work budget).
   bool aborted = false;
 
+  /// Engine per-phase profile (network-backed algorithms run with the
+  /// 'profile' parameter set; all-zero otherwise — profiling costs the hot
+  /// path clock reads, so it stays opt-in).
+  NetProfile profile;
+
   /// Groups nodes by non-bottom label.
   [[nodiscard]] std::map<Label, std::vector<NodeId>> clusters() const;
 

@@ -293,8 +293,13 @@ void DistNearCliqueNode::run_participation(NodeApi& api, VersionState& vs) {
     }
   }
 
-  // Collect neighbours' participation lists.
-  if (!vs.participation_known) {
+  // Collect neighbours' participation lists. Rescanning is pointless on
+  // rounds where no kParticipate traffic arrived: nothing new is available
+  // and closures are deliveries too, so the outcome cannot change (the
+  // degree-0 case must still run once — its empty scan is what flips
+  // participation_known).
+  if (!vs.participation_known &&
+      (api.degree() == 0 || fresh(api, vs, kParticipate))) {
     std::size_t closed = 0;
     for (std::size_t ni = 0; ni < api.degree(); ++ni) {
       InStream* in = api.find_in(ni, key(kParticipate, 0, vs.w));

@@ -40,12 +40,14 @@ void RunStats::merge_traffic(const RunStats& other) {
 void NetProfile::absorb(const NetProfile& other) {
   stage_seconds += other.stage_seconds;
   deliver_seconds += other.deliver_seconds;
+  fused_seconds += other.fused_seconds;
   wake_seconds += other.wake_seconds;
   arena_bytes_total = std::max(arena_bytes_total, other.arena_bytes_total);
   arena_bytes_peak_shard =
       std::max(arena_bytes_peak_shard, other.arena_bytes_peak_shard);
   lane_msgs_peak = std::max(lane_msgs_peak, other.lane_msgs_peak);
   delayed_msgs_peak = std::max(delayed_msgs_peak, other.delayed_msgs_peak);
+  broadcast_payload_bytes_saved += other.broadcast_payload_bytes_saved;
 }
 
 std::string RunStats::summary() const {

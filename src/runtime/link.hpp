@@ -72,6 +72,20 @@ class Link {
   bool schedule_view(std::size_t budget_bits, unsigned header_bits,
                      MsgView& out);
 
+  /// Broadcast classification: true iff this link's next scheduled message
+  /// would be byte-identical to `prev` (same shared payload buffer, same
+  /// key, same symbol cursor, same EOS), in which case the stream is
+  /// advanced exactly as schedule_view would have — without re-running the
+  /// per-symbol packing loop, because identical (buffer, cursor, budget)
+  /// inputs make packing deterministic. On false nothing advances and the
+  /// caller falls back to schedule_view. This is how the stage phase
+  /// detects that sibling links of one open_stream_all share the identical
+  /// remaining view: the links share one OutStreamState, and their cursors
+  /// coincide exactly when they have drained in lockstep — the invariant
+  /// every (budget-uniform) CONGEST round preserves.
+  bool schedule_matches(std::size_t budget_bits, unsigned header_bits,
+                        const MsgView& prev);
+
   /// Copying wrapper around schedule_view (tests and compatibility callers):
   /// materializes the view into `out`'s symbol vector and end-prunes.
   bool schedule_into(std::size_t budget_bits, unsigned header_bits,
@@ -143,6 +157,12 @@ class Link {
   }
 
  private:
+  /// Round-robin selection shared by schedule_view and schedule_matches:
+  /// prunes finished streams, then returns the index of the next pending
+  /// stream (streams_.size() when the link is idle). Does not advance
+  /// rr_pos_ — the caller does, once the selection is committed.
+  std::size_t pick_pending();
+
   struct ActiveStream {
     StreamKey key;
     std::shared_ptr<const OutStreamState> state;

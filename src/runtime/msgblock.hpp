@@ -28,6 +28,21 @@ namespace nc {
 /// Either way the payload is copied exactly once at stage time, straight
 /// from the producer's shared SymbolBuffer via a MsgView.
 ///
+/// Broadcast rows: a stream opened on many links (open_stream_all) drains
+/// identically on every sibling link, so the stage phase stores the shared
+/// payload *once per lane* and fans it out over a packed receiver list. A
+/// broadcast row (kBcastBit set) reuses the to/back columns as the
+/// [receiver-range start, receiver count] of a run in the rcv_to/rcv_back/
+/// rcv_round columns; each receiver keeps its own delivery round because
+/// the fault engine decides loss and delay per (src, dst) edge — one shared
+/// payload, independent per-copy verdicts. Rows start life as ordinary
+/// unicast rows and are upgraded in place when a second receiver of the
+/// same scheduled view lands in the same lane (add_receiver), so a
+/// broadcast with one receiver per destination shard costs exactly what a
+/// unicast does. The deliver phase expands the receiver run in staged
+/// order, which reproduces the per-edge path's delivery sequence — and its
+/// RunStats — bit for bit: every copy charges the full wire_bits.
+///
 /// Backing storage is an ArenaVec per column: lanes bind the owning shard's
 /// per-round Arena (begin_round() re-carves them after the arena's O(1)
 /// reset); delayed buckets stay heap-backed, because they outlive rounds and
@@ -43,9 +58,15 @@ class MsgBlock {
     StreamKey key;
     bool eos;
     bool spilled;
+    bool bcast;
     std::uint32_t symbol_count;
     std::uint64_t wire_bits;
     std::uint64_t deliver_round;
+    // Broadcast rows: the receiver run [rcv_begin, rcv_begin + rcv_count)
+    // in the receiver columns (read via receiver()); to/back_index/
+    // deliver_round are meaningless on such rows.
+    std::uint32_t rcv_begin;
+    std::uint32_t rcv_count;
     // Inline payload (spilled == false): up to two value/width pairs.
     std::uint64_t v0, v1;
     unsigned w0, w1;
@@ -54,6 +75,13 @@ class MsgBlock {
     std::size_t pay_word_count;
     std::size_t pay_bits;
     const std::uint8_t* pay_widths;
+  };
+
+  /// One expanded copy of a broadcast row.
+  struct Receiver {
+    NodeId to;
+    std::uint32_t back_index;
+    std::uint64_t deliver_round;
   };
 
   /// Binds every column to `arena` (nullptr = heap mode). Call once, while
@@ -71,6 +99,9 @@ class MsgBlock {
     w01_.bind(arena);
     pay_words_.bind(arena);
     pay_widths_.bind(arena);
+    rcv_to_.bind(arena);
+    rcv_back_.bind(arena);
+    rcv_round_.bind(arena);
     arena_mode_ = arena != nullptr;
   }
 
@@ -82,7 +113,9 @@ class MsgBlock {
     const std::size_t recs = to_.size();
     const std::size_t words = pay_words_.size();
     const std::size_t wids = pay_widths_.size();
+    const std::size_t rcvs = rcv_to_.size();
     release_columns();
+    msg_count_ = 0;
     if (arena_mode_ && recs > 0) {
       to_.reserve(recs);
       back_.reserve(recs);
@@ -96,6 +129,11 @@ class MsgBlock {
       w01_.reserve(recs);
       if (words > 0) pay_words_.reserve(words);
       if (wids > 0) pay_widths_.reserve(wids);
+      if (rcvs > 0) {
+        rcv_to_.reserve(rcvs);
+        rcv_back_.reserve(rcvs);
+        rcv_round_.reserve(rcvs);
+      }
     }
   }
 
@@ -105,6 +143,7 @@ class MsgBlock {
   void push(const MsgView& v, NodeId to, std::uint32_t back_index,
             std::uint64_t deliver_round) {
     const bool spill = v.symbol_count > kInlineSymbols;
+    ++msg_count_;
     to_.push_back(to);
     back_.push_back(back_index);
     tag_.push_back(v.key.tag);
@@ -146,10 +185,46 @@ class MsgBlock {
     }
   }
 
+  /// Fans the block's *last* row out to one more receiver. The caller (the
+  /// stage phase's broadcast grouping) guarantees the last row was staged
+  /// from the same scheduled view this receiver matched — nothing else may
+  /// have been pushed in between. A first extra receiver upgrades the row
+  /// in place: its own (to, back, round) moves into the receiver columns,
+  /// the to/back columns become the receiver range, and kBcastBit marks the
+  /// new shape. The shared payload is not touched — that is the point.
+  void add_receiver(NodeId to, std::uint32_t back_index,
+                    std::uint64_t deliver_round) {
+    const std::size_t i = to_.size() - 1;
+    ++msg_count_;
+    if ((meta_[i] & kBcastBit) == 0) {
+      meta_[i] = static_cast<std::uint16_t>(meta_[i] | kBcastBit);
+      const std::size_t begin = rcv_to_.size();
+      rcv_to_.push_back(to_[i]);
+      rcv_back_.push_back(back_[i]);
+      rcv_round_.push_back(round_[i]);
+      to_[i] = static_cast<NodeId>(begin);
+      back_[i] = 1;
+    }
+    rcv_to_.push_back(to);
+    rcv_back_.push_back(back_index);
+    rcv_round_.push_back(deliver_round);
+    ++back_[i];
+  }
+
+  /// Receiver `idx` (absolute index into the receiver columns; take a
+  /// broadcast Rec's rcv_begin + j).
+  [[nodiscard]] Receiver receiver(std::size_t idx) const {
+    return Receiver{rcv_to_[idx], rcv_back_[idx], rcv_round_[idx]};
+  }
+
   /// Copies row `i` of `src` into this block (delayed-bucket hand-off; this
   /// block is heap-backed, the source lane is arena-backed and about to be
   /// reset). Spilled payloads are word-aligned, so the copy is a memcpy.
+  /// Unicast rows only — a delayed broadcast copy is materialized per
+  /// receiver via append_receiver_from, because each copy falls due on its
+  /// own round.
   void append_from(const MsgBlock& src, std::size_t i, unsigned header_bits) {
+    ++msg_count_;
     to_.push_back(src.to_[i]);
     back_.push_back(src.back_[i]);
     tag_.push_back(src.tag_[i]);
@@ -157,23 +232,24 @@ class MsgBlock {
     wire_.push_back(src.wire_[i]);
     count_.push_back(src.count_[i]);
     round_.push_back(src.round_[i]);
-    if ((src.meta_[i] & kSpillBit) == 0) {
-      v0_.push_back(src.v0_[i]);
-      v1_.push_back(src.v1_[i]);
-      w01_.push_back(src.w01_[i]);
-    } else {
-      const std::size_t pay_bits = src.wire_[i] - header_bits;
-      const std::size_t nwords = (pay_bits + 63) >> 6;
-      const std::size_t word_off = pay_words_.size();
-      const std::size_t width_off = pay_widths_.size();
-      std::memcpy(pay_words_.append(nwords),
-                  src.pay_words_.data() + src.v0_[i], nwords * sizeof(std::uint64_t));
-      std::memcpy(pay_widths_.append(src.count_[i]),
-                  src.pay_widths_.data() + src.v1_[i], src.count_[i]);
-      v0_.push_back(word_off);
-      v1_.push_back(width_off);
-      w01_.push_back(0);
-    }
+    copy_payload_from(src, i, header_bits);
+  }
+
+  /// Copies one receiver's copy of broadcast row `i` of `src` into this
+  /// block as a plain unicast row (delayed-bucket hand-off: a delayed
+  /// broadcast copy leaves the shared row and becomes an independent
+  /// message parked until `r.deliver_round`).
+  void append_receiver_from(const MsgBlock& src, std::size_t i,
+                            const Receiver& r, unsigned header_bits) {
+    ++msg_count_;
+    to_.push_back(r.to);
+    back_.push_back(r.back_index);
+    tag_.push_back(src.tag_[i]);
+    meta_.push_back(static_cast<std::uint16_t>(src.meta_[i] & ~kBcastBit));
+    wire_.push_back(src.wire_[i]);
+    count_.push_back(src.count_[i]);
+    round_.push_back(r.deliver_round);
+    copy_payload_from(src, i, header_bits);
   }
 
   /// Decodes row `i`. `header_bits` recovers the payload bit length from
@@ -187,6 +263,14 @@ class MsgBlock {
                       static_cast<std::uint16_t>((meta >> 5) & 15u)};
     r.eos = (meta & kEosBit) != 0;
     r.spilled = (meta & kSpillBit) != 0;
+    r.bcast = (meta & kBcastBit) != 0;
+    if (r.bcast) {
+      r.rcv_begin = static_cast<std::uint32_t>(to_[i]);
+      r.rcv_count = back_[i];
+    } else {
+      r.rcv_begin = 0;
+      r.rcv_count = 0;
+    }
     r.symbol_count = count_[i];
     r.wire_bits = wire_[i];
     r.deliver_round = round_[i];
@@ -210,15 +294,24 @@ class MsgBlock {
     return r;
   }
 
+  /// Rows (a broadcast row is one row however many receivers it fans to).
   [[nodiscard]] std::size_t size() const noexcept { return to_.size(); }
   [[nodiscard]] bool empty() const noexcept { return to_.empty(); }
+
+  /// Physical messages staged — unicast rows plus every broadcast
+  /// receiver. What lane_msgs_peak and the per-edge accounting count.
+  [[nodiscard]] std::size_t message_count() const noexcept {
+    return msg_count_;
+  }
 
  private:
   static constexpr std::size_t kInlineSymbols = 2;
   static constexpr std::uint16_t kEosBit = 1u << 9;
   static constexpr std::uint16_t kSpillBit = 1u << 10;
+  static constexpr std::uint16_t kBcastBit = 1u << 11;
 
-  // meta layout: kind (5 bits) | version (4 bits) | eos (1) | spilled (1).
+  // meta layout: kind (5 bits) | version (4 bits) | eos (1) | spilled (1) |
+  // broadcast (1).
   // The widths mirror the wire header's fields (see stream_header_bits), so
   // kMaxMsgKinds/kMaxStreamVersions bound them by construction.
   static std::uint16_t pack_meta(const StreamKey& key, bool eos,
@@ -226,6 +319,29 @@ class MsgBlock {
     return static_cast<std::uint16_t>(key.kind | (key.version << 5) |
                                       (eos ? kEosBit : 0) |
                                       (spill ? kSpillBit : 0));
+  }
+
+  /// Shared payload-copy tail of append_from / append_receiver_from.
+  void copy_payload_from(const MsgBlock& src, std::size_t i,
+                         unsigned header_bits) {
+    if ((src.meta_[i] & kSpillBit) == 0) {
+      v0_.push_back(src.v0_[i]);
+      v1_.push_back(src.v1_[i]);
+      w01_.push_back(src.w01_[i]);
+    } else {
+      const std::size_t pay_bits = src.wire_[i] - header_bits;
+      const std::size_t nwords = (pay_bits + 63) >> 6;
+      const std::size_t word_off = pay_words_.size();
+      const std::size_t width_off = pay_widths_.size();
+      std::memcpy(pay_words_.append(nwords),
+                  src.pay_words_.data() + src.v0_[i],
+                  nwords * sizeof(std::uint64_t));
+      std::memcpy(pay_widths_.append(src.count_[i]),
+                  src.pay_widths_.data() + src.v1_[i], src.count_[i]);
+      v0_.push_back(word_off);
+      v1_.push_back(width_off);
+      w01_.push_back(0);
+    }
   }
 
   void release_columns() noexcept {
@@ -241,6 +357,9 @@ class MsgBlock {
     w01_.release();
     pay_words_.release();
     pay_widths_.release();
+    rcv_to_.release();
+    rcv_back_.release();
+    rcv_round_.release();
   }
 
   ArenaVec<NodeId> to_;
@@ -255,6 +374,12 @@ class MsgBlock {
   ArenaVec<std::uint16_t> w01_;    ///< inline widths, low byte w0, high w1
   ArenaVec<std::uint64_t> pay_words_;  ///< spilled payloads, word-aligned
   ArenaVec<std::uint8_t> pay_widths_;  ///< spilled payloads' symbol widths
+  // Broadcast receiver runs (one entry per copy; a row's to_/back_ index a
+  // contiguous run here). rcv_round_ carries the per-copy fault delay.
+  ArenaVec<NodeId> rcv_to_;
+  ArenaVec<std::uint32_t> rcv_back_;
+  ArenaVec<std::uint64_t> rcv_round_;
+  std::size_t msg_count_ = 0;  ///< physical messages (rows + extra receivers)
   bool arena_mode_ = false;
 };
 

@@ -80,10 +80,16 @@ void NodeApi::set_alarm(std::uint64_t round) {
   st.alarm = round;  // latest call wins; stale bucket entries are skipped
   if (round != Network::kNoAlarm) {
     // The owning shard's buckets: a node only ever arms itself, so the
-    // write stays inside the shard running this callback.
-    net_->shards_[net_->plan_.node_shard[id_]]
-        .alarm_buckets[round]
-        .push_back(id_);
+    // write stays inside the shard running this callback. Synchronous
+    // protocols overwhelmingly arm for the same round their neighbours
+    // just armed for, so the shard memoizes the last bucket and the common
+    // case skips the map walk entirely.
+    auto& sh = net_->shards_[net_->plan_.node_shard[id_]];
+    if (sh.alarm_memo_round != round) {
+      sh.alarm_memo_bucket = &sh.alarm_buckets[round];
+      sh.alarm_memo_round = round;
+    }
+    sh.alarm_memo_bucket->push_back(id_);
   }
 }
 
@@ -149,7 +155,9 @@ Network::Network(const Graph& g, const NetConfig& config,
   for (unsigned s = 0; s < k; ++s) {
     shards_[s].begin = plan_.begin(s);
     shards_[s].end = plan_.end(s);
+    shards_[s].woken.assign(shards_[s].end - shards_[s].begin, 0);
     shards_[s].lanes.resize(k);
+    shards_[s].bcast_open.assign(k, 0);
     // Lane columns carve from the owning shard's per-round arena; the
     // cross-round delayed buckets stay heap-backed (default bind).
     for (auto& lane : shards_[s].lanes) lane.bind(&shards_[s].arena);
@@ -197,9 +205,9 @@ Network::Network(const Graph& g, const NetConfig& config,
 }
 
 void Network::wake(Shard& sh, NodeId v) {
-  auto& st = states_[v];
-  if (!st.woken && !st.done) {
-    st.woken = true;
+  std::uint8_t& queued = sh.woken[v - sh.begin];
+  if (!queued && !states_[v].done) {
+    queued = 1;
     sh.wake_list.push_back(v);
   }
 }
@@ -231,6 +239,10 @@ std::uint64_t Network::next_alarm_round() {
         best = std::min(best, round);
         break;
       }
+      if (sh.alarm_memo_round == round) {
+        sh.alarm_memo_round = kNoAlarm;
+        sh.alarm_memo_bucket = nullptr;
+      }
       sh.alarm_buckets.erase(it);
     }
   }
@@ -250,6 +262,10 @@ void Network::collect_due_alarms(Shard& sh) {
         st.alarm = kNoAlarm;
         wake(sh, v);
       }
+    }
+    if (sh.alarm_memo_round == round) {
+      sh.alarm_memo_round = kNoAlarm;
+      sh.alarm_memo_bucket = nullptr;
     }
     sh.alarm_buckets.erase(it);
   }
@@ -331,6 +347,24 @@ void Network::deliver_record(Shard& dst, TrafficBatch& batch,
   batch.charge(r.key.kind, r.wire_bits);
 }
 
+void Network::deliver_copy(Shard& dst, TrafficBatch& batch,
+                           const MsgBlock::Rec& r,
+                           const MsgBlock::Receiver& rcv) {
+  auto& st = states_[rcv.to];
+  st.rx_by_kind[r.key.kind] += 1;
+  InStream& stream = st.inbox.open(rcv.back_index, r.key);
+  if (r.spilled) {
+    stream.deliver_packed(r.pay_words, r.pay_word_count, 0, r.pay_bits,
+                          r.pay_widths, r.symbol_count);
+  } else {
+    if (r.symbol_count >= 1) stream.deliver(r.v0, r.w0);
+    if (r.symbol_count == 2) stream.deliver(r.v1, r.w1);
+  }
+  if (r.eos) stream.deliver_eos();
+  wake(dst, rcv.to);
+  batch.charge(r.key.kind, r.wire_bits);
+}
+
 bool Network::fault_verdict(Shard& sh, std::size_t e, NodeId from, NodeId to,
                             std::uint64_t count,
                             std::uint64_t* deliver_round) {
@@ -368,17 +402,39 @@ void Network::stage_shard(unsigned s) {
   }
   std::size_t kept = 0;
   MsgView view;
+  // Broadcast grouping (CONGEST + dedup only): active links are walked in
+  // ascending (owner, neighbour-index) order, so the sibling links of one
+  // open_stream_all are consecutive. The first link of a run schedules
+  // normally and becomes the group head; every following link of the same
+  // owner whose next message is byte-identical to the head view
+  // (Link::schedule_matches) skips the packing loop and lands in its lane
+  // as a packed receiver entry on the group's open row — payload staged
+  // once per (src-shard, dst-shard), not once per edge. Faults still run
+  // per edge: a dropped copy simply adds no receiver, a delayed copy
+  // carries its own deliver round in the receiver entry.
+  const bool dedup = config_.broadcast_dedup &&
+                     config_.mode == NetConfig::Mode::kCongest;
+  const bool profiling = config_.profile != nullptr;
+  NodeId group_from = 0;
+  bool group_live = false;
+  MsgView group_view;
+  auto close_group = [&]() {
+    if (!group_live) return;
+    group_live = false;
+    for (const unsigned d : sh.bcast_touched) sh.bcast_open[d] = 0;
+    sh.bcast_touched.clear();
+  };
   for (const std::size_t e : sh.active_links) {
     const NodeId from = edge_owner_[e];
     const std::size_t ni = e - edge_base_[from];
     Link& link = states_[from].out_links[ni];
     const NodeId to = graph_->neighbors(from)[ni];
-    MsgBlock& lane = sh.lanes[plan_.node_shard[to]];
     const auto back = static_cast<std::uint32_t>(reverse_index_[e]);
     if (config_.mode == NetConfig::Mode::kLocal) {
       // One channel decision covers the whole drained batch; the count is
       // known up front (one message per pending stream). A dropped batch
       // still advances the streams — the traffic was sent, then lost.
+      MsgBlock& lane = sh.lanes[plan_.node_shard[to]];
       const std::size_t count = link.pending_stream_count();
       std::uint64_t deliver_round = 0;
       const bool drop = faults_ && count > 0 &&
@@ -388,11 +444,41 @@ void Network::stage_shard(unsigned s) {
             if (!drop) lane.push(v, to, back, deliver_round);
           });
       if (produced > 0) link.release_idle();
+    } else if (group_live && from == group_from &&
+               link.schedule_matches(bandwidth_bits_, header_bits_,
+                                     group_view)) {
+      std::uint64_t deliver_round = 0;
+      if (!(faults_ && fault_verdict(sh, e, from, to, 1, &deliver_round))) {
+        const unsigned d = plan_.node_shard[to];
+        MsgBlock& lane = sh.lanes[d];
+        if (sh.bcast_open[d]) {
+          lane.add_receiver(to, back, deliver_round);
+          if (profiling) sh.bcast_saved += (group_view.bit_len + 7) / 8;
+        } else {
+          // First surviving copy headed for this destination shard: the
+          // lane needs its own payload copy (lanes never share storage).
+          lane.push(group_view, to, back, deliver_round);
+          sh.bcast_open[d] = 1;
+          sh.bcast_touched.push_back(d);
+        }
+      }
+      link.release_idle();
     } else {
+      close_group();
       if (link.schedule_view(bandwidth_bits_, header_bits_, view)) {
         std::uint64_t deliver_round = 0;
-        if (!(faults_ && fault_verdict(sh, e, from, to, 1, &deliver_round))) {
-          lane.push(view, to, back, deliver_round);
+        const bool drop =
+            faults_ && fault_verdict(sh, e, from, to, 1, &deliver_round);
+        const unsigned d = plan_.node_shard[to];
+        if (!drop) sh.lanes[d].push(view, to, back, deliver_round);
+        if (dedup) {
+          group_from = from;
+          group_view = view;
+          group_live = true;
+          if (!drop) {
+            sh.bcast_open[d] = 1;
+            sh.bcast_touched.push_back(d);
+          }
         }
         link.release_idle();
       }
@@ -403,10 +489,11 @@ void Network::stage_shard(unsigned s) {
       link_active_[e] = 0;
     }
   }
+  close_group();
   sh.active_links.resize(kept);
-  if (config_.profile != nullptr) {
+  if (profiling) {
     std::uint64_t staged = 0;
-    for (const auto& lane : sh.lanes) staged += lane.size();
+    for (const auto& lane : sh.lanes) staged += lane.message_count();
     if (staged > sh.staged_peak) sh.staged_peak = staged;
   }
 }
@@ -420,21 +507,51 @@ void Network::deliver_round_serial() {
   std::size_t kept = 0;
   MsgView view;
   TrafficBatch batch;
-  for (const std::size_t e : sh.active_links) {
+  // The fused path can't dedup payload copies (each inbox needs its own
+  // symbols), but it reuses the broadcast classifier to skip the per-symbol
+  // packing walk for every sibling link after the first: a match means
+  // `view` already describes the message, so the link just advances.
+  const bool dedup = config_.broadcast_dedup &&
+                     config_.mode == NetConfig::Mode::kCongest;
+  NodeId group_from = 0;
+  bool group_live = false;
+  const std::size_t n_active = sh.active_links.size();
+  for (std::size_t idx = 0; idx < n_active; ++idx) {
+    const std::size_t e = sh.active_links[idx];
     const NodeId from = edge_owner_[e];
     const std::size_t ni = e - edge_base_[from];
     Link& link = states_[from].out_links[ni];
     const NodeId to = graph_->neighbors(from)[ni];
     const std::size_t back = reverse_index_[e];
+    if (idx + 2 < n_active) {
+      // Each delivery lands on a random destination's ~2 KB NodeState (the
+      // counters, the inbox bucket headers) — cold misses that dominate the
+      // per-copy cost on high-degree graphs. Peeking two active links ahead
+      // overlaps the next destinations' misses with this copy's work (one
+      // link ahead is not enough lead time for the dependent-miss chain).
+      const std::size_t e2 = sh.active_links[idx + 2];
+      const NodeId from2 = edge_owner_[e2];
+      const NodeId to2 = graph_->neighbors(from2)[e2 - edge_base_[from2]];
+      prefetch_dst(to2);
+    }
     if (config_.mode == NetConfig::Mode::kLocal) {
       const std::size_t produced =
           link.drain_views(header_bits_, [&](const MsgView& v) {
             deliver_view(sh, batch, to, back, v);
           });
       if (produced > 0) link.release_idle();
+    } else if (group_live && from == group_from &&
+               link.schedule_matches(bandwidth_bits_, header_bits_, view)) {
+      deliver_view(sh, batch, to, back, view);
+      link.release_idle();
     } else {
+      group_live = false;
       if (link.schedule_view(bandwidth_bits_, header_bits_, view)) {
         deliver_view(sh, batch, to, back, view);
+        if (dedup) {
+          group_from = from;
+          group_live = true;
+        }
         link.release_idle();
       }
     }
@@ -474,7 +591,32 @@ void Network::deliver_shard(unsigned d) {
     const MsgBlock& lane = src.lanes[d];
     for (std::size_t i = 0; i < lane.size(); ++i) {
       const MsgBlock::Rec r = lane.record(i, header_bits_);
-      if (faults_ && r.deliver_round > round_) {
+      if (r.bcast) {
+        // Broadcast row: one shared payload, receivers expanded in packed
+        // order — which is ascending edge order within the lane, exactly
+        // the sequence the per-edge path would have staged, so per-node
+        // delivery order and accounting are bit-identical. Each receiver
+        // carries its own deliver round (faults decide per copy); a future
+        // copy is materialized into the bucket as a plain per-edge row.
+        for (std::uint32_t j = 0; j < r.rcv_count; ++j) {
+          const MsgBlock::Receiver rcv = lane.receiver(r.rcv_begin + j);
+          if (j + 2 < r.rcv_count) {
+            prefetch_dst(lane.receiver(r.rcv_begin + j + 2).to);
+          }
+          if (faults_ && rcv.deliver_round > round_) {
+            dst.delayed[rcv.deliver_round].append_receiver_from(
+                lane, i, rcv, header_bits_);
+            if (config_.profile != nullptr) {
+              ++dst.delayed_msgs;
+              if (dst.delayed_msgs > dst.delayed_peak) {
+                dst.delayed_peak = dst.delayed_msgs;
+              }
+            }
+          } else {
+            deliver_copy(dst, batch, r, rcv);
+          }
+        }
+      } else if (faults_ && r.deliver_round > round_) {
         // In flight: copy the staged row (payload and all) into this
         // shard's future bucket — the arena-backed lane is rewound next
         // round, so the bucket owns a heap copy. Touching lane[src][d]
@@ -499,13 +641,22 @@ void Network::deliver_shard(unsigned d) {
 void Network::wake_shard(unsigned s) {
   Shard& sh = shards_[s];
   collect_due_alarms(sh);
-  if (!std::is_sorted(sh.wake_list.begin(), sh.wake_list.end())) {
+  const std::size_t span = static_cast<std::size_t>(sh.end - sh.begin);
+  if (sh.wake_list.size() * 8 >= span) {
+    // Dense round (most protocol rounds wake most nodes): rebuild the ID
+    // order with one linear scan of the contiguous woken bitmap instead of
+    // sorting the arrival-order list — O(span) sequential bytes beats
+    // O(w log w) random-order comparisons well before w reaches span/8.
+    sh.wake_list.clear();
+    for (std::size_t i = 0; i < span; ++i) {
+      if (sh.woken[i]) sh.wake_list.push_back(sh.begin + static_cast<NodeId>(i));
+    }
+  } else if (!std::is_sorted(sh.wake_list.begin(), sh.wake_list.end())) {
     std::sort(sh.wake_list.begin(), sh.wake_list.end());
   }
   for (const NodeId v : sh.wake_list) {
-    auto& st = states_[v];
-    st.woken = false;
-    if (st.done) continue;
+    sh.woken[v - sh.begin] = 0;
+    if (states_[v].done) continue;
     NodeApi api(*this, v);
     nodes_[v]->on_round(api);
     refresh_outgoing(v);
@@ -555,8 +706,13 @@ bool Network::step(bool allow_fast_forward) {
   if (shards_.size() == 1 && !faults_) {
     deliver_round_serial();
     if (prof) {
+      // The fused loop schedules and delivers in one pass; splitting its
+      // time into stage/deliver would require a clock read per edge. It is
+      // booked honestly as its own phase instead (fused_seconds), so a
+      // 1-thread profile no longer shows stage_seconds: 0 with the stage
+      // work hidden inside deliver_seconds.
       const auto t1 = clock::now();
-      prof_.deliver_seconds += std::chrono::duration<double>(t1 - t0).count();
+      prof_.fused_seconds += std::chrono::duration<double>(t1 - t0).count();
       t0 = t1;
     }
   } else {
@@ -594,12 +750,14 @@ void Network::flush_profile() {
   prof_.arena_bytes_peak_shard = 0;
   prof_.lane_msgs_peak = 0;
   prof_.delayed_msgs_peak = 0;
+  prof_.broadcast_payload_bytes_saved = 0;
   for (const auto& sh : shards_) {
     const auto hw = static_cast<std::uint64_t>(sh.arena.high_water_bytes());
     prof_.arena_bytes_total += hw;
     prof_.arena_bytes_peak_shard = std::max(prof_.arena_bytes_peak_shard, hw);
     prof_.lane_msgs_peak = std::max(prof_.lane_msgs_peak, sh.staged_peak);
     prof_.delayed_msgs_peak = std::max(prof_.delayed_msgs_peak, sh.delayed_peak);
+    prof_.broadcast_payload_bytes_saved += sh.bcast_saved;
   }
   // Cumulative over the network's lifetime: repeated run_rounds() calls
   // overwrite the destination with ever-growing totals.

@@ -85,6 +85,17 @@ struct NetConfig {
   /// bit-identical at every thread count too.
   FaultPlan faults;
 
+  /// Broadcast payload dedup (CONGEST only): consecutive sibling links that
+  /// would schedule the identical view of one shared stream are staged as a
+  /// single broadcast row per (src-shard → dst-shard) lane — payload once,
+  /// receivers as packed indices — instead of one payload copy per edge.
+  /// Purely an engine optimization: fixed-seed RunStats, labels and fault
+  /// verdicts are bit-identical either way (every copy still gets its own
+  /// per-(src, dst) loss/delay/crash decision; locked by
+  /// tests/test_determinism.cpp). False forces the historical per-edge
+  /// path — the comparison baseline for benches and the determinism tests.
+  bool broadcast_dedup = true;
+
   /// Opt-in engine profiling: when non-null, the network accumulates
   /// per-phase wall-clock and arena/lane peaks here over its lifetime
   /// (flushed at the end of run()/run_rounds()). Null — the default —
@@ -270,7 +281,9 @@ class Network {
     std::array<std::uint64_t, kMaxMsgKinds> rx_by_kind{};
     std::uint64_t alarm = kNoAlarm;
     bool done = false;
-    bool woken = false;  // queued in this round's wake list
+    // The "queued in this round's wake list" flag lives in the owning
+    // shard's contiguous `woken` bitmap, not here: the wake phase scans it
+    // densely, and NodeState is far too big to stride for one byte.
   };
   static constexpr std::uint64_t kNoAlarm = ~0ULL;
 
@@ -289,8 +302,21 @@ class Network {
     /// round -> armed owned nodes; entries lazily invalidated on re-arm.
     std::map<std::uint64_t, std::vector<NodeId>> alarm_buckets;
 
+    /// Bucket memo for set_alarm: protocols overwhelmingly re-arm for the
+    /// same round their neighbours do, so the common case skips the map
+    /// walk. Map values are node-stable, so the pointer survives unrelated
+    /// inserts/erases; the erasing paths (collect_due_alarms,
+    /// next_alarm_round) clear the memo when they pop its bucket.
+    std::uint64_t alarm_memo_round = ~0ULL;
+    std::vector<NodeId>* alarm_memo_bucket = nullptr;
+
     /// Owned nodes to run this round.
     std::vector<NodeId> wake_list;
+
+    /// Per-owned-node "queued in wake_list" flags (index: id - begin). A
+    /// contiguous bitmap so dense rounds can rebuild the wake order with a
+    /// linear scan instead of sorting (see wake_shard).
+    std::vector<std::uint8_t> woken;
 
     /// Owned nodes that called set_done().
     NodeId done_count = 0;
@@ -319,12 +345,22 @@ class Network {
     /// rewind storage that crosses its reset boundary.
     std::map<std::uint64_t, MsgBlock> delayed;
 
+    /// Broadcast-grouping scratch for the stage phase: bcast_open[d] marks
+    /// that lane d's *last* row belongs to the broadcast group currently
+    /// being staged (so the next sibling copy extends it via add_receiver
+    /// instead of pushing a fresh payload); bcast_touched lists the lanes
+    /// with a set flag so closing a group is O(group lanes), not O(k).
+    std::vector<std::uint8_t> bcast_open;
+    std::vector<unsigned> bcast_touched;
+
     /// Profiling partials (NetConfig::profile only; zero cost otherwise):
-    /// peak rows staged by this shard in one round, and the current /
-    /// peak count of messages parked in `delayed`.
+    /// peak messages staged by this shard in one round, the current / peak
+    /// count of messages parked in `delayed`, and the payload bytes this
+    /// shard avoided re-staging thanks to broadcast dedup.
     std::uint64_t staged_peak = 0;
     std::uint64_t delayed_msgs = 0;
     std::uint64_t delayed_peak = 0;
+    std::uint64_t bcast_saved = 0;
 
     /// Churn schedule for this shard's nodes: round -> nodes whose crash or
     /// recovery fires then. Precomputed at construction; never stale.
@@ -374,6 +410,30 @@ class Network {
   /// Applies one staged lane/bucket row to its destination node, charging
   /// `batch` (flushed into the shard's traffic partial once per phase).
   void deliver_record(Shard& dst, TrafficBatch& batch, const MsgBlock::Rec& r);
+
+  /// Applies one receiver's copy of a staged *broadcast* row: identical to
+  /// deliver_record except the destination and reverse index come from the
+  /// packed receiver entry, while payload, key and wire accounting come
+  /// from the shared row — each copy is charged exactly what the per-edge
+  /// path would have charged it.
+  void deliver_copy(Shard& dst, TrafficBatch& batch, const MsgBlock::Rec& r,
+                    const MsgBlock::Receiver& rcv);
+
+  /// Hints the destination node's hot state into cache one delivery ahead
+  /// of use: deliveries land on essentially random ~2 KB NodeStates, and
+  /// the dependent-miss chain (state header → inbox bucket → stream) is
+  /// the measured per-copy bottleneck on high-degree graphs. A pure hint —
+  /// no observable behaviour depends on it.
+  void prefetch_dst(NodeId to) const noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+    const auto& st = states_[to];
+    __builtin_prefetch(&st.inbox);
+    __builtin_prefetch(reinterpret_cast<const char*>(&st.inbox) + 64);
+    __builtin_prefetch(st.rx_by_kind.data());
+#else
+    (void)to;
+#endif
+  }
 
   /// Fault-engine verdict for the traffic scheduled on edge e this round
   /// (`count` physical messages: 1 in CONGEST, the drained batch in LOCAL —

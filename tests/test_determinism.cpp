@@ -150,6 +150,57 @@ TEST(DeterminismRegression, ThreadCountsAreBitIdentical) {
   }
 }
 
+TEST(DeterminismRegression, BroadcastDedupMatchesPerEdgeBitIdentically) {
+  // The stage-side broadcast payload dedup is a pure representation change:
+  // forcing every copy down the per-edge path (broadcast_dedup = false)
+  // must reproduce the dedup engine's RunStats, per-kind bits and labels
+  // bit for bit — at every thread count, clean and under a fault plan that
+  // drops, delays and crashes (per-copy verdicts must stay per-edge).
+  Rng rng(19);
+  const auto inst = planted_partition(56, 4, 0.8, 0.06, rng);
+  DriverConfig cfg;
+  cfg.proto.eps = 0.2;
+  cfg.proto.p = 0.12;
+  cfg.proto.versions = 2;
+  cfg.net.seed = 47;
+  cfg.net.max_rounds = 300'000;
+
+  for (const bool faulty : {false, true}) {
+    if (faulty) {
+      cfg.net.faults.loss = 0.03;
+      cfg.net.faults.delay_min = 0;
+      cfg.net.faults.delay_max = 2;
+      cfg.net.faults.crash_frac = 0.05;
+      cfg.net.faults.crash_round = 40;
+      cfg.net.faults.recover_after = 30;
+    }
+    SCOPED_TRACE(faulty ? "loss+delay+churn" : "clean");
+    cfg.net.broadcast_dedup = true;
+    cfg.net.threads = 1;
+    const auto golden = run_dist_near_clique(inst.graph, cfg);
+    for (const unsigned threads : {1u, 2u, 4u, 64u}) {
+      for (const bool dedup : {true, false}) {
+        if (threads == 1 && dedup) continue;  // that run is the golden
+        cfg.net.broadcast_dedup = dedup;
+        cfg.net.threads = threads;
+        const auto got = run_dist_near_clique(inst.graph, cfg);
+        SCOPED_TRACE("threads=" + std::to_string(threads) +
+                     (dedup ? " dedup" : " per-edge"));
+        EXPECT_EQ(golden.stats.rounds, got.stats.rounds);
+        EXPECT_EQ(golden.stats.messages, got.stats.messages);
+        EXPECT_EQ(golden.stats.bits, got.stats.bits);
+        EXPECT_EQ(golden.stats.max_message_bits, got.stats.max_message_bits);
+        EXPECT_EQ(golden.stats.bits_by_kind, got.stats.bits_by_kind);
+        EXPECT_EQ(golden.stats.stalled, got.stats.stalled);
+        EXPECT_EQ(golden.stats.hit_round_limit, got.stats.hit_round_limit);
+        EXPECT_EQ(golden.labels, got.labels);
+        EXPECT_EQ(golden.total_local_ops, got.total_local_ops);
+      }
+    }
+    cfg.net.faults = FaultPlan{};
+  }
+}
+
 TEST(DeterminismRegression, RepeatRunsAreIdentical) {
   Rng rng(7);
   PlantedNearCliqueParams pp;

@@ -7,8 +7,13 @@
 #include "runtime/inbox.hpp"
 
 // Direct unit tests of the flat kind-bucketed inbox: deterministic
-// (ni, key) iteration order, kind isolation, find/open semantics and the
-// kind-range guard.
+// (ni, key) iteration order, kind isolation, find/open semantics, the
+// consumed-prefix cursor and the kind-range guard.
+//
+// Contract note: the runtime only ever touches a stream through open()
+// immediately before delivering into it, so these tests do the same — an
+// entry that exists but has never received anything is indistinguishable
+// from a consumed one, and for_each's prefix cursor is allowed to skip it.
 
 namespace nc {
 namespace {
@@ -30,7 +35,7 @@ TEST(Inbox, IterationOrderIsSortedRegardlessOfInsertionOrder) {
   const std::vector<std::tuple<std::size_t, NodeId, std::uint16_t>> scrambled{
       {2, 5, 0}, {0, 9, 1}, {2, 1, 2}, {0, 9, 0}, {1, 0, 0}, {2, 1, 1}};
   for (const auto& [ni, tag, version] : scrambled) {
-    (void)inbox.open(ni, StreamKey{3, tag, version});
+    inbox.open(ni, StreamKey{3, tag, version}).deliver(1, 4);
   }
   const Seen want{{0, 9, 0}, {0, 9, 1}, {1, 0, 0},
                   {2, 1, 1}, {2, 1, 2}, {2, 5, 0}};
@@ -39,9 +44,9 @@ TEST(Inbox, IterationOrderIsSortedRegardlessOfInsertionOrder) {
 
 TEST(Inbox, KindsAreIsolated) {
   Inbox inbox;
-  (void)inbox.open(0, StreamKey{1, 7, 0});
-  (void)inbox.open(1, StreamKey{2, 7, 0});
-  (void)inbox.open(2, StreamKey{1, 8, 0});
+  inbox.open(0, StreamKey{1, 7, 0}).deliver(1, 4);
+  inbox.open(1, StreamKey{2, 7, 0}).deliver(1, 4);
+  inbox.open(2, StreamKey{1, 8, 0}).deliver(1, 4);
   EXPECT_EQ(collect(inbox, 1).size(), 2u);
   EXPECT_EQ(collect(inbox, 2).size(), 1u);
   EXPECT_TRUE(collect(inbox, 5).empty());
@@ -63,6 +68,48 @@ TEST(Inbox, OpenIsFindOrCreateAndFindDoesNotCreate) {
   EXPECT_EQ(inbox.find(3, StreamKey{4, 12, 2}), nullptr);
   EXPECT_EQ(inbox.find(2, key), nullptr);
   EXPECT_EQ(inbox.size(), 1u);
+}
+
+TEST(Inbox, ConsumedPrefixIsSkippedAndRevivedByDelivery) {
+  Inbox inbox;
+  const std::uint16_t kind = 3;
+  for (std::size_t ni = 0; ni < 3; ++ni) {
+    inbox.open(ni, StreamKey{kind, 0, 0}).deliver(ni, 4);
+  }
+  // First sweep sees all three and drains them.
+  std::size_t visited = 0;
+  inbox.for_each(kind, [&](std::size_t, const StreamKey&, InStream& s) {
+    ++visited;
+    while (s.available() > 0) (void)s.pop();
+  });
+  EXPECT_EQ(visited, 3u);
+  // Everything is drained and unclosed: the whole bucket is consumed
+  // prefix now, and the next sweep skips it.
+  EXPECT_TRUE(collect(inbox, kind).empty());
+  // A delivery to the middle entry pulls the cursor back over it; the
+  // trailing (still dead) entry is visited too — only the *prefix* is
+  // skipped, so iteration order never changes for surviving entries.
+  inbox.open(1, StreamKey{kind, 0, 0}).deliver(7, 4);
+  const Seen want{{1, 0, 0}, {2, 0, 0}};
+  EXPECT_EQ(collect(inbox, kind), want);
+}
+
+TEST(Inbox, ClosedStreamsAreNeverSkipped) {
+  Inbox inbox;
+  const std::uint16_t kind = 2;
+  // Entry 0 closes (EOS delivered through open(), as the runtime does);
+  // entry 1 stays open and gets drained.
+  inbox.open(0, StreamKey{kind, 0, 0}).deliver_eos();
+  InStream& s1 = inbox.open(1, StreamKey{kind, 0, 0});
+  s1.deliver(5, 4);
+  while (s1.available() > 0) (void)s1.pop();
+  // The closed head pins the prefix: visitors that count finished streams
+  // (tree finalization, component announce) must keep seeing it, every
+  // sweep, even though it has nothing left to pop.
+  for (int sweep = 0; sweep < 2; ++sweep) {
+    const Seen want{{0, 0, 0}, {1, 0, 0}};
+    EXPECT_EQ(collect(inbox, kind), want);
+  }
 }
 
 TEST(Inbox, OutOfRangeKindThrows) {

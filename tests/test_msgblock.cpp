@@ -288,6 +288,161 @@ TEST(MsgBlock, ArenaLaneSteadyStateReusesMemory) {
   EXPECT_EQ(arena.high_water_bytes(), hw);
 }
 
+TEST(MsgBlock, BroadcastUpgradeKeepsFirstReceiverAndSharesPayload) {
+  // A row starts unicast; the first add_receiver upgrades it in place and
+  // the original (to, back, round) must come back as receiver 0, in order.
+  MsgBlock block;
+  Scheduled s;
+  schedule(s, StreamKey{3, 21, 1}, {{0xbeef, 16}, {0x7, 3}}, /*close=*/true,
+           kHeader + 19);
+  ASSERT_TRUE(s.ok);
+  block.push(s.view, 40, 4, 0);
+  block.add_receiver(41, 5, 0);
+  block.add_receiver(47, 9, 0);
+
+  ASSERT_EQ(block.size(), 1u);            // one row...
+  EXPECT_EQ(block.message_count(), 3u);   // ...three physical messages
+  const MsgBlock::Rec r = block.record(0, kHeader);
+  EXPECT_TRUE(r.bcast);
+  EXPECT_FALSE(r.spilled);
+  EXPECT_TRUE(r.eos);
+  ASSERT_EQ(r.rcv_count, 3u);
+  const MsgBlock::Receiver want[] = {{40, 4, 0}, {41, 5, 0}, {47, 9, 0}};
+  for (std::uint32_t j = 0; j < r.rcv_count; ++j) {
+    const MsgBlock::Receiver rcv = block.receiver(r.rcv_begin + j);
+    EXPECT_EQ(rcv.to, want[j].to);
+    EXPECT_EQ(rcv.back_index, want[j].back_index);
+    EXPECT_EQ(rcv.deliver_round, want[j].deliver_round);
+  }
+  // The shared payload decodes once and serves every copy.
+  const auto symbols = replay(r);
+  ASSERT_EQ(symbols.size(), 2u);
+  EXPECT_EQ(symbols[0], (std::pair<std::uint64_t, unsigned>{0xbeefu, 16u}));
+  EXPECT_EQ(symbols[1], (std::pair<std::uint64_t, unsigned>{0x7u, 3u}));
+}
+
+TEST(MsgBlock, BroadcastSpilledMaxWidthFansOutToEveryDegree) {
+  // Spilled all-64-bit payload (the widest legal symbols) fanned out to
+  // 1..deg receivers: one receiver must stay a plain unicast row; larger
+  // fans share the single spilled payload and keep per-copy rounds.
+  for (std::uint32_t deg = 1; deg <= 5; ++deg) {
+    MsgBlock block;
+    Scheduled s;
+    std::vector<std::pair<std::uint64_t, unsigned>> symbols;
+    for (unsigned i = 0; i < 6; ++i) {
+      symbols.emplace_back(0x1111111111111111u * (i + 1), 64);
+    }
+    schedule(s, StreamKey{7, 900, 2}, symbols, /*close=*/true,
+             kHeader + 6 * 64);
+    ASSERT_TRUE(s.ok);
+    block.push(s.view, 100, 0, 0);
+    for (std::uint32_t j = 1; j < deg; ++j) {
+      block.add_receiver(100 + j, j, /*deliver_round=*/j);  // per-copy delay
+    }
+    ASSERT_EQ(block.size(), 1u) << "deg " << deg;
+    EXPECT_EQ(block.message_count(), deg);
+    const MsgBlock::Rec r = block.record(0, kHeader);
+    EXPECT_TRUE(r.spilled);
+    if (deg == 1) {
+      EXPECT_FALSE(r.bcast);  // single receiver costs exactly a unicast
+      EXPECT_EQ(r.to, 100u);
+    } else {
+      EXPECT_TRUE(r.bcast);
+      ASSERT_EQ(r.rcv_count, deg);
+      for (std::uint32_t j = 0; j < deg; ++j) {
+        const MsgBlock::Receiver rcv = block.receiver(r.rcv_begin + j);
+        EXPECT_EQ(rcv.to, 100u + j);
+        EXPECT_EQ(rcv.deliver_round, j);
+      }
+    }
+    const auto got = replay(r);
+    ASSERT_EQ(got.size(), symbols.size());
+    for (std::size_t i = 0; i < symbols.size(); ++i) {
+      EXPECT_EQ(got[i], symbols[i]) << "deg " << deg << " symbol " << i;
+    }
+  }
+}
+
+TEST(MsgBlock, BroadcastReceiversSplitAcrossDstShardLanes) {
+  // The stage phase groups per (src, dst-shard) lane: a broadcast whose
+  // receivers live on two destination shards stages one row per lane, each
+  // fanning only its own shard's receivers. Two lanes, same scheduled view.
+  Arena arena0, arena1;
+  MsgBlock lane0, lane1;
+  lane0.bind(&arena0);
+  lane1.bind(&arena1);
+  lane0.begin_round();
+  lane1.begin_round();
+
+  Scheduled s;
+  std::vector<std::pair<std::uint64_t, unsigned>> symbols;
+  for (unsigned i = 0; i < 12; ++i) symbols.emplace_back(i * 3 + 1, 33);
+  schedule(s, StreamKey{5, 77, 0}, symbols, /*close=*/false,
+           kHeader + 12 * 33);
+  ASSERT_TRUE(s.ok);
+
+  // Shard 0 gets receivers {2, 4, 6}; shard 1 gets only {9001}.
+  lane0.push(s.view, 2, 0, 0);
+  lane0.add_receiver(4, 1, 0);
+  lane0.add_receiver(6, 2, 0);
+  lane1.push(s.view, 9001, 3, 0);
+
+  const MsgBlock::Rec r0 = lane0.record(0, kHeader);
+  const MsgBlock::Rec r1 = lane1.record(0, kHeader);
+  EXPECT_TRUE(r0.bcast);
+  ASSERT_EQ(r0.rcv_count, 3u);
+  EXPECT_EQ(lane0.receiver(r0.rcv_begin + 2).to, 6u);
+  EXPECT_FALSE(r1.bcast);  // lone receiver on its shard: plain unicast row
+  EXPECT_EQ(r1.to, 9001u);
+  // Both lanes decode the identical payload and identical wire charge.
+  EXPECT_EQ(r0.wire_bits, r1.wire_bits);
+  const auto got0 = replay(r0);
+  const auto got1 = replay(r1);
+  EXPECT_EQ(got0, got1);
+  for (std::size_t i = 0; i < symbols.size(); ++i) {
+    EXPECT_EQ(got0[i], symbols[i]) << "symbol " << i;
+  }
+}
+
+TEST(MsgBlock, AppendReceiverFromMaterializesDelayedUnicastCopy) {
+  // A delayed broadcast copy leaves the shared row: append_receiver_from
+  // parks it in a heap bucket as an independent unicast message carrying
+  // its own deliver round, surviving the lane's arena reset.
+  Arena arena;
+  MsgBlock lane;
+  lane.bind(&arena);
+  lane.begin_round();
+
+  Scheduled s;
+  std::vector<std::pair<std::uint64_t, unsigned>> symbols;
+  for (unsigned i = 0; i < 9; ++i) symbols.emplace_back(0xa0 + i, 12);
+  schedule(s, StreamKey{6, 13, 1}, symbols, /*close=*/true, kHeader + 9 * 12);
+  ASSERT_TRUE(s.ok);
+  lane.push(s.view, 50, 0, 0);
+  lane.add_receiver(51, 1, /*deliver_round=*/17);  // this copy is delayed
+
+  const MsgBlock::Rec staged = lane.record(0, kHeader);
+  ASSERT_TRUE(staged.bcast);
+  const MsgBlock::Receiver delayed = lane.receiver(staged.rcv_begin + 1);
+  MsgBlock bucket;  // heap mode, outlives the round
+  bucket.append_receiver_from(lane, 0, delayed, kHeader);
+
+  arena.reset();
+  lane.begin_round();
+
+  const MsgBlock::Rec r = bucket.record(0, kHeader);
+  EXPECT_FALSE(r.bcast);  // materialized as a plain unicast row
+  EXPECT_EQ(r.to, 51u);
+  EXPECT_EQ(r.back_index, 1u);
+  EXPECT_EQ(r.deliver_round, 17u);
+  EXPECT_TRUE(r.eos);
+  const auto got = replay(r);
+  ASSERT_EQ(got.size(), symbols.size());
+  for (std::size_t i = 0; i < symbols.size(); ++i) {
+    EXPECT_EQ(got[i], symbols[i]) << "symbol " << i;
+  }
+}
+
 TEST(ReadPackedBits, GuardsTailWordAndMasks) {
   const std::uint64_t words[2] = {0xfedcba9876543210u, 0x0f0f0f0f0f0f0f0fu};
   // Straddling read across the word boundary.
