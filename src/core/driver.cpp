@@ -7,8 +7,8 @@
 
 namespace nc {
 
-std::map<Label, std::vector<NodeId>> NearCliqueResult::clusters() const {
-  std::map<Label, std::vector<NodeId>> out;
+std::map<Label, std::vector<NodeId>> NearCliqueResult::clusters() const {  // nclint:allow(ordered-map) post-run result assembly, runs once per execution
+  std::map<Label, std::vector<NodeId>> out;  // nclint:allow(ordered-map) post-run result assembly, runs once per execution
   for (NodeId v = 0; v < labels.size(); ++v) {
     if (labels[v] != kBottom) out[labels[v]].push_back(v);
   }

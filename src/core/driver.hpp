@@ -18,7 +18,7 @@ struct NearCliqueResult {
   std::uint64_t total_local_ops = 0;       ///< summed local computation
 
   /// Groups nodes by non-bottom label.
-  [[nodiscard]] std::map<Label, std::vector<NodeId>> clusters() const;
+  [[nodiscard]] std::map<Label, std::vector<NodeId>> clusters() const;  // nclint:allow(ordered-map) post-run result assembly, runs once per execution
 
   /// The largest output near-clique (empty when everything is bottom).
   [[nodiscard]] std::vector<NodeId> largest_cluster() const;

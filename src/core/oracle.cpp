@@ -159,7 +159,7 @@ OracleResult run_oracle(const Graph& g, const ProtocolParams& proto,
   // Decision stage: every participant acknowledges its best candidate
   // (largest |T|, then largest root, then largest version); a candidate
   // survives iff all of its participants acknowledged it.
-  std::map<NodeId, std::tuple<std::uint32_t, NodeId, std::uint16_t>> best;
+  std::map<NodeId, std::tuple<std::uint32_t, NodeId, std::uint16_t>> best;  // nclint:allow(ordered-map) centralized oracle, not protocol code
   for (const auto& cand : cands) {
     if (cand.t_size < proto.min_report_size) continue;
     const std::tuple<std::uint32_t, NodeId, std::uint16_t> key{

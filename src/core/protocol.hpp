@@ -151,7 +151,7 @@ struct VersionState {
   NodeId best_root = kNoNode;
   std::uint32_t best_dist = 0;
   std::size_t best_parent_ni = SIZE_MAX;
-  std::map<NodeId, FloodState> floods;
+  std::map<NodeId, FloodState> floods;  // nclint:allow(ordered-map) per-node election state, keyed by the few candidate roots a node sees
   std::uint32_t own_deficit = 0;  ///< as flood source
   bool own_flag = false;
   bool flood_sent = false;
@@ -200,7 +200,7 @@ struct VersionState {
   /// so the scan re-fires once unblocked).
   std::array<std::uint64_t, kMaxMsgKinds> seen_rx{};
 
-  std::map<NodeId, PairState> pairs;  ///< by root
+  std::map<NodeId, PairState> pairs;  ///< by root  // nclint:allow(ordered-map) per-node pair state, bounded by participating roots
 };
 
 /// One processor running Algorithm DistNearClique (Section 4) under the

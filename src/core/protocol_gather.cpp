@@ -234,7 +234,7 @@ void DistNearCliqueNode::run_fringe(NodeApi& api, VersionState& vs) {
     std::vector<NodeId> members;
     std::vector<std::size_t> member_nbrs;
   };
-  std::map<NodeId, Adjacent> comps;
+  std::map<NodeId, Adjacent> comps;  // nclint:allow(ordered-map) per-callback scratch over the handful of announced components
   api.for_each_in(kCompAnnounce, [&](std::size_t from, const StreamKey& k,
                                      InStream& in) {
     if (k.version != vs.w) return;

@@ -5,6 +5,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/check.hpp"
 #include "util/rng.hpp"
 
 namespace nc {
@@ -228,6 +229,9 @@ std::uint64_t FaultEngine::delay_of(std::size_t edge, NodeId src, NodeId dst,
   // the delivery buckets keep staging order within one.
   std::uint64_t& watermark = arrival_[edge];
   due = std::max(due, watermark);
+  nc_invariant(due >= watermark && due >= round,
+               "per-edge FIFO watermark must be monotone and never in the "
+               "past — jitter may not reorder a link's stream");
   watermark = due;
   return due - round;
 }

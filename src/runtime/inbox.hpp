@@ -8,6 +8,7 @@
 
 #include "runtime/message.hpp"
 #include "runtime/stream.hpp"
+#include "util/check.hpp"
 
 namespace nc {
 
@@ -78,6 +79,8 @@ class Inbox {
   [[nodiscard]] InStream* find(std::size_t ni, const StreamKey& key) {
     const std::int8_t slot = slot_[check_kind(key.kind)];
     if (slot < 0) return nullptr;
+    nc_invariant(static_cast<std::size_t>(slot) < store_.size(),
+                 "inbox slot map points past the allocated buckets");
     Bucket& bucket = store_[static_cast<std::size_t>(slot)];
     const Key want = pack(ni, key);
     const std::size_t hit = probe(bucket, want);
@@ -94,6 +97,8 @@ class Inbox {
   /// on delivery).
   [[nodiscard]] InStream& open(std::size_t ni, const StreamKey& key) {
     Bucket& bucket = bucket_for(check_kind(key.kind));
+    nc_invariant(bucket.keys.size() == bucket.streams.size(),
+                 "inbox bucket key/stream columns out of sync");
     const Key want = pack(ni, key);
     std::size_t idx = probe(bucket, want);
     if (idx == kMiss) {
@@ -126,6 +131,8 @@ class Inbox {
     const std::int8_t slot = slot_[check_kind(kind)];
     if (slot < 0) return;
     Bucket& bucket = store_[static_cast<std::size_t>(slot)];
+    nc_invariant(bucket.dead <= bucket.keys.size(),
+                 "inbox dead-prefix cursor ran past the bucket");
     std::uint32_t dead = bucket.dead;
     while (dead < bucket.keys.size()) {
       const InStream& s = bucket.streams[dead];

@@ -6,6 +6,7 @@
 #include "runtime/link.hpp"
 #include "runtime/message.hpp"
 #include "util/arena.hpp"
+#include "util/check.hpp"
 #include "util/ids.hpp"
 
 namespace nc {
@@ -87,6 +88,8 @@ class MsgBlock {
   /// Binds every column to `arena` (nullptr = heap mode). Call once, while
   /// empty.
   void bind(Arena* arena) noexcept {
+    nc_invariant(empty() && msg_count_ == 0,
+                 "MsgBlock::bind must run on an empty block");
     to_.bind(arena);
     back_.bind(arena);
     tag_.bind(arena);
@@ -194,6 +197,8 @@ class MsgBlock {
   /// new shape. The shared payload is not touched — that is the point.
   void add_receiver(NodeId to, std::uint32_t back_index,
                     std::uint64_t deliver_round) {
+    nc_invariant(!to_.empty(),
+                 "add_receiver needs a staged head row to fan out from");
     const std::size_t i = to_.size() - 1;
     ++msg_count_;
     if ((meta_[i] & kBcastBit) == 0) {
@@ -214,6 +219,8 @@ class MsgBlock {
   /// Receiver `idx` (absolute index into the receiver columns; take a
   /// broadcast Rec's rcv_begin + j).
   [[nodiscard]] Receiver receiver(std::size_t idx) const {
+    nc_invariant(idx < rcv_to_.size(),
+                 "broadcast receiver index past the packed receiver columns");
     return Receiver{rcv_to_[idx], rcv_back_[idx], rcv_round_[idx]};
   }
 
@@ -255,6 +262,7 @@ class MsgBlock {
   /// Decodes row `i`. `header_bits` recovers the payload bit length from
   /// wire_bits (wire = header + payload by construction).
   [[nodiscard]] Rec record(std::size_t i, unsigned header_bits) const {
+    nc_invariant(i < to_.size(), "MsgBlock row index out of range");
     Rec r;
     r.to = to_[i];
     r.back_index = back_[i];

@@ -1,5 +1,7 @@
 #include "runtime/network.hpp"
 
+// nclint:allow-file(wall-clock): opt-in profile timers (NetConfig::profile) — steady_clock reads only feed NetProfile seconds, never a simulation decision.
+
 #include <algorithm>
 #include <cassert>
 #include <chrono>
@@ -7,6 +9,7 @@
 #include <stdexcept>
 
 #include "util/bitio.hpp"
+#include "util/check.hpp"
 
 namespace nc {
 
@@ -162,6 +165,18 @@ Network::Network(const Graph& g, const NetConfig& config,
     // cross-round delayed buckets stay heap-backed (default bind).
     for (auto& lane : shards_[s].lanes) lane.bind(&shards_[s].arena);
   }
+  // The whole determinism story rests on this: shards are contiguous ID
+  // ranges covering [0, n), so merging lanes in ascending source-shard
+  // order reproduces the serial engine's global ascending-edge delivery
+  // order bit for bit.
+  for (unsigned s = 0; s < k; ++s) {
+    nc_invariant(shards_[s].begin == (s == 0 ? 0 : shards_[s - 1].end) &&
+                     shards_[s].begin <= shards_[s].end,
+                 "shard partition must be contiguous — the lane merge order "
+                 "equals the serial delivery order only then");
+  }
+  nc_invariant(shards_[k - 1].end == n_,
+               "shard partition must cover every node");
   if (k > 1) pool_ = std::make_unique<ShardPool>(k);
 
   // Fault engine + per-shard churn schedule (only for active plans; the
@@ -331,6 +346,9 @@ void Network::deliver_view(Shard& dst, TrafficBatch& batch, NodeId to,
 
 void Network::deliver_record(Shard& dst, TrafficBatch& batch,
                              const MsgBlock::Rec& r) {
+  nc_invariant(r.to >= dst.begin && r.to < dst.end,
+               "staged row routed to a shard that does not own its "
+               "destination node");
   auto& st = states_[r.to];
   st.rx_by_kind[r.key.kind] += 1;
   InStream& stream = st.inbox.open(r.back_index, r.key);
@@ -350,6 +368,9 @@ void Network::deliver_record(Shard& dst, TrafficBatch& batch,
 void Network::deliver_copy(Shard& dst, TrafficBatch& batch,
                            const MsgBlock::Rec& r,
                            const MsgBlock::Receiver& rcv) {
+  nc_invariant(rcv.to >= dst.begin && rcv.to < dst.end,
+               "broadcast receiver routed to a shard that does not own its "
+               "destination node");
   auto& st = states_[rcv.to];
   st.rx_by_kind[r.key.kind] += 1;
   InStream& stream = st.inbox.open(rcv.back_index, r.key);
@@ -654,6 +675,10 @@ void Network::wake_shard(unsigned s) {
   } else if (!std::is_sorted(sh.wake_list.begin(), sh.wake_list.end())) {
     std::sort(sh.wake_list.begin(), sh.wake_list.end());
   }
+  // Both rebuild paths above must yield the same thing: the woken nodes in
+  // ascending ID order. Protocol callbacks observe this order directly.
+  nc_invariant(std::is_sorted(sh.wake_list.begin(), sh.wake_list.end()),
+               "wake phase must run nodes in ascending ID order");
   for (const NodeId v : sh.wake_list) {
     sh.woken[v - sh.begin] = 0;
     if (states_[v].done) continue;

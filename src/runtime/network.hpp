@@ -300,7 +300,7 @@ class Network {
     std::vector<std::size_t> active_links;
 
     /// round -> armed owned nodes; entries lazily invalidated on re-arm.
-    std::map<std::uint64_t, std::vector<NodeId>> alarm_buckets;
+    std::map<std::uint64_t, std::vector<NodeId>> alarm_buckets;  // nclint:allow(ordered-map) sparse round buckets; common case is the memo, map walk is rare
 
     /// Bucket memo for set_alarm: protocols overwhelmingly re-arm for the
     /// same round their neighbours do, so the common case skips the map
@@ -343,7 +343,7 @@ class Network {
     /// deliver phase of the due round. Heap-backed MsgBlocks, deliberately
     /// outside the arena: buckets outlive rounds, and a bump arena cannot
     /// rewind storage that crosses its reset boundary.
-    std::map<std::uint64_t, MsgBlock> delayed;
+    std::map<std::uint64_t, MsgBlock> delayed;  // nclint:allow(ordered-map) cross-round delay buckets exist only under an active fault plan
 
     /// Broadcast-grouping scratch for the stage phase: bcast_open[d] marks
     /// that lane d's *last* row belongs to the broadcast group currently
@@ -364,7 +364,7 @@ class Network {
 
     /// Churn schedule for this shard's nodes: round -> nodes whose crash or
     /// recovery fires then. Precomputed at construction; never stale.
-    std::map<std::uint64_t, std::vector<NodeId>> fault_events;
+    std::map<std::uint64_t, std::vector<NodeId>> fault_events;  // nclint:allow(ordered-map) churn events are rare and drained between rounds
   };
 
   /// Executes one round; returns false when execution must stop.

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/check.hpp"
+
 namespace nc {
 
 Arena::Arena(std::size_t initial_capacity) {
@@ -30,6 +32,8 @@ Arena& Arena::operator=(Arena&& other) noexcept {
 }
 
 void* Arena::allocate(std::size_t size, std::size_t align) {
+  nc_invariant(align != 0 && (align & (align - 1)) == 0,
+               "arena alignment must be a power of two");
   // Align the absolute address, not the block-relative offset: block data
   // starts only max_align-aligned, so for align > alignof(max_align_t) the
   // two differ.
@@ -68,6 +72,8 @@ void Arena::reset() {
   }
   offset_ = 0;
   used_ = 0;
+  nc_invariant(head_ == nullptr || head_->prev == nullptr,
+               "arena reset must leave a single coalesced block");
 }
 
 void Arena::release() {

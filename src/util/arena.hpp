@@ -7,6 +7,8 @@
 #include <type_traits>
 #include <utility>
 
+#include "util/check.hpp"
+
 namespace nc {
 
 /// Chunked bump allocator for per-round transient storage.
@@ -135,8 +137,13 @@ class ArenaVec {
 
   /// Binds the backing policy: an arena, or nullptr for heap mode. Must be
   /// called while empty with no backing span (freshly constructed or after
-  /// release()).
-  void bind(Arena* arena) noexcept { arena_ = arena; }
+  /// release()) — rebinding a live span would leak it in heap mode and
+  /// free arena memory the arena still owns in arena mode.
+  void bind(Arena* arena) noexcept {
+    nc_invariant(data_ == nullptr && size_ == 0,
+                 "ArenaVec::bind requires an empty vector with no span");
+    arena_ = arena;
+  }
 
   /// Drops the span. Arena mode: the memory belongs to the arena (a reset
   /// reclaims it); heap mode: freed. Required after the bound arena was

@@ -1,0 +1,20 @@
+#include "util/check.hpp"
+
+#if defined(NC_CHECK_INVARIANTS)
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace nc::detail {
+
+void invariant_failure(const char* expr, const char* msg, const char* file,
+                       int line) noexcept {
+  std::fprintf(stderr, "%s:%d: invariant failed: %s — %s\n", file, line, expr,
+               msg);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace nc::detail
+
+#endif

@@ -11,7 +11,9 @@ Args::Args(int argc, const char* const* argv) {
     arg = arg.substr(2);
     const auto eq = arg.find('=');
     if (eq == std::string::npos) {
-      kv_[arg] = "1";
+      // std::string("1") sidesteps GCC 12's -Wrestrict false positive on
+      // basic_string::operator=(const char*) at -O2 (GCC PR105329).
+      kv_[arg] = std::string("1");
     } else {
       kv_[arg.substr(0, eq)] = arg.substr(eq + 1);
     }

@@ -1,0 +1,11 @@
+// Golden-bad fixture: an on_round override that never arms an alarm. The
+// event-driven runtime only wakes a node on delivery or alarm — this
+// protocol stalls the moment traffic stops.
+struct NodeApi;
+
+struct PollingNode {
+  void on_start(NodeApi& api) { (void)api; }
+  void on_round(NodeApi& api) override {  // alarm-contract
+    (void)api;
+  }
+};

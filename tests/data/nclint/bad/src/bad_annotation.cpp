@@ -1,0 +1,6 @@
+// Golden-bad fixture: an allow annotation naming a rule that does not
+// exist — a typo like this must fail loudly, not silently disable nothing.
+#include <map>
+
+// nclint:allow-file(orderd-map): typo in the rule name
+int f() { return 0; }

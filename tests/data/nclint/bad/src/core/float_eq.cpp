@@ -1,0 +1,9 @@
+// Golden-bad fixture: floating-point equality in a core theorem predicate.
+bool dense_enough(double density, double target) {
+  if (density == 0.5) return false;   // float-exact
+  if (target != 1.0) return true;     // float-exact
+  double eps = density - target;
+  return eps == 0.25;                 // float-exact
+}
+
+bool integer_compare_is_fine(int a, int b) { return a == b; }

@@ -1,0 +1,9 @@
+// Golden-bad fixture: MsgKind registrations past the 5-bit header budget.
+#include <cstdint>
+
+enum MsgKind : std::uint16_t {
+  kFine = 1,
+  kAlsoFine = 31,
+  kOverflow = 32,   // msgkind-budget: does not fit 5 bits
+  kWayOver = 40,    // msgkind-budget
+};

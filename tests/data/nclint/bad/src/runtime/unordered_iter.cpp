@@ -1,0 +1,21 @@
+// Golden-bad fixture: iteration over unordered containers in a runtime
+// file. nclint must flag lines 13 and 16 (unordered-iter) and line 8
+// (ordered-map). Point lookups (line 19) must NOT be flagged.
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+std::map<int, int> schedule;  // line 8: ordered-map
+
+int sum_members(const std::unordered_map<int, int>& members,
+                const std::unordered_set<int>& live) {
+  int total = 0;
+  for (const auto& [id, weight] : members) {  // line 13 region: unordered-iter
+    total += weight;
+  }
+  for (auto it = live.begin(); it != live.end(); ++it) {  // unordered-iter
+    total += *it;
+  }
+  if (members.find(3) != members.end()) total += 1;  // lookup: fine
+  return total;
+}

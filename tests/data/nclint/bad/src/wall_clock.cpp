@@ -1,0 +1,21 @@
+// Golden-bad fixture: wall-clock / unseeded randomness in src/.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+unsigned unseeded_entropy() {
+  std::random_device rd;            // wall-clock
+  return rd();
+}
+
+int libc_rand() { return rand(); }  // wall-clock
+
+long clock_seed() {
+  return time(nullptr);             // wall-clock
+}
+
+double now_seconds() {
+  auto t = std::chrono::steady_clock::now();  // wall-clock
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}

@@ -1,0 +1,17 @@
+// Golden-ok fixture: ordinary protocol-style code with nothing to flag.
+#include <cstdint>
+#include <vector>
+
+enum MsgKind : std::uint16_t {
+  kProbe = 1,
+  kReply = 2,
+};
+
+struct NodeApi;
+void set_alarm(NodeApi& api, std::uint64_t round);
+
+struct QuietNode {
+  std::vector<std::uint32_t> peers;
+  void on_start(NodeApi& api) { set_alarm(api, 1); }
+  void on_round(NodeApi& api) override { set_alarm(api, 2); }
+};

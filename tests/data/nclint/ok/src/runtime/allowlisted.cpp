@@ -1,0 +1,22 @@
+// Golden-ok fixture: every construct here would violate a rule, but each
+// carries a valid allow annotation. nclint must report nothing and exit 0.
+// nclint:allow-file(wall-clock): fixture exercises the file-scope escape hatch
+#include <chrono>
+#include <map>
+#include <unordered_map>
+
+std::map<int, int> registry;  // nclint:allow(ordered-map) bounded config table, cold path
+
+int drain(const std::unordered_map<int, int>& m) {
+  int total = 0;
+  for (const auto& [k, v] : m) {  // nclint:allow(unordered-iter) result is order-insensitive sum
+    total += v;
+  }
+  return total;
+}
+
+double profile_now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}

@@ -1,0 +1,163 @@
+// nclint, the determinism/contract linter (tools/nclint/), exercised over
+// the golden fixture tree in tests/data/nclint:
+//  - every rule fires on its bad/ fixture, at the exact file:line, with the
+//    `path:line: [rule-id]` diagnostic shape scripts and CI grep for;
+//  - valid line- and file-scope allow annotations silence rules (ok/ tree
+//    is clean, exit 0), while a typo'd rule name is itself a violation;
+//  - exit-code contract: 0 clean, 1 violations, 2 usage/IO errors.
+// The linter is a separate process; these tests shell out to the binary
+// CMake builds (NC_NCLINT_BIN) and parse its stdout.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#ifdef NC_NCLINT_BIN
+
+namespace {
+
+struct LintRun {
+  int exit_code = -1;
+  std::string out;  // stdout + stderr, interleaved
+  std::vector<std::string> lines;
+};
+
+// Runs `nclint <args>` and captures output. gtest runs on POSIX here, so
+// popen + WEXITSTATUS is enough; 2>&1 folds the usage/error channel in.
+LintRun run_nclint(const std::string& args) {
+  LintRun r;
+  std::string cmd = std::string(NC_NCLINT_BIN) + " " + args + " 2>&1";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return r;
+  char buf[4096];
+  while (fgets(buf, sizeof buf, pipe) != nullptr) r.out += buf;
+  int status = pclose(pipe);
+  if (status >= 0 && WIFEXITED(status)) r.exit_code = WEXITSTATUS(status);
+  std::string cur;
+  for (char c : r.out) {
+    if (c == '\n') {
+      r.lines.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) r.lines.push_back(cur);
+  return r;
+}
+
+std::string fixture_root(const char* which) {
+  return std::string(NC_TEST_DATA_DIR) + "/nclint/" + which;
+}
+
+// Diagnostics for one rule id, as "path:line" prefixes relative to --root.
+std::vector<std::string> sites_of(const LintRun& r, const std::string& rule) {
+  std::vector<std::string> sites;
+  const std::string tag = "[" + rule + "]";
+  for (const std::string& line : r.lines) {
+    if (line.find(tag) == std::string::npos) continue;
+    const auto colon2 = line.find(": [");
+    EXPECT_NE(colon2, std::string::npos) << "malformed diagnostic: " << line;
+    sites.push_back(line.substr(0, colon2));
+  }
+  return sites;
+}
+
+TEST(NclintFixtures, BadTreeFlagsEveryRuleAtExactSites) {
+  const std::string root = fixture_root("bad");
+  LintRun r = run_nclint("--root " + root + " " + root);
+  ASSERT_EQ(r.exit_code, 1) << r.out;
+
+  using V = std::vector<std::string>;
+  EXPECT_EQ(sites_of(r, "unordered-iter"),
+            (V{"src/runtime/unordered_iter.cpp:13",
+               "src/runtime/unordered_iter.cpp:16"}));
+  EXPECT_EQ(sites_of(r, "ordered-map"),
+            (V{"src/runtime/unordered_iter.cpp:8"}));
+  EXPECT_EQ(sites_of(r, "float-exact"),
+            (V{"src/core/float_eq.cpp:3", "src/core/float_eq.cpp:4",
+               "src/core/float_eq.cpp:6"}));
+  EXPECT_EQ(sites_of(r, "msgkind-budget"),
+            (V{"src/msgkind.cpp:7", "src/msgkind.cpp:8"}));
+  EXPECT_EQ(sites_of(r, "alarm-contract"), (V{"src/alarm.cpp:8"}));
+  EXPECT_EQ(sites_of(r, "bad-annotation"), (V{"src/bad_annotation.cpp:5"}));
+  EXPECT_EQ(sites_of(r, "wall-clock"),
+            (V{"src/wall_clock.cpp:2", "src/wall_clock.cpp:8",
+               "src/wall_clock.cpp:12", "src/wall_clock.cpp:15",
+               "src/wall_clock.cpp:19", "src/wall_clock.cpp:20"}));
+
+  // Summary trailer states the totals the CI log shows at a glance.
+  ASSERT_FALSE(r.lines.empty());
+  EXPECT_EQ(r.lines.back(), "nclint: 16 violations in 6 files");
+}
+
+TEST(NclintFixtures, DiagnosticShapeIsGreppable) {
+  const std::string root = fixture_root("bad");
+  LintRun r = run_nclint("--root " + root + " " + root);
+  ASSERT_EQ(r.exit_code, 1);
+  ASSERT_GE(r.lines.size(), 2u);
+  // Every line but the summary: `relative/path:line: [rule-id] message`.
+  for (std::size_t i = 0; i + 1 < r.lines.size(); ++i) {
+    const std::string& line = r.lines[i];
+    const auto c1 = line.find(':');
+    ASSERT_NE(c1, std::string::npos) << line;
+    EXPECT_EQ(line.rfind("src/", 0), 0u)
+        << "path must be --root-relative: " << line;
+    const auto c2 = line.find(':', c1 + 1);
+    ASSERT_NE(c2, std::string::npos) << line;
+    const std::string lineno = line.substr(c1 + 1, c2 - c1 - 1);
+    EXPECT_FALSE(lineno.empty()) << line;
+    for (char c : lineno) EXPECT_TRUE(c >= '0' && c <= '9') << line;
+    EXPECT_EQ(line.substr(c2, 3), ": [") << line;
+    EXPECT_NE(line.find("] ", c2), std::string::npos) << line;
+  }
+}
+
+TEST(NclintFixtures, AllowAnnotationsSilenceCleanTree) {
+  const std::string root = fixture_root("ok");
+  LintRun r = run_nclint("--root " + root + " " + root);
+  EXPECT_EQ(r.exit_code, 0) << r.out;
+  EXPECT_TRUE(r.out.empty()) << "clean run must be silent:\n" << r.out;
+}
+
+TEST(NclintFixtures, SingleFileScopingStillApplies) {
+  // Path scoping keys off the --root-relative path, so handing the linter
+  // one file inside bad/ must flag the hot-path rules for that file only.
+  const std::string root = fixture_root("bad");
+  LintRun r =
+      run_nclint("--root " + root + " " + root + "/src/core/float_eq.cpp");
+  ASSERT_EQ(r.exit_code, 1) << r.out;
+  EXPECT_EQ(sites_of(r, "float-exact").size(), 3u);
+  EXPECT_EQ(sites_of(r, "wall-clock").size(), 0u);
+  EXPECT_EQ(r.lines.back(), "nclint: 3 violations in 1 files");
+}
+
+TEST(NclintFixtures, UsageAndMissingPathsExitTwo) {
+  EXPECT_EQ(run_nclint("").exit_code, 2);
+  LintRun missing = run_nclint("--root " + fixture_root("ok") + " " +
+                               fixture_root("ok") + "/src/nosuchfile.cpp");
+  EXPECT_EQ(missing.exit_code, 2);
+  EXPECT_NE(missing.out.find("no such path"), std::string::npos);
+}
+
+TEST(NclintFixtures, ListRulesCoversCatalogue) {
+  LintRun r = run_nclint("--list-rules");
+  ASSERT_EQ(r.exit_code, 0) << r.out;
+  for (const char* rule :
+       {"unordered-iter", "ordered-map", "wall-clock", "msgkind-budget",
+        "alarm-contract", "float-exact", "bad-annotation"}) {
+    EXPECT_NE(r.out.find(rule), std::string::npos) << "missing rule " << rule;
+  }
+}
+
+}  // namespace
+
+#else  // !NC_NCLINT_BIN
+
+TEST(NclintFixtures, DISABLED_RequiresToolsBuild) {
+  GTEST_SKIP() << "built with NC_BUILD_TOOLS=OFF; nclint binary unavailable";
+}
+
+#endif

@@ -68,8 +68,12 @@ TEST(ProtocolStages, RootIsMinimumIdPerComponent) {
   EXPECT_TRUE(roots.count(3));
   for (const auto* node : h.nodes) {
     for (const auto& rc : node->root_candidates()) {
-      if (rc.root == 2) EXPECT_EQ(rc.component_size, 4u);
-      if (rc.root == 3) EXPECT_EQ(rc.component_size, 4u);
+      if (rc.root == 2) {
+        EXPECT_EQ(rc.component_size, 4u);
+      }
+      if (rc.root == 3) {
+        EXPECT_EQ(rc.component_size, 4u);
+      }
     }
   }
 }
@@ -125,7 +129,9 @@ TEST(ProtocolStages, WinningCandidateIsGlobalMaximumT) {
       }
     }
   }
-  if (best_t > 0) EXPECT_TRUE(best_survived);
+  if (best_t > 0) {
+    EXPECT_TRUE(best_survived);
+  }
 }
 
 TEST(ProtocolStages, LabelsBelongToSurvivingCandidatesOnly) {

@@ -1,0 +1,691 @@
+// nclint — the repo-specific determinism & contract linter.
+//
+// Generic tools cannot know this codebase's contracts; nclint enforces the
+// ones every PR must keep (see docs/static-analysis.md for the catalogue
+// with rationale):
+//
+//   unordered-iter   no iteration over std::unordered_map/std::unordered_set
+//                    in src/runtime/ + src/core/ — hash iteration order is
+//                    implementation-defined, and the simulator's bit-for-bit
+//                    fixed-seed guarantee dies the moment protocol or engine
+//                    behaviour depends on it. Point lookups are fine.
+//   ordered-map      no new std::map in src/runtime/ + src/core/ hot paths —
+//                    the engine's data structures are flat/SoA by design
+//                    (PR 1/6/7); a red-black tree in a per-message or
+//                    per-round path is a regression. Deliberate cold-path
+//                    uses carry an allow annotation naming their excuse.
+//   wall-clock       no std::random_device, rand()/srand(), time()-seeding
+//                    or std::chrono anywhere in src/ — every random decision
+//                    must derive from the run's seed and every schedule from
+//                    the round counter, or fixed-seed runs stop reproducing.
+//                    The opt-in profile timers are file-allowlisted.
+//   msgkind-budget   MsgKind enumerators must stay inside [0, 32) — the wire
+//                    header carries the kind in 5 bits and every per-kind
+//                    table (rx counters, bits_by_kind, inbox slots) is sized
+//                    by kMaxMsgKinds. A 32nd kind silently aliases.
+//   alarm-contract   a file overriding INode::on_round must reference the
+//                    alarm API (set_alarm/arm_alarm) — the runtime is
+//                    event-driven and only wakes a node on delivery or
+//                    alarm; a protocol that polls without arming simply
+//                    stalls (src/runtime/README.md).
+//   float-exact      no floating-point == / != in src/core/ — the Theorem
+//                    5.7 predicates are exact integer arithmetic by
+//                    contract (PR 3); a float equality in a theorem
+//                    predicate is either dead or wrong.
+//   bad-annotation   an nclint allow annotation naming an unknown rule —
+//                    a typo here would silently disable nothing.
+//
+// Suppressions:
+//   // nclint:allow(rule[,rule...]) [reason]        — this line only
+//   // nclint:allow-file(rule[,rule...]): reason    — whole file
+//
+// Usage: nclint [--root <dir>] [--list-rules] <file-or-dir>...
+// Paths given as directories are walked recursively for *.hpp/*.cpp.
+// Rule scoping matches on the path relative to --root (or the path as
+// given). Exit 0 = clean, 1 = violations (printed as file:line: [rule]
+// message), 2 = usage or I/O error.
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Diagnostic {
+  std::string file;
+  std::size_t line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct SourceLine {
+  std::string code;     ///< comments and string/char literals stripped
+  std::string comment;  ///< comment text on this line (for annotations)
+};
+
+constexpr const char* kRuleNames[] = {
+    "unordered-iter", "ordered-map",    "wall-clock", "msgkind-budget",
+    "alarm-contract", "float-exact",    "bad-annotation",
+};
+
+bool known_rule(std::string_view name) {
+  for (const char* r : kRuleNames) {
+    if (name == r) return true;
+  }
+  return false;
+}
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Splits each physical line into code and comment parts, blanking string
+/// and character literals in the code part (their contents must never trip
+/// a rule). Tracks /* */ across lines. Raw strings are handled as plain
+/// strings — good enough for this codebase, which has none in src/.
+std::vector<SourceLine> preprocess(const std::string& text) {
+  std::vector<SourceLine> lines;
+  SourceLine cur;
+  bool in_block_comment = false;
+  bool in_string = false;
+  bool in_char = false;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    if (c == '\n') {
+      lines.push_back(std::move(cur));
+      cur = SourceLine{};
+      in_string = in_char = false;  // unterminated literals end at EOL
+      continue;
+    }
+    if (in_block_comment) {
+      if (c == '*' && next == '/') {
+        in_block_comment = false;
+        ++i;
+      } else {
+        cur.comment.push_back(c);
+      }
+      continue;
+    }
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (in_char) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '\'') {
+        in_char = false;
+      }
+      continue;
+    }
+    if (c == '/' && next == '/') {
+      cur.comment.append(text, i + 2, text.find('\n', i) - i - 2);
+      i = text.find('\n', i);
+      if (i == std::string::npos) break;
+      lines.push_back(std::move(cur));
+      cur = SourceLine{};
+      continue;
+    }
+    if (c == '/' && next == '*') {
+      in_block_comment = true;
+      ++i;
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+      cur.code.push_back('"');  // keep delimiters so tokens stay separated
+      continue;
+    }
+    if (c == '\'') {
+      // Digit separators (1'000'000) are not character literals.
+      if (i > 0 && ident_char(text[i - 1]) &&
+          std::isdigit(static_cast<unsigned char>(text[i - 1])) != 0) {
+        cur.code.push_back(c);
+        continue;
+      }
+      in_char = true;
+      cur.code.push_back('\'');
+      continue;
+    }
+    cur.code.push_back(c);
+  }
+  if (!cur.code.empty() || !cur.comment.empty()) lines.push_back(cur);
+  return lines;
+}
+
+/// Parses `nclint:allow(...)` / `nclint:allow-file(...)` out of a comment.
+/// Returns the rule names listed; `file_wide` reports which form it was.
+std::vector<std::string> parse_annotation(const std::string& comment,
+                                          bool* file_wide) {
+  std::vector<std::string> rules;
+  *file_wide = false;
+  std::size_t pos = comment.find("nclint:allow");
+  if (pos == std::string::npos) return rules;
+  pos += std::string_view("nclint:allow").size();
+  if (comment.compare(pos, 5, "-file") == 0) {
+    *file_wide = true;
+    pos += 5;
+  }
+  if (pos >= comment.size() || comment[pos] != '(') return rules;
+  const std::size_t close = comment.find(')', pos);
+  if (close == std::string::npos) return rules;
+  std::string list = comment.substr(pos + 1, close - pos - 1);
+  std::stringstream ss(list);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    item.erase(std::remove_if(item.begin(), item.end(),
+                              [](char c) { return std::isspace(
+                                  static_cast<unsigned char>(c)) != 0; }),
+               item.end());
+    if (!item.empty()) rules.push_back(item);
+  }
+  return rules;
+}
+
+/// True if `code` contains `token` as a whole identifier (not a substring
+/// of a longer identifier). `allow_qualified` keeps matches preceded by ':'
+/// or '.' or '>' (member/namespace access); pass false to reject those.
+bool has_token(const std::string& code, std::string_view token,
+               bool allow_qualified = true) {
+  std::size_t pos = 0;
+  while ((pos = code.find(token, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !ident_char(code[pos - 1]);
+    const std::size_t end = pos + token.size();
+    const bool right_ok = end >= code.size() || !ident_char(code[end]);
+    if (left_ok && right_ok) {
+      if (allow_qualified) return true;
+      const char prev = pos == 0 ? '\0' : code[pos - 1];
+      if (prev != ':' && prev != '.' && prev != '>') return true;
+    }
+    pos += token.size();
+  }
+  return false;
+}
+
+/// Collects names of variables/members declared with a type whose spelling
+/// contains `type_marker` (e.g. "unordered_map<"). Handles nested template
+/// arguments by matching angle brackets, then takes the identifier that
+/// follows. Misses exotic declarations (typedefs, auto factories) — fine
+/// for a tripwire linter backed by review.
+std::vector<std::string> declared_names(const std::vector<SourceLine>& lines,
+                                        std::string_view type_marker) {
+  std::vector<std::string> names;
+  for (const auto& line : lines) {
+    const std::string& code = line.code;
+    std::size_t pos = 0;
+    while ((pos = code.find(type_marker, pos)) != std::string::npos) {
+      std::size_t i = pos + type_marker.size() - 1;  // at the '<'
+      int depth = 0;
+      while (i < code.size()) {
+        if (code[i] == '<') ++depth;
+        if (code[i] == '>') {
+          --depth;
+          if (depth == 0) break;
+        }
+        ++i;
+      }
+      pos = i;
+      if (i >= code.size()) break;  // declaration continues on a later line
+      ++i;
+      while (i < code.size() &&
+             (std::isspace(static_cast<unsigned char>(code[i])) != 0 ||
+              code[i] == '&' || code[i] == '*')) {
+        ++i;
+      }
+      std::string name;
+      while (i < code.size() && ident_char(code[i])) name.push_back(code[i++]);
+      if (!name.empty()) names.push_back(name);
+    }
+  }
+  return names;
+}
+
+struct FileReport {
+  std::vector<Diagnostic> diags;
+};
+
+class Linter {
+ public:
+  explicit Linter(std::string root) : root_(std::move(root)) {}
+
+  void lint_file(const fs::path& path, std::vector<Diagnostic>& out) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::cerr << "nclint: cannot read " << path.string() << "\n";
+      io_error_ = true;
+      return;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+    const std::vector<SourceLine> lines = preprocess(text);
+
+    const std::string rel = relative_path(path);
+    const bool in_src = rel.find("src/") != std::string::npos;
+    const bool hot_scope = rel.find("src/runtime/") != std::string::npos ||
+                           rel.find("src/core/") != std::string::npos;
+    const bool core_scope = rel.find("src/core/") != std::string::npos;
+
+    // Pass 1: collect file-wide allows and per-line allows; flag typos.
+    std::vector<std::string> file_allows;
+    std::vector<std::vector<std::string>> line_allows(lines.size());
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      if (lines[i].comment.find("nclint:allow") == std::string::npos) continue;
+      bool file_wide = false;
+      auto rules = parse_annotation(lines[i].comment, &file_wide);
+      for (const auto& r : rules) {
+        if (!known_rule(r)) {
+          out.push_back({rel, i + 1, "bad-annotation",
+                         "allow annotation names unknown rule '" + r + "'"});
+        }
+      }
+      if (file_wide) {
+        file_allows.insert(file_allows.end(), rules.begin(), rules.end());
+      } else {
+        line_allows[i] = std::move(rules);
+      }
+    }
+
+    auto allowed = [&](std::size_t idx, const char* rule) {
+      const auto& la = line_allows[idx];
+      if (std::find(la.begin(), la.end(), rule) != la.end()) return true;
+      return std::find(file_allows.begin(), file_allows.end(), rule) !=
+             file_allows.end();
+    };
+    auto flag = [&](std::size_t idx, const char* rule, std::string msg) {
+      if (!allowed(idx, rule)) out.push_back({rel, idx + 1, rule, std::move(msg)});
+    };
+
+    // Names of unordered containers declared in this file (for the
+    // iteration rule).
+    std::vector<std::string> unordered_names;
+    if (hot_scope) {
+      for (const char* marker : {"unordered_map<", "unordered_set<"}) {
+        auto found = declared_names(lines, marker);
+        unordered_names.insert(unordered_names.end(), found.begin(),
+                               found.end());
+      }
+    }
+
+    bool has_on_round_override = false;
+    std::size_t on_round_line = 0;
+    bool references_alarm = false;
+
+    // MsgKind enum tracking across lines.
+    bool in_msgkind_enum = false;
+    long long next_implicit = 0;
+
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      const std::string& code = lines[i].code;
+      if (code.empty()) continue;
+
+      // --- unordered-iter -------------------------------------------------
+      if (hot_scope) {
+        // Direct range-for over an unordered container expression.
+        const std::size_t forpos = code.find("for ");
+        const std::size_t colon = code.find(" : ");
+        if (forpos != std::string::npos && colon != std::string::npos &&
+            colon > forpos) {
+          const std::string range = code.substr(colon + 3);
+          if (range.find("unordered_") != std::string::npos) {
+            flag(i, "unordered-iter",
+                 "range-for over an unordered container — hash iteration "
+                 "order is not deterministic");
+          } else {
+            for (const auto& name : unordered_names) {
+              const std::size_t p = range.find(name);
+              if (p != std::string::npos &&
+                  (p == 0 || !ident_char(range[p - 1])) &&
+                  (p + name.size() >= range.size() ||
+                   !ident_char(range[p + name.size()]))) {
+                flag(i, "unordered-iter",
+                     "range-for over unordered container '" + name +
+                         "' — hash iteration order is not deterministic");
+                break;
+              }
+            }
+          }
+        }
+        // Iterator walks: name.begin() / name.cbegin() on a tracked name.
+        for (const auto& name : unordered_names) {
+          for (const char* meth : {".begin(", ".cbegin(", ".rbegin("}) {
+            const std::string pat = name + meth;
+            if (code.find(pat) != std::string::npos) {
+              flag(i, "unordered-iter",
+                   "iterator walk over unordered container '" + name +
+                       "' — hash iteration order is not deterministic");
+            }
+          }
+        }
+      }
+
+      // --- ordered-map ----------------------------------------------------
+      if (hot_scope && (code.find("std::map<") != std::string::npos ||
+                        code.find("std::multimap<") != std::string::npos)) {
+        flag(i, "ordered-map",
+             "std::map in an engine hot path — use a flat/SoA structure, or "
+             "annotate a deliberate cold-path use");
+      }
+
+      // --- wall-clock -----------------------------------------------------
+      if (in_src) {
+        if (code.find("std::random_device") != std::string::npos ||
+            code.find("random_device") != std::string::npos) {
+          flag(i, "wall-clock",
+               "std::random_device breaks seeded reproducibility — derive "
+               "randomness from the run seed (util/rng.hpp)");
+        }
+        if (has_token(code, "rand", false) &&
+            code.find("rand(") != std::string::npos) {
+          flag(i, "wall-clock",
+               "rand() is unseeded global state — use the node's seeded Rng");
+        }
+        if (has_token(code, "srand", false)) {
+          flag(i, "wall-clock", "srand() — seeding must come from NetConfig");
+        }
+        if (has_token(code, "time", false) &&
+            code.find("time(") != std::string::npos) {
+          flag(i, "wall-clock",
+               "time() — wall-clock values must never reach a simulation "
+               "decision or a seed");
+        }
+        if (code.find("std::chrono") != std::string::npos ||
+            has_token(code, "chrono")) {
+          flag(i, "wall-clock",
+               "std::chrono in src/ — wall-clock reads are allowed only in "
+               "annotated profile-timer files");
+        }
+      }
+
+      // --- msgkind-budget -------------------------------------------------
+      if (in_src) {
+        const std::size_t ep = code.find("enum ");
+        if (ep != std::string::npos &&
+            code.find("MsgKind", ep) != std::string::npos) {
+          in_msgkind_enum = true;
+          next_implicit = 0;
+        }
+        if (in_msgkind_enum) {
+          lint_msgkind_line(code, i, flag, &next_implicit);
+          if (code.find("};") != std::string::npos) in_msgkind_enum = false;
+        }
+      }
+
+      // --- alarm-contract (collection) ------------------------------------
+      if (in_src) {
+        // A pure declaration (`void on_round(...) override;` with the body
+        // in another file) does not bind this file to the contract — only
+        // an override with a body here does.
+        if (code.find("on_round") != std::string::npos &&
+            code.find("override") != std::string::npos &&
+            code.find(';') == std::string::npos) {
+          has_on_round_override = true;
+          on_round_line = i;
+        }
+        if (has_token(code, "set_alarm") || has_token(code, "arm_alarm")) {
+          references_alarm = true;
+        }
+      }
+
+      // --- float-exact ----------------------------------------------------
+      if (core_scope) {
+        lint_float_compare(code, i, flag);
+      }
+    }
+
+    if (has_on_round_override && !references_alarm &&
+        !allowed(on_round_line, "alarm-contract")) {
+      bool file_allowed =
+          std::find(file_allows.begin(), file_allows.end(),
+                    std::string("alarm-contract")) != file_allows.end();
+      if (!file_allowed) {
+        out.push_back(
+            {rel, on_round_line + 1, "alarm-contract",
+             "on_round override without any set_alarm/arm_alarm reference — "
+             "the event-driven runtime never polls; an unarmed protocol "
+             "stalls (src/runtime/README.md)"});
+      }
+    }
+  }
+
+  [[nodiscard]] bool io_error() const noexcept { return io_error_; }
+
+ private:
+  template <typename FlagFn>
+  void lint_msgkind_line(const std::string& code, std::size_t idx,
+                         FlagFn& flag, long long* next_implicit) {
+    // Enumerators: `name = value,` or `name,`. One per line in practice;
+    // scan all comma-separated entries on the line to be safe.
+    std::size_t pos = 0;
+    while (pos < code.size()) {
+      while (pos < code.size() && !ident_char(code[pos])) ++pos;
+      std::size_t start = pos;
+      while (pos < code.size() && ident_char(code[pos])) ++pos;
+      if (start == pos) break;
+      const std::string name = code.substr(start, pos - start);
+      if (name == "enum" || name == "class" || name == "struct" ||
+          name == "MsgKind" || name == "std" || name == "uint16_t" ||
+          name == "uint8_t" || name == "int") {
+        continue;
+      }
+      while (pos < code.size() &&
+             std::isspace(static_cast<unsigned char>(code[pos])) != 0) {
+        ++pos;
+      }
+      long long value = *next_implicit;
+      if (pos < code.size() && code[pos] == '=') {
+        ++pos;
+        while (pos < code.size() &&
+               std::isspace(static_cast<unsigned char>(code[pos])) != 0) {
+          ++pos;
+        }
+        std::size_t vstart = pos;
+        while (pos < code.size() &&
+               (ident_char(code[pos]) || code[pos] == 'x' ||
+                code[pos] == 'X')) {
+          ++pos;
+        }
+        try {
+          value = std::stoll(code.substr(vstart, pos - vstart), nullptr, 0);
+        } catch (...) {
+          continue;  // non-literal initializer; out of scope for a linter
+        }
+      }
+      *next_implicit = value + 1;
+      if (value >= 32 || value < 0) {
+        flag(idx, "msgkind-budget",
+             "MsgKind enumerator '" + name + "' = " + std::to_string(value) +
+                 " does not fit the 5-bit wire header (kMaxMsgKinds = 32)");
+      }
+      // Skip to after the next comma (or stop at end/brace).
+      while (pos < code.size() && code[pos] != ',' && code[pos] != '}') ++pos;
+      if (pos < code.size() && code[pos] == '}') break;
+    }
+  }
+
+  template <typename FlagFn>
+  void lint_float_compare(const std::string& code, std::size_t idx,
+                          FlagFn& flag) {
+    for (std::size_t pos = 0; pos + 1 < code.size(); ++pos) {
+      const char c = code[pos];
+      if ((c != '=' && c != '!') || code[pos + 1] != '=') continue;
+      if (pos + 2 < code.size() && code[pos + 2] == '=') {
+        ++pos;  // === never happens in C++, but don't double count
+        continue;
+      }
+      // Not a comparison: <=, >=, +=, -=, *=, /=, |=, &=, ^=, or the
+      // second '=' of a '=='.
+      if (c == '=' && pos > 0) {
+        const char prev = code[pos - 1];
+        if (prev == '<' || prev == '>' || prev == '+' || prev == '-' ||
+            prev == '*' || prev == '/' || prev == '|' || prev == '&' ||
+            prev == '^' || prev == '=' || prev == '!') {
+          continue;
+        }
+      }
+      if (c == '=' && code[pos + 1] == '=' && pos + 2 < code.size() &&
+          code[pos + 2] == '=') {
+        continue;
+      }
+      // Operator declarations are not comparisons.
+      if (code.find("operator") != std::string::npos) return;
+      // Either operand a floating literal? Look left and right for a token
+      // shaped like 1.0 / .5 / 1e-6 / 0x1p-53.
+      const std::string left = code.substr(0, pos);
+      const std::string right = code.substr(pos + 2);
+      if (is_float_literal_adjacent(left, /*from_end=*/true) ||
+          is_float_literal_adjacent(right, /*from_end=*/false)) {
+        flag(idx, "float-exact",
+             "floating-point == / != in src/core/ — theorem predicates are "
+             "exact integer arithmetic by contract; compare scaled integers "
+             "or use an explicit tolerance helper");
+        return;
+      }
+    }
+  }
+
+  static bool is_float_literal_adjacent(const std::string& s, bool from_end) {
+    std::string tok;
+    if (from_end) {
+      std::size_t e = s.size();
+      while (e > 0 && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) {
+        --e;
+      }
+      std::size_t b = e;
+      while (b > 0 && (ident_char(s[b - 1]) || s[b - 1] == '.' ||
+                       ((s[b - 1] == '-' || s[b - 1] == '+') && b > 1 &&
+                        (s[b - 2] == 'e' || s[b - 2] == 'E')))) {
+        --b;
+      }
+      tok = s.substr(b, e - b);
+    } else {
+      std::size_t b = 0;
+      while (b < s.size() &&
+             std::isspace(static_cast<unsigned char>(s[b])) != 0) {
+        ++b;
+      }
+      std::size_t e = b;
+      while (e < s.size() && (ident_char(s[e]) || s[e] == '.' ||
+                              ((s[e] == '-' || s[e] == '+') && e > b &&
+                               (s[e - 1] == 'e' || s[e - 1] == 'E')))) {
+        ++e;
+      }
+      tok = s.substr(b, e - b);
+    }
+    if (tok.empty() ||
+        std::isdigit(static_cast<unsigned char>(tok[0])) == 0) {
+      return false;
+    }
+    // Digits with a '.' or an exponent → floating literal.
+    const bool has_dot = tok.find('.') != std::string::npos;
+    const bool has_exp = tok.find('e') != std::string::npos ||
+                         tok.find('E') != std::string::npos ||
+                         tok.find('p') != std::string::npos;
+    const bool hex = tok.size() > 1 && (tok[1] == 'x' || tok[1] == 'X');
+    return has_dot || (has_exp && !hex) || (hex && tok.find('p') != std::string::npos);
+  }
+
+  std::string relative_path(const fs::path& path) const {
+    std::error_code ec;
+    if (!root_.empty()) {
+      const fs::path rel = fs::relative(path, root_, ec);
+      if (!ec && !rel.empty() && rel.native()[0] != '.') {
+        return rel.generic_string();
+      }
+    }
+    return path.generic_string();
+  }
+
+  std::string root_;
+  bool io_error_ = false;
+};
+
+void collect_files(const fs::path& p, std::vector<fs::path>& out) {
+  if (fs::is_directory(p)) {
+    std::vector<fs::path> found;
+    for (const auto& entry : fs::recursive_directory_iterator(p)) {
+      if (!entry.is_regular_file()) continue;
+      const auto ext = entry.path().extension();
+      if (ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc") {
+        found.push_back(entry.path());
+      }
+    }
+    std::sort(found.begin(), found.end());
+    out.insert(out.end(), found.begin(), found.end());
+  } else {
+    out.push_back(p);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root;
+  std::vector<fs::path> inputs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--list-rules") {
+      for (const char* r : kRuleNames) std::cout << r << "\n";
+      return 0;
+    }
+    if (arg == "--root") {
+      if (i + 1 >= argc) {
+        std::cerr << "nclint: --root needs a directory\n";
+        return 2;
+      }
+      root = argv[++i];
+    } else if (arg.rfind("--root=", 0) == 0) {
+      root = std::string(arg.substr(7));
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "nclint: unknown flag " << arg << "\n";
+      return 2;
+    } else {
+      if (!fs::exists(arg)) {
+        std::cerr << "nclint: no such path " << arg << "\n";
+        return 2;
+      }
+      collect_files(fs::path(arg), inputs);
+    }
+  }
+  if (inputs.empty()) {
+    std::cerr << "usage: nclint [--root <dir>] [--list-rules] "
+                 "<file-or-dir>...\n";
+    return 2;
+  }
+
+  Linter linter(root);
+  std::vector<Diagnostic> diags;
+  for (const auto& f : inputs) linter.lint_file(f, diags);
+  if (linter.io_error()) return 2;
+
+  std::sort(diags.begin(), diags.end(), [](const auto& a, const auto& b) {
+    if (a.file != b.file) return a.file < b.file;
+    if (a.line != b.line) return a.line < b.line;
+    return a.rule < b.rule;
+  });
+  for (const auto& d : diags) {
+    std::cout << d.file << ":" << d.line << ": [" << d.rule << "] "
+              << d.message << "\n";
+  }
+  if (!diags.empty()) {
+    std::cout << "nclint: " << diags.size() << " violation"
+              << (diags.size() == 1 ? "" : "s") << " in " << inputs.size()
+              << " files\n";
+    return 1;
+  }
+  return 0;
+}
