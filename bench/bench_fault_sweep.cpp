@@ -7,11 +7,16 @@
 // `nearclique sweep`):
 //
 //  - loss_curve: recovered density / planted recall vs iid loss rate, on a
-//    log-spaced grid. The protocol has no transport-layer retransmission —
-//    a lost message is an erasure in a logical stream — so candidates die
-//    all-or-nothing and the curve measures how fast recovery probability
-//    collapses, while the Section 4.1 deadline turns missing traffic into
-//    bounded rounds-to-completion instead of a hang.
+//    log-spaced grid. The bare protocol has no transport-layer
+//    retransmission — a lost message is an erasure in a logical stream —
+//    so candidates die all-or-nothing and the curve measures how fast
+//    recovery probability collapses, while the Section 4.1 deadline turns
+//    missing traffic into bounded rounds-to-completion instead of a hang.
+//    Each loss point also runs with the reliability service armed
+//    (src/runtime/reliability.hpp): rel_mode=1 (per-stream ARQ) on the
+//    full grid and rel_mode=2 (windowed FEC) on a subset. The reliable
+//    rows quantify where the cliff moves and what the protection costs
+//    (bits, messages_retransmitted, acks_sent, fec_repairs columns).
 //  - delay_curve: jittered per-link delay only. Delays stretch
 //    rounds-to-completion but must not change *what* is recovered (FIFO
 //    per link is preserved by the engine), making this a correctness
@@ -61,6 +66,7 @@ struct FaultConfig {
   std::uint64_t delay_min = 0, delay_max = 0;
   double crash_frac = 0;
   std::uint64_t crash_round = 1, recover_after = 0;
+  std::uint64_t rel_mode = 0;  ///< 0 off, 1 ARQ, 2 FEC (engine defaults)
 };
 
 struct Row {
@@ -70,8 +76,9 @@ struct Row {
   std::size_t m = 0;
   std::size_t trials = 0;
   double rounds_mean = 0;
-  std::uint64_t messages = 0, lost = 0, delayed = 0, dropped_crash = 0,
-                crashes = 0, recoveries = 0;
+  std::uint64_t messages = 0, bits = 0, lost = 0, delayed = 0,
+                dropped_crash = 0, crashes = 0, recoveries = 0, retx = 0,
+                acks = 0, fec_repairs = 0;
   double recovered_size = 0;     ///< mean |largest output cluster|
   double recovered_density = 0;  ///< mean density (0 when nothing found)
   double recall = 0;             ///< mean |output ∩ planted| / |planted|
@@ -96,7 +103,8 @@ Row run_config(const SizeConfig& size, const FaultConfig& fault,
                           .with("delay_max", fault.delay_max)
                           .with("crash_frac", fault.crash_frac)
                           .with("crash_round", fault.crash_round)
-                          .with("recover_after", fault.recover_after);
+                          .with("recover_after", fault.recover_after)
+                          .with("rel_mode", fault.rel_mode);
 
   for (std::size_t t = 0; t < size.trials; ++t) {
     const std::uint64_t seed = 3 + 7919 * t;
@@ -118,11 +126,15 @@ Row run_config(const SizeConfig& size, const FaultConfig& fault,
 
     row.rounds_mean += static_cast<double>(res.stats.rounds) / size.trials;
     row.messages += res.stats.messages;
+    row.bits += res.stats.bits;
     row.lost += res.stats.messages_lost;
     row.delayed += res.stats.messages_delayed;
     row.dropped_crash += res.stats.messages_dropped_crash;
     row.crashes += res.stats.crash_events;
     row.recoveries += res.stats.recover_events;
+    row.retx += res.stats.messages_retransmitted;
+    row.acks += res.stats.acks_sent;
+    row.fec_repairs += res.stats.fec_repairs;
 
     const auto best = res.largest_cluster();
     std::size_t overlap = 0;
@@ -165,12 +177,16 @@ void append_row_json(JsonWriter& w, const Row& row) {
       .value(row.fault.crash_round)
       .key("recover_after")
       .value(row.fault.recover_after)
+      .key("rel_mode")
+      .value(row.fault.rel_mode)
       .key("trials")
       .value(static_cast<std::uint64_t>(row.trials))
       .key("rounds_mean")
       .value(row.rounds_mean)
       .key("messages")
       .value(row.messages)
+      .key("bits")
+      .value(row.bits)
       .key("messages_lost")
       .value(row.lost)
       .key("messages_delayed")
@@ -181,6 +197,12 @@ void append_row_json(JsonWriter& w, const Row& row) {
       .value(row.crashes)
       .key("recover_events")
       .value(row.recoveries)
+      .key("messages_retransmitted")
+      .value(row.retx)
+      .key("acks_sent")
+      .value(row.acks)
+      .key("fec_repairs")
+      .value(row.fec_repairs)
       .key("recovered_size")
       .value(row.recovered_size)
       .key("recovered_density")
@@ -232,6 +254,21 @@ int main(int argc, char** argv) {
       {"loss_curve", 1e-4},
       {"loss_curve", 1e-3},
       {"loss_curve", 1e-2},
+      // Same grid with per-stream ARQ armed (rel_mode=1, engine defaults):
+      // where the bare curve collapses, the reliable one should hold, at a
+      // bits/retx/acks overhead the columns quantify. The loss=0 row is the
+      // pure overhead baseline (ACK bits, zero retransmissions).
+      {"loss_curve", 0.0, 0, 0, 0.0, 1, 0, 1},
+      {"loss_curve", 1e-6, 0, 0, 0.0, 1, 0, 1},
+      {"loss_curve", 1e-5, 0, 0, 0.0, 1, 0, 1},
+      {"loss_curve", 1e-4, 0, 0, 0.0, 1, 0, 1},
+      {"loss_curve", 1e-3, 0, 0, 0.0, 1, 0, 1},
+      {"loss_curve", 1e-2, 0, 0, 0.0, 1, 0, 1},
+      // Windowed FEC (rel_mode=2) on a subset: overhead baseline plus the
+      // two ends of the interesting loss range.
+      {"loss_curve", 0.0, 0, 0, 0.0, 1, 0, 2},
+      {"loss_curve", 1e-4, 0, 0, 0.0, 1, 0, 2},
+      {"loss_curve", 1e-2, 0, 0, 0.0, 1, 0, 2},
       {"delay_curve", 0.0, 0, 2},
       {"delay_curve", 0.0, 1, 8},
       // Crash at round 25: mid-protocol at both instance sizes (the clean
@@ -247,11 +284,12 @@ int main(int argc, char** argv) {
       nc::Row row = nc::run_config(size, cfg, threads);
       std::cout << row.curve << " n=" << row.n << " loss=" << cfg.loss
                 << " delay=[" << cfg.delay_min << "," << cfg.delay_max
-                << "] crash=" << cfg.crash_frac << " -> size="
-                << row.recovered_size << " density=" << row.recovered_density
+                << "] crash=" << cfg.crash_frac << " rel=" << cfg.rel_mode
+                << " -> size=" << row.recovered_size
+                << " density=" << row.recovered_density
                 << " recall=" << row.recall << " rounds=" << row.rounds_mean
-                << " lost=" << row.lost << " run=" << row.run_seconds
-                << "s\n";
+                << " lost=" << row.lost << " retx=" << row.retx
+                << " run=" << row.run_seconds << "s\n";
       rows.push_back(row);
     }
   }

@@ -6,12 +6,13 @@
 //   nearclique run   --scenario=F [--params=k=v,..] --algo=A
 //                    [--algo-params=k=v,..] [--seed=N] [--threads=N]
 //                    [--faults=loss=0.05,delay_max=3,..]
+//                    [--reliability=rel_mode=1,rel_max_retx=8,..]
 //                    [--repeat=N] [--time] [--profile]
 //                    [--json[=FILE]] [--dot=out.dot]
 //   nearclique sweep --scenario=F [--params=..] [--algos=A,B[k=v,..],..]
 //                    [--algo-params=..] [--grid=scenario.n=100:200,both.eps=0.1:0.2]
 //                    [--trials=N] [--seed=N] [--seq-seeds] [--threads=N]
-//                    [--faults=loss=0.05,..]
+//                    [--faults=loss=0.05,..] [--reliability=rel_mode=1,..]
 //                    [--success=none|theorem57|effective|size_density]
 //                    [--success2=...] [--success-eps=..] [--success-delta=..]
 //                    [--success-min-size=..] [--success-max-eps=..]
@@ -27,6 +28,15 @@
 // bit-identical at every --threads value. Individual fault keys also work
 // as ordinary --algo-params entries and --grid axes (e.g.
 // --grid=algo.loss=0:0.05:0.1 sweeps the loss rate).
+//
+// --reliability arms the stage/deliver reliability service
+// (src/runtime/reliability.hpp) against that adversity, with the same
+// distribution rule: rel_mode=1 is per-stream ACK + retransmission
+// (rel_ack_timeout=, rel_max_retx=), rel_mode=2 is k-of-n erasure coding
+// over round windows (rel_fec_window=, rel_fec_repair=). Reliability
+// decisions are keyed hashes too, so protected runs stay bit-identical at
+// every --threads value; rel_* keys also work as --algo-params entries and
+// --grid axes.
 //
 // --spec=FILE runs a sweep from a JSON spec document (the serialized
 // SweepSpec — see src/expt/README.md), round-tripping every field
@@ -73,6 +83,7 @@
 #include "graph/dot.hpp"
 #include "graph/metrics.hpp"
 #include "runtime/faults.hpp"
+#include "runtime/reliability.hpp"
 #include "util/cli.hpp"
 #include "util/json.hpp"
 
@@ -88,11 +99,13 @@ int usage(std::FILE* to) {
       "  list-algorithms           registered algorithms\n"
       "  run    --scenario=F --algo=A [--params=..] [--algo-params=..]\n"
       "         [--seed=N] [--threads=N] [--faults=loss=0.05,..]\n"
+      "         [--reliability=rel_mode=1,..]\n"
       "         [--repeat=N] [--time] [--profile] [--json[=FILE]]\n"
       "         [--dot=out.dot]\n"
       "  sweep  --scenario=F [--algos=A,B[k=v,..]] [--params=..]\n"
       "         [--grid=scenario.k=v1:v2,algo.k=..,both.k=..] [--trials=N]\n"
       "         [--seed=N] [--seq-seeds] [--threads=N] [--faults=..]\n"
+      "         [--reliability=..]\n"
       "         [--success=PRED] [--success2=PRED] [--json=FILE|-]\n"
       "  sweep  --spec=FILE.json [--json=FILE|-] [--title=..]\n"
       "per-algorithm params belong in brackets: --algos='a[eps=0.2],b'\n"
@@ -103,6 +116,8 @@ int usage(std::FILE* to) {
       "--faults=loss=0.05,delay_max=3,crash_frac=0.01 injects message\n"
       "loss / link delay / node churn into declaring algorithms; fault\n"
       "keys also work as --algo-params entries and --grid axes.\n"
+      "--reliability=rel_mode=1 arms ACK/retransmission (rel_mode=2: FEC)\n"
+      "against that loss for declaring algorithms; same key rules.\n"
       "--spec=FILE.json replays a serialized sweep spec (every field,\n"
       "faults included; see src/expt/README.md for the schema).\n"
       "run --repeat=N --time re-runs the fixed-seed execution N times and\n"
@@ -275,6 +290,37 @@ void apply_faults(AlgoSpec& spec, const ParamSet& faults) {
   }
 }
 
+/// Parses --reliability into a validated override bag (empty when absent),
+/// the exact --faults pattern for the rel_* key set.
+ParamSet reliability_from_args(const Args& args) {
+  const std::string csv = args.get("reliability", "");
+  if (csv.empty()) return {};
+  (void)parse_reliability_plan(csv);  // full validation incl. ranges
+  return parse_params_csv(csv, &reliability_param_defaults());
+}
+
+/// The shared run/sweep diagnostic for --reliability (or explicit rel_*
+/// params) on an algorithm without the reliability knobs.
+void warn_reliability_ignored(const std::string& algorithm) {
+  std::fprintf(stderr,
+               "note: algorithm '%s' does not declare reliability "
+               "parameters; --reliability ignored for it\n",
+               algorithm.c_str());
+}
+
+/// Applies --reliability key by key (explicit --algo-params values win),
+/// warn-and-skip for non-declaring algorithms.
+void apply_reliability(AlgoSpec& spec, const ParamSet& reliability) {
+  if (reliability.values().empty()) return;
+  if (!algorithm_declares(spec.name, "rel_mode")) {
+    warn_reliability_ignored(spec.name);
+    return;
+  }
+  for (const auto& [key, value] : reliability.values()) {
+    if (!spec.params.has(key)) spec.params.with(key, value);
+  }
+}
+
 int cmd_run(const Args& args) {
   const auto scenario = args.get("scenario", "planted_near_clique");
   const auto algo = args.get("algo", "dist_near_clique");
@@ -285,6 +331,7 @@ int cmd_run(const Args& args) {
   AlgoSpec aspec = parse_algo_spec(algo, args.get("algo-params", ""), seed);
   apply_threads(aspec, threads_from_args(args));
   apply_faults(aspec, faults_from_args(args));
+  apply_reliability(aspec, reliability_from_args(args));
 
   // --profile: opt-in engine per-phase profiling (same declare-or-warn
   // convention as --threads; an explicit --algo-params=profile=.. wins).
@@ -494,9 +541,9 @@ int cmd_sweep(const Args& args) {
     // experiment-defining flag would be silently dead, so reject it.
     for (const char* flag :
          {"scenario", "params", "algos", "algo", "algo-params", "grid",
-          "trials", "seed", "seq-seeds", "threads", "faults", "success",
-          "success2", "success-eps", "success-delta", "success-min-size",
-          "success-max-eps"}) {
+          "trials", "seed", "seq-seeds", "threads", "faults", "reliability",
+          "success", "success2", "success-eps", "success-delta",
+          "success-min-size", "success-max-eps"}) {
       if (args.has(flag)) {
         throw std::invalid_argument(
             std::string("--") + flag +
@@ -545,6 +592,7 @@ int cmd_sweep(const Args& args) {
     spec.axes = parse_grid(args.get("grid", ""));
     spec.threads = static_cast<std::size_t>(threads_from_args(args));
     spec.faults = faults_from_args(args);
+    spec.reliability = reliability_from_args(args);
     const auto trials = args.get_int("trials", 5);
     const auto seed = args.get_int("seed", 1);
     if (trials < 1) {
@@ -572,6 +620,10 @@ int cmd_sweep(const Args& args) {
     if (!spec.faults.values().empty() &&
         !algorithm_declares(algo.name, "loss")) {
       warn_faults_ignored(algo.name);
+    }
+    if (!spec.reliability.values().empty() &&
+        !algorithm_declares(algo.name, "rel_mode")) {
+      warn_reliability_ignored(algo.name);
     }
   }
 

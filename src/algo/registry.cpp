@@ -11,6 +11,7 @@
 #include "baselines/shingles.hpp"
 #include "core/boosting.hpp"
 #include "runtime/faults.hpp"
+#include "runtime/reliability.hpp"
 #include "runtime/shard.hpp"
 #include "util/rng.hpp"
 
@@ -36,9 +37,12 @@ AlgorithmRegistry build_global_registry() {
   // RNG, run_boosted for the versions wrapper), so pre-registry fixed-seed
   // results are preserved bit-for-bit.
   // The network-backed protocol also declares the complete fault-plan key
-  // set (loss, ge_*, delay_*, crash_*, fault_seed — src/runtime/faults.hpp),
-  // so adversity rides the ordinary param-bag/sweep-axis machinery:
-  // `--algo-params=loss=0.05` and `--grid=algo.loss=0:0.05:0.1` just work.
+  // set (loss, ge_*, delay_*, crash_*, fault_seed — src/runtime/faults.hpp)
+  // and the reliability-service keys (rel_mode, rel_ack_timeout, rel_max_retx,
+  // rel_fec_window, rel_fec_repair, rel_seed — src/runtime/reliability.hpp),
+  // so adversity and its countermeasures ride the ordinary param-bag /
+  // sweep-axis machinery: `--algo-params=loss=0.05,rel_mode=1` and
+  // `--grid=algo.loss=0:0.05:0.1` just work.
   AlgoParams dnc_defaults = AlgoParams()
                                 .with("eps", 0.2)
                                 .with("pn", 9.0)
@@ -50,10 +54,14 @@ AlgorithmRegistry build_global_registry() {
   for (const auto& [key, value] : fault_param_defaults().values()) {
     dnc_defaults.with(key, value);
   }
+  for (const auto& [key, value] : reliability_param_defaults().values()) {
+    dnc_defaults.with(key, value);
+  }
   r.add({"dist_near_clique",
          "Algorithm DistNearClique (Section 4) with the Section 4.1 "
          "time-bound and boosting wrappers (versions > 1); fault-plan "
-         "params inject message loss / delay / churn",
+         "params inject message loss / delay / churn, rel_* params enable "
+         "the ACK/FEC reliability service",
          CostModel::kCongest, std::move(dnc_defaults),
          [](const Graph& g, const AlgoParams& p, std::uint64_t seed) {
            DriverConfig cfg;
@@ -63,6 +71,7 @@ AlgorithmRegistry build_global_registry() {
            cfg.net.max_rounds =
                static_cast<std::uint64_t>(p.get_double("max_rounds"));
            cfg.net.faults = fault_plan_from_params(p);
+           cfg.net.reliability = reliability_plan_from_params(p);
            // Delivery sharding: a pure performance knob — fixed-seed runs
            // are bit-identical at every thread count.
            const auto threads = p.get_int("threads");

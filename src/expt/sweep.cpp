@@ -7,6 +7,7 @@
 
 #include "graph/metrics.hpp"
 #include "runtime/faults.hpp"
+#include "runtime/reliability.hpp"
 #include "util/json.hpp"
 
 namespace nc {
@@ -235,6 +236,10 @@ std::vector<SweepRow> run_sweep(const SweepSpec& spec) {
     (void)fault_plan_from_params(
         merge_params(fault_param_defaults(), spec.faults, "fault plan"));
   }
+  if (!spec.reliability.keys().empty()) {
+    (void)reliability_plan_from_params(merge_params(
+        reliability_param_defaults(), spec.reliability, "reliability plan"));
+  }
   for (const auto& axis : spec.axes) {
     if (axis.values.empty()) {
       throw std::invalid_argument("sweep axis '" + axis.key +
@@ -303,6 +308,12 @@ std::vector<SweepRow> run_sweep(const SweepSpec& spec) {
       // The sweep-level fault plan reaches declaring algorithms the same
       // way, key by key; explicit per-algorithm and axis values win.
       for (const auto& [key, value] : spec.faults.values()) {
+        if (!row.algo_params.has(key) && algorithm_declares(algo.name, key)) {
+          row.algo_params.with(key, value);
+        }
+      }
+      // And the sweep-level reliability plan, with the same precedence.
+      for (const auto& [key, value] : spec.reliability.values()) {
         if (!row.algo_params.has(key) && algorithm_declares(algo.name, key)) {
           row.algo_params.with(key, value);
         }
@@ -434,6 +445,7 @@ std::string sweep_spec_json(const SweepSpec& spec) {
   w.key("seeds").value(schedule_name(spec.seeds));
   w.key("threads").value(static_cast<std::uint64_t>(spec.threads));
   write_params(w, "faults", spec.faults);
+  write_params(w, "reliability", spec.reliability);
   write_success_spec(w, "success", spec.success);
   write_success_spec(w, "success2", spec.success2);
   w.end_object();
@@ -549,6 +561,10 @@ SweepSpec sweep_spec_from_json(const std::string& text) {
       // instead of at run time.
       (void)fault_plan_from_params(
           merge_params(fault_param_defaults(), spec.faults, "fault plan"));
+    } else if (key == "reliability") {
+      spec.reliability = param_set_from_json(value, "reliability");
+      (void)reliability_plan_from_params(merge_params(
+          reliability_param_defaults(), spec.reliability, "reliability plan"));
     } else if (key == "success") {
       spec.success = success_spec_from_json(value, "success");
     } else if (key == "success2") {
@@ -557,7 +573,7 @@ SweepSpec sweep_spec_from_json(const std::string& text) {
       throw std::invalid_argument(
           "sweep spec has no field '" + key +
           "'; fields: title, scenario, algorithms, axes, trials, seed_base, "
-          "seeds, threads, faults, success, success2");
+          "seeds, threads, faults, reliability, success, success2");
     }
   }
   if (!have_scenario) {

@@ -93,6 +93,15 @@ struct SweepSpec {
   /// the same adversity while centralized baselines are unaffected.
   ParamSet faults;
 
+  /// Reliability-service overrides (src/runtime/reliability.hpp keys:
+  /// rel_mode, rel_ack_timeout, rel_max_retx, rel_fec_window,
+  /// rel_fec_repair, rel_seed), distributed exactly like `faults`: applied
+  /// to every listed algorithm that declares the key, with explicit
+  /// per-algorithm overrides and axis values winning. One
+  /// `--reliability=rel_mode=1` arms ARQ on every network-backed algorithm
+  /// in a lossy comparison.
+  ParamSet reliability;
+
   SuccessSpec success;
   SuccessSpec success2;
 };
@@ -159,14 +168,16 @@ std::string sweep_spec_json(const SweepSpec& spec);
 ///               "values": [0.1, 0.2]}],
 ///     "trials": 4, "seed_base": 1, "seeds": "salted",
 ///     "threads": 2, "faults": {"loss": 0.05, "delay_max": 3},
+///     "reliability": {"rel_mode": 1, "rel_max_retx": 8},
 ///     "success": {"kind": "theorem57"},
 ///     "success2": {"kind": "none"}
 ///   }
 ///
 /// Every key is optional except scenario.family and algorithms; omitted
-/// keys take the SweepSpec defaults. "faults" keys are validated against
-/// the declared fault parameter set. Throws std::invalid_argument with a
-/// self-explaining message on malformed JSON, unknown keys or bad values.
+/// keys take the SweepSpec defaults. "faults" and "reliability" keys are
+/// validated against the declared fault / reliability parameter sets.
+/// Throws std::invalid_argument with a self-explaining message on
+/// malformed JSON, unknown keys or bad values.
 SweepSpec sweep_spec_from_json(const std::string& text);
 
 }  // namespace nc

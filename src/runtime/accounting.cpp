@@ -17,6 +17,9 @@ void RunStats::absorb(const RunStats& other) {
   messages_dropped_crash += other.messages_dropped_crash;
   crash_events += other.crash_events;
   recover_events += other.recover_events;
+  messages_retransmitted += other.messages_retransmitted;
+  acks_sent += other.acks_sent;
+  fec_repairs += other.fec_repairs;
   for (std::size_t k = 0; k < bits_by_kind.size(); ++k) {
     bits_by_kind[k] += other.bits_by_kind[k];
   }
@@ -26,12 +29,15 @@ void RunStats::merge_traffic(const RunStats& other) {
   messages += other.messages;
   bits += other.bits;
   max_message_bits = std::max(max_message_bits, other.max_message_bits);
-  // Per-message fault outcomes are decided in the parallel stage/deliver
-  // phases, so they are shard partials too; churn events are counted by
-  // the serial round loop and deliberately not merged here.
+  // Per-message fault and reliability outcomes are decided in the parallel
+  // stage/deliver phases, so they are shard partials too; churn events are
+  // counted by the serial round loop and deliberately not merged here.
   messages_lost += other.messages_lost;
   messages_delayed += other.messages_delayed;
   messages_dropped_crash += other.messages_dropped_crash;
+  messages_retransmitted += other.messages_retransmitted;
+  acks_sent += other.acks_sent;
+  fec_repairs += other.fec_repairs;
   for (std::size_t k = 0; k < bits_by_kind.size(); ++k) {
     bits_by_kind[k] += other.bits_by_kind[k];
   }
@@ -64,6 +70,9 @@ std::string RunStats::summary() const {
   if (crash_events > 0) {
     os << " crashes=" << crash_events << " recoveries=" << recover_events;
   }
+  if (messages_retransmitted > 0) os << " retx=" << messages_retransmitted;
+  if (acks_sent > 0) os << " acks=" << acks_sent;
+  if (fec_repairs > 0) os << " fec_repairs=" << fec_repairs;
   return os.str();
 }
 

@@ -19,6 +19,7 @@ constexpr std::uint64_t kSaltGeStep = 0x6e12;
 constexpr std::uint64_t kSaltGeLoss = 0x6e13;
 constexpr std::uint64_t kSaltDelay = 0xde1a;
 constexpr std::uint64_t kSaltCrash = 0xc4a5;
+constexpr std::uint64_t kSaltHookLoss = 0x40c5;
 
 void check_prob(double value, const char* name) {
   if (!(value >= 0.0 && value <= 1.0)) {
@@ -72,6 +73,10 @@ std::string FaultPlan::summary() const {
   if (crash_frac > 0.0) {
     os << sep << "crash=" << crash_frac << "@r" << crash_round;
     if (recover_after > 0) os << "+" << recover_after;
+    sep = " ";
+  }
+  if (loss_hook) {
+    os << sep << "hook";
     sep = " ";
   }
   return os.str();
@@ -192,6 +197,13 @@ bool FaultEngine::lose(std::size_t edge, NodeId src, NodeId dst,
   if (plan_.loss > 0.0 &&
       fault_uniform(seed_, kSaltLoss, round, src, dst) < plan_.loss) {
     return true;
+  }
+  if (plan_.loss_hook) {
+    const double h = plan_.loss_hook(src, dst);
+    if (h > 0.0 &&
+        fault_uniform(seed_, kSaltHookLoss, round, src, dst) < h) {
+      return true;
+    }
   }
   if (!ge_state_.empty()) {
     std::uint64_t& packed = ge_state_[edge];

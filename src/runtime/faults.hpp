@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -67,11 +68,23 @@ struct FaultPlan {
   /// pins the fault pattern independently of the protocol's randomness.
   std::uint64_t fault_seed = 0;
 
+  /// Targeted (adversarial) loss: an extra per-message drop probability for
+  /// the directed channel src -> dst, composed with the stochastic models
+  /// above (a message survives only if every model passes it). The hook is
+  /// a test/experiment construct — it has no param-bag key and no CLI
+  /// surface — but its decisions go through the same keyed-hash draw as
+  /// everything else, so hooked runs keep the thread-invariance guarantee
+  /// as long as the hook itself is a pure function of (src, dst). The
+  /// reliability layer folds the hook into its retransmit/ACK loss
+  /// marginals, so targeted loss degrades recovery honestly too.
+  std::function<double(NodeId src, NodeId dst)> loss_hook;
+
   /// True when any fault model is enabled (the engine is only constructed,
   /// and the staged delivery path only consulted, for active plans — a
   /// default plan costs the fault-free hot path nothing).
   [[nodiscard]] bool any() const noexcept {
-    return loss > 0.0 || ge_p > 0.0 || delay_max > 0 || crash_frac > 0.0;
+    return loss > 0.0 || ge_p > 0.0 || delay_max > 0 || crash_frac > 0.0 ||
+           static_cast<bool>(loss_hook);
   }
 
   /// Throws std::invalid_argument on out-of-range probabilities,
@@ -173,6 +186,14 @@ class FaultEngine {
   /// statistical tests and docs state the expected marginal loss rate
   /// pi_bad * ge_loss_bad + (1 - pi_bad) * ge_loss_good from one source.
   [[nodiscard]] double ge_stationary_bad() const noexcept { return pi_bad_; }
+
+  /// The edge's FIFO arrival watermark (the latest delivery round handed
+  /// out by delay_of; 0 when the delay model is off). The reliability
+  /// layer's release floor takes the max with this, so a recovered message
+  /// never undercuts an earlier jittered one.
+  [[nodiscard]] std::uint64_t arrival_floor(std::size_t edge) const noexcept {
+    return arrival_.empty() ? 0 : arrival_[edge];
+  }
 
  private:
   FaultPlan plan_;

@@ -193,6 +193,21 @@ Network::Network(const Graph& g, const NetConfig& config,
     }
   }
 
+  // Reliability service (only for active plans; like the fault engine, an
+  // active service forces the staged round path so the per-message decision
+  // point is unique).
+  if (config.reliability.any()) {
+    if (config.mode == NetConfig::Mode::kLocal) {
+      throw std::invalid_argument(
+          "NetConfig::reliability requires CONGEST mode — the service's "
+          "control traffic (ACK/repair slots) is accounted against the "
+          "CONGEST bandwidth budget, which LOCAL mode does not define");
+    }
+    rel_ = std::make_unique<ReliabilityEngine>(
+        config.reliability, config.faults, faults_.get(), directed_edges,
+        header_bits_, bandwidth_bits_, config.seed);
+  }
+
   const Rng master(config.seed);
   nodes_.reserve(n_);
   states_.reserve(n_);
@@ -386,24 +401,182 @@ void Network::deliver_copy(Shard& dst, TrafficBatch& batch,
   batch.charge(r.key.kind, r.wire_bits);
 }
 
-bool Network::fault_verdict(Shard& sh, std::size_t e, NodeId from, NodeId to,
-                            std::uint64_t count,
-                            std::uint64_t* deliver_round) {
-  *deliver_round = 0;
-  if (faults_->crashed_at(from, round_) || faults_->crashed_at(to, round_)) {
+Network::LinkVerdict Network::link_verdict(Shard& sh, std::size_t e,
+                                           NodeId from, NodeId to,
+                                           std::uint64_t count,
+                                           std::uint16_t kind,
+                                           std::uint64_t wire_bits) {
+  LinkVerdict out;
+  if (faults_ &&
+      (faults_->crashed_at(from, round_) || faults_->crashed_at(to, round_))) {
+    // Crash silencing is beneath the reliability service: a crashed
+    // endpoint neither retransmits nor collects repair chunks.
     sh.traffic.messages_dropped_crash += count;
-    return true;
+    out.fate = LinkVerdict::Fate::kDrop;
+    return out;
   }
-  if (faults_->lose(e, from, to, round_)) {
-    sh.traffic.messages_lost += count;
-    return true;
+  const bool lost = faults_ != nullptr && faults_->lose(e, from, to, round_);
+  if (!rel_) {
+    // Fault-only path (faults_ is non-null here: the verdict is only
+    // consulted when faults_ or rel_ is active).
+    if (lost) {
+      sh.traffic.messages_lost += count;
+      out.fate = LinkVerdict::Fate::kDrop;
+      return out;
+    }
+    const std::uint64_t delay = faults_->delay_of(e, from, to, round_);
+    if (delay > 0) {
+      out.deliver_round = round_ + delay;
+      sh.traffic.messages_delayed += count;
+    }
+    return out;
   }
-  const std::uint64_t delay = faults_->delay_of(e, from, to, round_);
-  if (delay > 0) {
-    *deliver_round = round_ + delay;
-    sh.traffic.messages_delayed += count;
+  if (rel_->fec()) {
+    bool first_park = false;
+    if (rel_->fec_on_message(e, from, to, round_, lost, sh.traffic,
+                             &first_park)) {
+      // The edge has (or this loss opens) an unresolved window: park the
+      // message — stream order is only decidable at the window close. The
+      // copy's own loss verdict rides along for the resolution.
+      out.fate = LinkVerdict::Fate::kPark;
+      out.lost = lost;
+      out.first_park = first_park;
+      return out;
+    }
+    std::uint64_t due = round_;
+    if (faults_) {
+      const std::uint64_t delay = faults_->delay_of(e, from, to, round_);
+      if (delay > 0) {
+        due = round_ + delay;
+        sh.traffic.messages_delayed += count;
+      }
+    }
+    // The release floor keeps the stream FIFO across window releases: a
+    // message staged after a release may never undercut it.
+    due = std::max(due, rel_->floor_of(e));
+    rel_->raise_floor(e, due);
+    if (due > round_) out.deliver_round = due;
+    return out;
   }
-  return false;
+  // ARQ. The whole exchange resolves in closed form at stage time: the
+  // recovery round (if any) is computable now, so the recovered message
+  // simply rides the ordinary delayed-delivery machinery — no parking.
+  std::uint64_t due = round_;
+  if (lost) {
+    const std::uint64_t rec =
+        rel_->arq_recover(e, from, to, round_, kind, wire_bits, sh.traffic);
+    if (rec == ReliabilityEngine::kNever) {
+      sh.traffic.messages_lost += count;
+      out.fate = LinkVerdict::Fate::kDrop;
+      return out;
+    }
+    // Recovered copies take the attempt schedule, not the jitter model
+    // (the attempt slots dominate); the fault watermark still floors them
+    // so they never overtake an earlier jittered delivery.
+    due = std::max(rec, faults_->arrival_floor(e));
+  } else {
+    rel_->arq_account_delivered(e, from, to, round_, kind, wire_bits,
+                                sh.traffic);
+    if (faults_) {
+      const std::uint64_t delay = faults_->delay_of(e, from, to, round_);
+      if (delay > 0) {
+        due = round_ + delay;
+        sh.traffic.messages_delayed += count;
+      }
+    }
+  }
+  due = std::max(due, rel_->floor_of(e));
+  rel_->raise_floor(e, due);
+  if (due > round_) out.deliver_round = due;
+  return out;
+}
+
+void Network::park_row(Shard& sh, std::size_t e, const MsgView& v, NodeId to,
+                       std::uint32_t back_index, const LinkVerdict& verdict) {
+  // Heap-backed (default bind): parked rows outlive the round that staged
+  // them, so they must not live in the per-round arena.
+  sh.rel_parked.push(v, to, back_index, 0);
+  sh.rel_parked_edge.push_back(e);
+  sh.rel_parked_lost.push_back(verdict.lost ? 1 : 0);
+  if (verdict.first_park) sh.rel_pending_edges.push_back(e);
+}
+
+void Network::resolve_fec_windows(Shard& sh) {
+  // Split the pending edges into due (window closed before this round) and
+  // still-open. Resolution order is ascending edge for cleanliness, but the
+  // draws are keyed on (window, edge, chunk), so order cannot matter.
+  std::vector<std::size_t> due;
+  std::size_t kept_pending = 0;
+  for (const std::size_t e : sh.rel_pending_edges) {
+    if (rel_->fec_due(e, round_)) {
+      due.push_back(e);
+    } else {
+      sh.rel_pending_edges[kept_pending++] = e;
+    }
+  }
+  if (due.empty()) return;
+  sh.rel_pending_edges.resize(kept_pending);
+  std::sort(due.begin(), due.end());
+  const auto due_index = [&](std::size_t e) -> std::size_t {
+    const auto it = std::lower_bound(due.begin(), due.end(), e);
+    if (it == due.end() || *it != e) {
+      return std::numeric_limits<std::size_t>::max();
+    }
+    return static_cast<std::size_t>(it - due.begin());
+  };
+  // Pass 1: per-due-edge loss counts from the parked rows.
+  std::vector<std::uint64_t> losses(due.size(), 0);
+  for (std::size_t i = 0; i < sh.rel_parked_edge.size(); ++i) {
+    if (sh.rel_parked_lost[i] != 0) {
+      const std::size_t j = due_index(sh.rel_parked_edge[i]);
+      if (j != std::numeric_limits<std::size_t>::max()) losses[j] += 1;
+    }
+  }
+  // Pass 2: resolve each due window — repair survivals, recovery verdict,
+  // release round (floored against both FIFO watermarks) — and raise the
+  // edge's floor so post-release traffic stays behind the released stream.
+  std::vector<std::uint8_t> recovered(due.size(), 0);
+  std::vector<std::uint64_t> release(due.size(), 0);
+  for (std::size_t j = 0; j < due.size(); ++j) {
+    const std::size_t e = due[j];
+    const NodeId from = edge_owner_[e];
+    const NodeId to = graph_->neighbors(from)[e - edge_base_[from]];
+    recovered[j] =
+        rel_->fec_resolve(e, from, to, losses[j], sh.traffic) ? 1 : 0;
+    std::uint64_t rr = std::max(round_, rel_->floor_of(e));
+    if (faults_) rr = std::max(rr, faults_->arrival_floor(e));
+    release[j] = rr;
+    rel_->raise_floor(e, rr);
+  }
+  // Pass 3: walk the parked rows in park (= stream) order. Rows of due
+  // edges are released into the lanes at the edge's release round — or
+  // dropped for good if they were lost and the window did not recover —
+  // while rows of still-blocked edges are compacted into a rebuilt hold.
+  // Lanes were reset at the top of this stage phase and the link walk has
+  // not run yet, so released rows sit ahead of the round's fresh traffic.
+  MsgBlock keep;
+  std::vector<std::size_t> keep_edge;
+  std::vector<std::uint8_t> keep_lost;
+  for (std::size_t i = 0; i < sh.rel_parked.size(); ++i) {
+    const std::size_t e = sh.rel_parked_edge[i];
+    const std::size_t j = due_index(e);
+    if (j == std::numeric_limits<std::size_t>::max()) {
+      keep.append_from(sh.rel_parked, i, header_bits_);
+      keep_edge.push_back(e);
+      keep_lost.push_back(sh.rel_parked_lost[i]);
+      continue;
+    }
+    if (sh.rel_parked_lost[i] != 0 && recovered[j] == 0) {
+      sh.traffic.messages_lost += 1;
+      continue;
+    }
+    const MsgBlock::Rec r = sh.rel_parked.record(i, header_bits_);
+    sh.lanes[plan_.node_shard[r.to]].append_from(sh.rel_parked, i,
+                                                 header_bits_, release[j]);
+  }
+  sh.rel_parked = std::move(keep);
+  sh.rel_parked_edge = std::move(keep_edge);
+  sh.rel_parked_lost = std::move(keep_lost);
 }
 
 void Network::stage_shard(unsigned s) {
@@ -412,6 +585,13 @@ void Network::stage_shard(unsigned s) {
   // re-carve the lane columns at last round's sizes.
   sh.arena.reset();
   for (auto& lane : sh.lanes) lane.begin_round();
+  // FEC window resolution first: released rows enter the lanes ahead of
+  // this round's fresh traffic (they are stream-earlier by construction),
+  // and a blocked edge is unblocked before any new message on it could be
+  // staged into a later window.
+  if (rel_ && rel_->fec() && !sh.rel_pending_edges.empty()) {
+    resolve_fec_windows(sh);
+  }
   if (sh.active_links.empty()) return;
   // Ascending (owner, neighbour-index) order within the shard; shards are
   // contiguous ID ranges, so concatenating the shards' sorted sets in shard
@@ -436,6 +616,7 @@ void Network::stage_shard(unsigned s) {
   const bool dedup = config_.broadcast_dedup &&
                      config_.mode == NetConfig::Mode::kCongest;
   const bool profiling = config_.profile != nullptr;
+  const bool adversity = faults_ != nullptr || rel_ != nullptr;
   NodeId group_from = 0;
   bool group_live = false;
   MsgView group_view;
@@ -457,46 +638,65 @@ void Network::stage_shard(unsigned s) {
       // still advances the streams — the traffic was sent, then lost.
       MsgBlock& lane = sh.lanes[plan_.node_shard[to]];
       const std::size_t count = link.pending_stream_count();
-      std::uint64_t deliver_round = 0;
-      const bool drop = faults_ && count > 0 &&
-                        fault_verdict(sh, e, from, to, count, &deliver_round);
+      LinkVerdict verdict;
+      if (faults_ && count > 0) {
+        // Reliability is CONGEST-only (rel_ is null here by construction),
+        // so the verdict degenerates to the fault decision.
+        verdict = link_verdict(sh, e, from, to, count, 0, 0);
+      }
+      const bool drop = verdict.fate != LinkVerdict::Fate::kDeliver;
       const std::size_t produced =
           link.drain_views(header_bits_, [&](const MsgView& v) {
-            if (!drop) lane.push(v, to, back, deliver_round);
+            if (!drop) lane.push(v, to, back, verdict.deliver_round);
           });
       if (produced > 0) link.release_idle();
     } else if (group_live && from == group_from &&
                link.schedule_matches(bandwidth_bits_, header_bits_,
                                      group_view)) {
-      std::uint64_t deliver_round = 0;
-      if (!(faults_ && fault_verdict(sh, e, from, to, 1, &deliver_round))) {
+      LinkVerdict verdict;
+      if (adversity) {
+        verdict = link_verdict(sh, e, from, to, 1, group_view.key.kind,
+                               group_view.wire_bits);
+      }
+      if (verdict.fate == LinkVerdict::Fate::kDeliver) {
         const unsigned d = plan_.node_shard[to];
         MsgBlock& lane = sh.lanes[d];
         if (sh.bcast_open[d]) {
-          lane.add_receiver(to, back, deliver_round);
+          lane.add_receiver(to, back, verdict.deliver_round);
           if (profiling) sh.bcast_saved += (group_view.bit_len + 7) / 8;
         } else {
           // First surviving copy headed for this destination shard: the
           // lane needs its own payload copy (lanes never share storage).
-          lane.push(group_view, to, back, deliver_round);
+          lane.push(group_view, to, back, verdict.deliver_round);
           sh.bcast_open[d] = 1;
           sh.bcast_touched.push_back(d);
         }
+      } else if (verdict.fate == LinkVerdict::Fate::kPark) {
+        // A parked copy leaves the broadcast group like a dropped one (no
+        // receiver entry); it gets its own heap row on the FEC hold.
+        park_row(sh, e, group_view, to, back, verdict);
       }
       link.release_idle();
     } else {
       close_group();
       if (link.schedule_view(bandwidth_bits_, header_bits_, view)) {
-        std::uint64_t deliver_round = 0;
-        const bool drop =
-            faults_ && fault_verdict(sh, e, from, to, 1, &deliver_round);
+        LinkVerdict verdict;
+        if (adversity) {
+          verdict =
+              link_verdict(sh, e, from, to, 1, view.key.kind, view.wire_bits);
+        }
         const unsigned d = plan_.node_shard[to];
-        if (!drop) sh.lanes[d].push(view, to, back, deliver_round);
+        const bool staged = verdict.fate == LinkVerdict::Fate::kDeliver;
+        if (staged) {
+          sh.lanes[d].push(view, to, back, verdict.deliver_round);
+        } else if (verdict.fate == LinkVerdict::Fate::kPark) {
+          park_row(sh, e, view, to, back, verdict);
+        }
         if (dedup) {
           group_from = from;
           group_view = view;
           group_live = true;
-          if (!drop) {
+          if (staged) {
             sh.bcast_open[d] = 1;
             sh.bcast_touched.push_back(d);
           }
@@ -589,7 +789,7 @@ void Network::deliver_round_serial() {
 void Network::deliver_shard(unsigned d) {
   Shard& dst = shards_[d];
   TrafficBatch batch;
-  if (faults_) {
+  if (faults_ || rel_) {
     // Delayed traffic falls due ahead of this round's on-time traffic, in
     // the order it was queued (by stage round, then canonical merge order
     // within one — a thread-count-invariant sequence). A destination that
@@ -598,7 +798,7 @@ void Network::deliver_shard(unsigned d) {
       MsgBlock& bucket = dst.delayed.begin()->second;
       for (std::size_t i = 0; i < bucket.size(); ++i) {
         const MsgBlock::Rec r = bucket.record(i, header_bits_);
-        if (faults_->crashed_at(r.to, round_)) {
+        if (faults_ && faults_->crashed_at(r.to, round_)) {
           dst.traffic.messages_dropped_crash += 1;
         } else {
           deliver_record(dst, batch, r);
@@ -624,7 +824,7 @@ void Network::deliver_shard(unsigned d) {
           if (j + 2 < r.rcv_count) {
             prefetch_dst(lane.receiver(r.rcv_begin + j + 2).to);
           }
-          if (faults_ && rcv.deliver_round > round_) {
+          if ((faults_ || rel_) && rcv.deliver_round > round_) {
             dst.delayed[rcv.deliver_round].append_receiver_from(
                 lane, i, rcv, header_bits_);
             if (config_.profile != nullptr) {
@@ -637,7 +837,7 @@ void Network::deliver_shard(unsigned d) {
             deliver_copy(dst, batch, r, rcv);
           }
         }
-      } else if (faults_ && r.deliver_round > round_) {
+      } else if ((faults_ || rel_) && r.deliver_round > round_) {
         // In flight: copy the staged row (payload and all) into this
         // shard's future bucket — the arena-backed lane is rewound next
         // round, so the bucket owns a heap copy. Touching lane[src][d]
@@ -699,6 +899,7 @@ bool Network::step(bool allow_fast_forward) {
     // network with nothing ahead is stuck.
     std::uint64_t next = std::min(next_alarm_round(), next_delayed_round());
     next = std::min(next, next_fault_event_round());
+    next = std::min(next, next_reliability_round());
     if (next == kNoAlarm || next <= round_) {
       stats_.stalled = true;
       stats_.rounds = round_;
@@ -728,7 +929,7 @@ bool Network::step(bool allow_fast_forward) {
   const bool prof = config_.profile != nullptr;
   clock::time_point t0;
   if (prof) t0 = clock::now();
-  if (shards_.size() == 1 && !faults_) {
+  if (shards_.size() == 1 && !faults_ && !rel_) {
     deliver_round_serial();
     if (prof) {
       // The fused loop schedules and delivers in one pass; splitting its

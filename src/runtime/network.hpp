@@ -14,6 +14,7 @@
 #include "runtime/inbox.hpp"
 #include "runtime/link.hpp"
 #include "runtime/msgblock.hpp"
+#include "runtime/reliability.hpp"
 #include "runtime/shard.hpp"
 #include "runtime/stream.hpp"
 #include "util/arena.hpp"
@@ -84,6 +85,15 @@ struct NetConfig {
   /// (fault seed, round, src, dst), so a fixed-seed faulty run is
   /// bit-identical at every thread count too.
   FaultPlan faults;
+
+  /// Link-reliability service compensating the fault plan's loss
+  /// (src/runtime/reliability.hpp): per-stream ACK + retransmission, or
+  /// erasure coding over stream windows. CONGEST only (the control-plane
+  /// accounting is defined against the CONGEST slot budget; the Network
+  /// constructor throws for LOCAL mode). Off by default and free when off.
+  /// Reliability decisions are keyed hashes like fault decisions, so
+  /// fixed-seed reliable runs stay bit-identical at every thread count.
+  ReliabilityPlan reliability;
 
   /// Broadcast payload dedup (CONGEST only): consecutive sibling links that
   /// would schedule the identical view of one shared stream are staged as a
@@ -365,6 +375,18 @@ class Network {
     /// Churn schedule for this shard's nodes: round -> nodes whose crash or
     /// recovery fires then. Precomputed at construction; never stale.
     std::map<std::uint64_t, std::vector<NodeId>> fault_events;  // nclint:allow(ordered-map) churn events are rare and drained between rounds
+
+    /// Reliability service, FEC mode: messages of this shard's edges parked
+    /// behind an in-window loss (head-of-line blocking preserves stream
+    /// order while the window's recovery is undecided). Heap-backed like
+    /// the delayed buckets — parked rows cross rounds. The parallel vectors
+    /// carry each row's owning directed edge and its own loss verdict;
+    /// rel_pending_edges lists the blocked edges awaiting resolution
+    /// (appended on first park, drained by resolve_fec_windows).
+    MsgBlock rel_parked;
+    std::vector<std::size_t> rel_parked_edge;
+    std::vector<std::uint8_t> rel_parked_lost;
+    std::vector<std::size_t> rel_pending_edges;
   };
 
   /// Executes one round; returns false when execution must stop.
@@ -435,14 +457,38 @@ class Network {
 #endif
   }
 
-  /// Fault-engine verdict for the traffic scheduled on edge e this round
+  /// Outcome of the combined fault + reliability channel decision for one
+  /// scheduled message: deliver (possibly at a future round), drop
+  /// permanently, or park behind an unresolved FEC window.
+  struct LinkVerdict {
+    enum class Fate { kDeliver, kDrop, kPark };
+    Fate fate = Fate::kDeliver;
+    std::uint64_t deliver_round = 0;  ///< absolute round; 0 = on time
+    bool lost = false;        ///< kPark only: this copy's own loss verdict
+    bool first_park = false;  ///< kPark only: opened the edge's pending window
+  };
+
+  /// Channel verdict for the traffic scheduled on edge e this round
   /// (`count` physical messages: 1 in CONGEST, the drained batch in LOCAL —
-  /// one channel decision covers the round). Returns true when it must be
-  /// dropped, charging the source shard's lost/crash counter; otherwise
-  /// stores the delivery round (0 = on time) and charges the delay counter.
-  /// Only called when faults_ is active.
-  bool fault_verdict(Shard& sh, std::size_t e, NodeId from, NodeId to,
-                     std::uint64_t count, std::uint64_t* deliver_round);
+  /// one channel decision covers the round). Runs crash silencing, loss,
+  /// delay and the reliability service in order, charging the source
+  /// shard's fault/reliability counters. `kind`/`wire_bits` feed the ARQ
+  /// duplicate accounting (pass 0s in LOCAL mode, where reliability cannot
+  /// be active). Only called when faults_ or rel_ is active.
+  LinkVerdict link_verdict(Shard& sh, std::size_t e, NodeId from, NodeId to,
+                           std::uint64_t count, std::uint16_t kind,
+                           std::uint64_t wire_bits);
+
+  /// Parks one scheduled view on its shard's FEC hold (LinkVerdict::kPark).
+  void park_row(Shard& sh, std::size_t e, const MsgView& v, NodeId to,
+                std::uint32_t back_index, const LinkVerdict& verdict);
+
+  /// Resolves every pending FEC window of shard `sh` whose close round has
+  /// passed: draws the repair survivals, releases the parked rows (in park
+  /// = stream order) into the shard's lanes at the computed release round,
+  /// or drops the unrecovered losses. Runs at the top of the stage phase,
+  /// before any new traffic of the round is staged.
+  void resolve_fec_windows(Shard& sh);
 
   /// Queues `v` on its owning shard's wake list (no-op if done or queued).
   void wake(Shard& sh, NodeId v);
@@ -469,6 +515,22 @@ class Network {
     for (const auto& sh : shards_) {
       if (!sh.delayed.empty()) {
         best = std::min(best, sh.delayed.begin()->first);
+      }
+    }
+    return best;
+  }
+
+  /// Smallest future round at which a pending FEC window resolves, or
+  /// kNoAlarm. Keeps the round loop alive (and fast-forwarding landing on
+  /// the resolution round) while parked messages wait on a window close
+  /// with no other traffic or alarm pending.
+  [[nodiscard]] std::uint64_t next_reliability_round() const noexcept {
+    std::uint64_t best = kNoAlarm;
+    if (rel_ && rel_->fec()) {
+      for (const auto& sh : shards_) {
+        for (const std::size_t e : sh.rel_pending_edges) {
+          best = std::min(best, rel_->fec_close_round(e));
+        }
       }
     }
     return best;
@@ -539,6 +601,11 @@ class Network {
   // churn decision points exist exactly once, in the stage and deliver
   // phases.
   std::unique_ptr<FaultEngine> faults_;
+
+  // Reliability engine (null when NetConfig::reliability is off). Same
+  // rule as faults_: an active service forces the staged path so the
+  // per-message decision point is unique.
+  std::unique_ptr<ReliabilityEngine> rel_;
 
   // Engine profile partials, accumulated only when config_.profile is set
   // and flushed into *config_.profile at the end of run()/run_rounds().

@@ -21,6 +21,7 @@
 #include "graph/generators.hpp"
 #include "runtime/faults.hpp"
 #include "runtime/network.hpp"
+#include "runtime/reliability.hpp"
 #include "test_helpers.hpp"
 #include "util/rng.hpp"
 
@@ -173,6 +174,36 @@ TEST(FaultStats, CrashScheduleMatchesFraction) {
     }
   }
   EXPECT_NEAR(static_cast<double>(crashed) / n, 0.3, 0.03);
+}
+
+TEST(FaultStats, LossHookTargetsDirectedEdges) {
+  // The keyed hook is a per-direction overlay: probability 1 on 0->1 makes
+  // that direction always lose while 1->0 and every other pair stay clean,
+  // and a fractional hook composes with the iid model as independent loss.
+  FaultPlan plan;
+  plan.loss_hook = [](NodeId src, NodeId dst) {
+    return src == 0 && dst == 1 ? 1.0 : 0.0;
+  };
+  EXPECT_TRUE(plan.any());  // the hook alone activates the engine
+  FaultEngine engine(plan, 3, 4, 1);
+  for (std::uint64_t r = 1; r <= 50; ++r) {
+    EXPECT_TRUE(engine.lose(0, 0, 1, r));
+    EXPECT_FALSE(engine.lose(1, 1, 0, r));
+    EXPECT_FALSE(engine.lose(2, 1, 2, r));
+  }
+
+  FaultPlan mixed;
+  mixed.loss = 0.1;
+  mixed.fault_seed = 5;
+  mixed.loss_hook = [](NodeId, NodeId) { return 0.2; };
+  FaultEngine mixed_engine(mixed, 2, 2, 1);
+  std::size_t lost = 0;
+  const std::size_t trials = 200'000;
+  for (std::size_t r = 1; r <= trials; ++r) {
+    lost += mixed_engine.lose(0, 0, 1, r);
+  }
+  // Independent composition: 1 - 0.9 * 0.8 = 0.28.
+  EXPECT_NEAR(static_cast<double>(lost) / trials, 0.28, 0.01);
 }
 
 // ---------------------------------------------------------------------------
@@ -546,6 +577,77 @@ TEST(FaultDeterminism, LossyScenarioGolden) {
   expect_fault_golden(parse_fault_plan("loss=0.001,delay_max=1,fault_seed=3"),
                       FaultGolden{49497, 5718, 187129, 4, 2860, 0, 0, 0,
                                   12291321823258236471ULL});
+}
+
+struct RelGolden {
+  std::uint64_t rounds;
+  std::uint64_t messages;
+  std::uint64_t bits;
+  std::uint64_t lost;
+  std::uint64_t retx;
+  std::uint64_t acks;
+  std::uint64_t fec_repairs;
+  std::uint64_t label_hash;
+};
+
+void expect_rel_golden(const FaultPlan& faults, const ReliabilityPlan& rel,
+                       const RelGolden& want) {
+  Rng rng(7);
+  PlantedNearCliqueParams pp;
+  pp.n = 60;
+  pp.clique_size = 24;
+  pp.background_p = 0.08;
+  pp.halo_p = 0.25;
+  const auto inst = planted_near_clique(pp, rng);
+  DriverConfig cfg;
+  cfg.proto.eps = 0.2;
+  cfg.proto.p = 0.08;
+  cfg.net.seed = 3;
+  cfg.net.max_rounds = 50'000;
+  cfg.net.faults = faults;
+  cfg.net.reliability = rel;
+  for (const unsigned threads : {1u, 4u}) {
+    cfg.net.threads = threads;
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    const auto res = run_dist_near_clique(inst.graph, cfg);
+    EXPECT_EQ(res.stats.rounds, want.rounds);
+    EXPECT_EQ(res.stats.messages, want.messages);
+    EXPECT_EQ(res.stats.bits, want.bits);
+    EXPECT_EQ(res.stats.messages_lost, want.lost);
+    EXPECT_EQ(res.stats.messages_retransmitted, want.retx);
+    EXPECT_EQ(res.stats.acks_sent, want.acks);
+    EXPECT_EQ(res.stats.fec_repairs, want.fec_repairs);
+    EXPECT_EQ(label_hash(res.labels), want.label_hash);
+  }
+}
+
+TEST(FaultDeterminism, LossyArqScenarioGolden) {
+  // The LossyScenarioGolden adversity (1e-3 iid loss + 1-round jitter) with
+  // per-stream ARQ armed: every loss is retried back to delivery, the
+  // labels match the *clean* golden hash, and the exact retransmit / ACK
+  // counts pin the closed-form recovery accounting. Values recorded from
+  // the threads=1 run at the reliability service's introduction.
+  ReliabilityPlan rel;
+  rel.mode = ReliabilityPlan::Mode::kAck;
+  rel.ack_timeout = 1;
+  rel.max_retx = 8;
+  expect_rel_golden(parse_fault_plan("loss=0.001,delay_max=1,fault_seed=3"),
+                    rel,
+                    RelGolden{86, 7045, 359101, 0, 13, 7053, 0,
+                              9160231386051612719ULL});
+}
+
+TEST(FaultDeterminism, LossyFecScenarioGolden) {
+  // The same adversity under windowed FEC: blocked windows resolve with
+  // exact repair-chunk counts and zero permanent losses.
+  ReliabilityPlan rel;
+  rel.mode = ReliabilityPlan::Mode::kFec;
+  rel.fec_window = 3;
+  rel.fec_repair = 8;
+  expect_rel_golden(parse_fault_plan("loss=0.001,delay_max=1,fault_seed=3"),
+                    rel,
+                    RelGolden{87, 7045, 1344310, 0, 0, 0, 22896,
+                              9160231386051612719ULL});
 }
 
 TEST(FaultDeterminism, ChurnScenarioGolden) {

@@ -6,6 +6,7 @@
 #include "runtime/link.hpp"
 #include "runtime/message.hpp"
 #include "runtime/msgblock.hpp"
+#include "runtime/reliability.hpp"
 #include "runtime/stream.hpp"
 #include "util/arena.hpp"
 
@@ -440,6 +441,80 @@ TEST(MsgBlock, AppendReceiverFromMaterializesDelayedUnicastCopy) {
   ASSERT_EQ(got.size(), symbols.size());
   for (std::size_t i = 0; i < symbols.size(); ++i) {
     EXPECT_EQ(got[i], symbols[i]) << "symbol " << i;
+  }
+}
+
+TEST(MsgBlock, ReliabilityKindsRoundTripInlineIncludingMaxWidth) {
+  // The reliability service's wire kinds (kRelAck = 30, kRelRepair = 31)
+  // live at the top of the 5-bit kind field: a regression that narrows the
+  // packed kind bits truncates exactly these. Lock the round trip for an
+  // inline max-width row under each kind.
+  static_assert(kRelAck == 30 && kRelRepair == 31);
+  static_assert(kRelRepair < kMaxMsgKinds);
+  MsgBlock block;
+  const std::uint64_t big = ~std::uint64_t{0};
+  std::vector<Scheduled> scheduled(2);
+  const std::uint16_t kinds[2] = {kRelAck, kRelRepair};
+  for (std::size_t i = 0; i < 2; ++i) {
+    schedule(scheduled[i], StreamKey{kinds[i], NodeId(40 + i), 2},
+             {{big, 64}, {0x5a5au, 16}}, /*close=*/true, kHeader + 64 + 16);
+    ASSERT_TRUE(scheduled[i].ok);
+    block.push(scheduled[i].view, NodeId(i), static_cast<std::uint32_t>(i),
+               0);
+  }
+  for (std::size_t i = 0; i < 2; ++i) {
+    const MsgBlock::Rec r = block.record(i, kHeader);
+    EXPECT_EQ(r.key.kind, kinds[i]);  // survives the 5-bit meta packing
+    EXPECT_EQ(r.key.tag, NodeId(40 + i));
+    EXPECT_EQ(r.key.version, 2u);
+    EXPECT_TRUE(r.eos);
+    EXPECT_FALSE(r.spilled);
+    EXPECT_EQ(r.wire_bits, kHeader + 80u);
+    const auto got = replay(r);
+    ASSERT_EQ(got.size(), 2u);
+    EXPECT_EQ(got[0], (std::pair<std::uint64_t, unsigned>{big, 64u}));
+    EXPECT_EQ(got[1], (std::pair<std::uint64_t, unsigned>{0x5a5au, 16u}));
+  }
+}
+
+TEST(MsgBlock, ReliabilityKindsRoundTripSpilled) {
+  // Same kinds through the spilled encoding (meta's kSpillBit set alongside
+  // the top kind bits), plus the FEC-release hand-off: append_from with an
+  // explicit deliver round must rewrite the round column and nothing else.
+  MsgBlock block;
+  std::vector<std::pair<std::uint64_t, unsigned>> symbols;
+  std::size_t payload_bits = 0;
+  for (unsigned i = 0; i < 24; ++i) {
+    const unsigned w = 64 - (i % 3);  // max and near-max widths
+    symbols.emplace_back(
+        (std::uint64_t{i + 1} * 0x9e3779b97f4a7c15u) >> (64 - w), w);
+    payload_bits += w;
+  }
+  for (const std::uint16_t kind : {kRelAck, kRelRepair}) {
+    Scheduled s;
+    schedule(s, StreamKey{kind, 9000, 0}, symbols, /*close=*/true,
+             kHeader + payload_bits);
+    ASSERT_TRUE(s.ok);
+    block.push(s.view, 7, 3, 0);
+  }
+  MsgBlock released;  // heap mode, the rel_parked -> lane release path
+  released.append_from(block, 0, kHeader, /*deliver_round=*/123);
+  released.append_from(block, 1, kHeader, /*deliver_round=*/456);
+  const std::uint64_t rounds[2] = {123, 456};
+  const std::uint16_t kinds[2] = {kRelAck, kRelRepair};
+  for (std::size_t i = 0; i < 2; ++i) {
+    const MsgBlock::Rec r = released.record(i, kHeader);
+    EXPECT_EQ(r.key.kind, kinds[i]);
+    EXPECT_EQ(r.deliver_round, rounds[i]);
+    EXPECT_EQ(r.to, 7u);
+    EXPECT_EQ(r.back_index, 3u);
+    EXPECT_TRUE(r.spilled);
+    EXPECT_TRUE(r.eos);
+    ASSERT_EQ(r.symbol_count, symbols.size());
+    const auto got = replay(r);
+    for (std::size_t j = 0; j < symbols.size(); ++j) {
+      EXPECT_EQ(got[j], symbols[j]) << "kind " << kinds[i] << " symbol " << j;
+    }
   }
 }
 
