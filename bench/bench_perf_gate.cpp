@@ -29,6 +29,12 @@
 //    the broadcast payload-dedup path; a lost dedup fast path shows up
 //    here long before it moves the low-degree rows.
 //
+// A fourth check gates correctness, not throughput: the telemetry engine's
+// observer-effect contract (recording on vs off must leave the fixed-seed
+// RunStats bit-identical; src/runtime/telemetry.hpp). The floors double as
+// the disabled-path cost gate — every floor workload runs with telemetry
+// off, so a null-check that stopped being free would drop them.
+//
 // Usage: bench_perf_gate [--floor-scale=X] [--json PATH]
 
 #include <chrono>
@@ -46,6 +52,7 @@
 #include "graph/builder.hpp"
 #include "graph/graph.hpp"
 #include "runtime/network.hpp"
+#include "runtime/telemetry.hpp"
 #include "util/bitio.hpp"
 #include "util/rng.hpp"
 
@@ -220,6 +227,65 @@ double run_planted_protocol() { return run_protocol(10'000, 2); }
 
 double run_broadcast_fanout() { return run_protocol(4'000, 24); }
 
+/// Telemetry gate: runs the protocol workload with telemetry off and with
+/// every facet on (metrics + trace + probes into a live sink) and checks
+/// the observer-effect contract at bench scale — bit-identical RunStats.
+/// The recording cost is printed informationally; the disabled path's cost
+/// is what the committed floors above gate (every floor workload runs with
+/// the default all-off plan, so a hot-path telemetry branch that stopped
+/// being free would drop those numbers).
+bool run_telemetry_observer_gate() {
+  const NodeId n = 4'000;
+  const Graph g = planted_clique_sparse(n, 32, 2, 3, /*seed=*/11);
+
+  DriverConfig cfg;
+  cfg.proto.eps = 0.2;
+  cfg.proto.p = 0.05;
+  cfg.proto.versions = 1;
+  cfg.net.seed = 5;
+  cfg.net.max_rounds = 400'000;
+  const Schedule schedule = make_schedule(cfg.proto, g.n(), cfg.net.max_rounds);
+
+  const auto run = [&](Telemetry* sink, double* secs) {
+    NetConfig net_cfg = cfg.net;
+    if (sink != nullptr) {
+      net_cfg.telemetry =
+          parse_telemetry_plan("tel_metrics=1,tel_trace=1,tel_probes=1");
+      net_cfg.telemetry.sink = sink;
+    }
+    Network net(g, net_cfg, [&](NodeId) {
+      return std::make_unique<DistNearCliqueNode>(cfg.proto, schedule);
+    });
+    const auto t0 = Clock::now();
+    const RunStats stats = net.run();
+    *secs = seconds_since(t0);
+    return stats;
+  };
+
+  double off_secs = 0, on_secs = 0;
+  const RunStats off = run(nullptr, &off_secs);
+  Telemetry sink;
+  const RunStats on = run(&sink, &on_secs);
+
+  const bool identical =
+      off.rounds == on.rounds && off.messages == on.messages &&
+      off.bits == on.bits && off.max_message_bits == on.max_message_bits &&
+      off.bits_by_kind == on.bits_by_kind && off.stalled == on.stalled &&
+      off.hit_round_limit == on.hit_round_limit;
+  const bool captured =
+      sink.metrics.samples() > 0 && !sink.spans.empty() &&
+      !sink.probes.empty();
+  const bool pass = identical && captured;
+  std::cout << (pass ? "PASS " : "FAIL ")
+            << "telemetry_observer_4k: RunStats "
+            << (identical ? "bit-identical" : "DIVERGED")
+            << " with recording on; capture "
+            << (captured ? "non-empty" : "EMPTY") << "; recording cost "
+            << (off_secs > 0 ? (on_secs / off_secs - 1.0) * 100.0 : 0.0)
+            << "% wall-clock\n";
+  return pass;
+}
+
 struct GateResult {
   std::string name;
   double best_rounds_per_sec = 0;
@@ -275,6 +341,14 @@ int main(int argc, char** argv) {
                              scale, nc::run_planted_protocol));
   results.push_back(nc::gate("broadcast_fanout_4k", nc::kBroadcastFanoutFloor,
                              scale, nc::run_broadcast_fanout));
+
+  // Correctness gate rather than a throughput floor: telemetry recording
+  // must not perturb the simulated execution.
+  if (!nc::run_telemetry_observer_gate()) {
+    std::cerr << "perf gate FAILED: telemetry recording changed the "
+                 "fixed-seed RunStats (observer-effect contract)\n";
+    return 1;
+  }
 
   if (!json_path.empty()) {
     std::ofstream os(json_path);

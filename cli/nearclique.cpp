@@ -7,17 +7,21 @@
 //                    [--algo-params=k=v,..] [--seed=N] [--threads=N]
 //                    [--faults=loss=0.05,delay_max=3,..]
 //                    [--reliability=rel_mode=1,rel_max_retx=8,..]
+//                    [--telemetry=tel_stride=8,..]
+//                    [--metrics=FILE|-] [--trace=FILE]
 //                    [--repeat=N] [--time] [--profile]
 //                    [--json[=FILE]] [--dot=out.dot]
 //   nearclique sweep --scenario=F [--params=..] [--algos=A,B[k=v,..],..]
 //                    [--algo-params=..] [--grid=scenario.n=100:200,both.eps=0.1:0.2]
 //                    [--trials=N] [--seed=N] [--seq-seeds] [--threads=N]
 //                    [--faults=loss=0.05,..] [--reliability=rel_mode=1,..]
+//                    [--telemetry=..] [--metrics=FILE] [--trace=FILE]
 //                    [--success=none|theorem57|effective|size_density]
 //                    [--success2=...] [--success-eps=..] [--success-delta=..]
 //                    [--success-min-size=..] [--success-max-eps=..]
 //                    [--json=FILE|-] [--title=..]
 //   nearclique sweep --spec=FILE.json [--json=FILE|-] [--title=..]
+//                    [--metrics=FILE] [--trace=FILE]
 //
 // --faults injects adversity (src/runtime/faults.hpp) into every listed
 // algorithm that declares the fault keys: iid loss (loss=), bursty
@@ -38,10 +42,23 @@
 // every --threads value; rel_* keys also work as --algo-params entries and
 // --grid axes.
 //
+// --metrics=FILE / --trace=FILE capture runtime telemetry
+// (src/runtime/telemetry.hpp, docs/observability.md): --metrics writes
+// per-round metric rows as JSON lines, --trace writes phase spans as a
+// Chrome trace_event document (load in Perfetto / chrome://tracing; --trace
+// also arms the protocol probe counters so they appear as counter tracks).
+// --telemetry=tel_stride=8,tel_max_spans=10000 tunes sampling stride and
+// memory bounds; tel_* keys also work as --algo-params entries. Telemetry
+// is observation only — fixed-seed labels and RunStats are bit-identical
+// with it on or off, at every --threads value. On a sweep the capture
+// files concatenate every telemetry-enabled trial (metrics rows carry an
+// "algorithm#row/trial seed=S" label; trace events get one pid per trial).
+//
 // --spec=FILE runs a sweep from a JSON spec document (the serialized
 // SweepSpec — see src/expt/README.md), round-tripping every field
-// including the faults plan; --title and --json still apply on top, and
-// every other sweep flag is rejected (it would be silently dead).
+// including the faults and telemetry plans; --title, --json, --metrics and
+// --trace still apply on top, and every other sweep flag is rejected (it
+// would be silently dead).
 //
 // Per-algorithm bracket parameters — `shingles[eps=0.2,min_size=4]` — are
 // the canonical way to parameterize a sweep's algorithms: each algorithm
@@ -84,6 +101,7 @@
 #include "graph/metrics.hpp"
 #include "runtime/faults.hpp"
 #include "runtime/reliability.hpp"
+#include "runtime/telemetry.hpp"
 #include "util/cli.hpp"
 #include "util/json.hpp"
 
@@ -99,15 +117,18 @@ int usage(std::FILE* to) {
       "  list-algorithms           registered algorithms\n"
       "  run    --scenario=F --algo=A [--params=..] [--algo-params=..]\n"
       "         [--seed=N] [--threads=N] [--faults=loss=0.05,..]\n"
-      "         [--reliability=rel_mode=1,..]\n"
+      "         [--reliability=rel_mode=1,..] [--telemetry=tel_stride=8,..]\n"
+      "         [--metrics=FILE|-] [--trace=FILE]\n"
       "         [--repeat=N] [--time] [--profile] [--json[=FILE]]\n"
       "         [--dot=out.dot]\n"
       "  sweep  --scenario=F [--algos=A,B[k=v,..]] [--params=..]\n"
       "         [--grid=scenario.k=v1:v2,algo.k=..,both.k=..] [--trials=N]\n"
       "         [--seed=N] [--seq-seeds] [--threads=N] [--faults=..]\n"
-      "         [--reliability=..]\n"
+      "         [--reliability=..] [--telemetry=..]\n"
+      "         [--metrics=FILE] [--trace=FILE]\n"
       "         [--success=PRED] [--success2=PRED] [--json=FILE|-]\n"
       "  sweep  --spec=FILE.json [--json=FILE|-] [--title=..]\n"
+      "         [--metrics=FILE] [--trace=FILE]\n"
       "per-algorithm params belong in brackets: --algos='a[eps=0.2],b'\n"
       "(the canonical form; a shared --algo-params list applies every key\n"
       "to every algorithm and is ambiguous with more than one).\n"
@@ -118,6 +139,10 @@ int usage(std::FILE* to) {
       "keys also work as --algo-params entries and --grid axes.\n"
       "--reliability=rel_mode=1 arms ACK/retransmission (rel_mode=2: FEC)\n"
       "against that loss for declaring algorithms; same key rules.\n"
+      "--metrics=FILE writes per-round metrics as JSON lines; --trace=FILE\n"
+      "writes a Chrome trace_event document (open in Perfetto) and arms the\n"
+      "protocol probes. --telemetry=tel_stride=8,.. tunes sampling/bounds.\n"
+      "Telemetry never changes results (docs/observability.md).\n"
       "--spec=FILE.json replays a serialized sweep spec (every field,\n"
       "faults included; see src/expt/README.md for the schema).\n"
       "run --repeat=N --time re-runs the fixed-seed execution N times and\n"
@@ -321,6 +346,91 @@ void apply_reliability(AlgoSpec& spec, const ParamSet& reliability) {
   }
 }
 
+/// Parses --telemetry into a validated override bag (empty when absent),
+/// the --faults pattern for the tel_* key set.
+ParamSet telemetry_from_args(const Args& args) {
+  const std::string csv = args.get("telemetry", "");
+  if (csv.empty()) return {};
+  (void)parse_telemetry_plan(csv);  // full validation incl. ranges
+  return parse_params_csv(csv, &telemetry_param_defaults());
+}
+
+/// Reads a capture-file flag (--metrics / --trace): empty string when the
+/// flag is absent, throws on a bare flag with no target.
+std::string capture_path(const Args& args, const char* flag) {
+  if (!args.has(flag)) return {};
+  const std::string path = args.get(flag);
+  if (path.empty() || path == "1") {
+    throw std::invalid_argument(std::string("--") + flag +
+                                " needs a target (--" + std::string(flag) +
+                                "=FILE, or - for stdout)");
+  }
+  return path;
+}
+
+/// Arms the tel_* facets implied by the capture flags on top of an explicit
+/// --telemetry / spec bag: --metrics needs metric rows, --trace needs phase
+/// spans and (for the counter tracks) the protocol probes. Explicit keys
+/// win, so --telemetry=tel_probes=0 --trace=t.json still disables probes.
+void arm_capture_facets(ParamSet& telemetry, bool metrics, bool trace) {
+  if (metrics && !telemetry.has("tel_metrics")) {
+    telemetry.with("tel_metrics", 1);
+  }
+  if (trace) {
+    if (!telemetry.has("tel_trace")) telemetry.with("tel_trace", 1);
+    if (!telemetry.has("tel_probes")) telemetry.with("tel_probes", 1);
+  }
+}
+
+/// The shared run/sweep diagnostic for telemetry flags on an algorithm
+/// without the tel_* knobs (centralized baselines run no engine to watch).
+void warn_telemetry_ignored(const std::string& algorithm) {
+  std::fprintf(stderr,
+               "note: algorithm '%s' does not declare telemetry "
+               "parameters; --telemetry/--metrics/--trace ignored for it\n",
+               algorithm.c_str());
+}
+
+/// Applies the telemetry bag key by key (explicit --algo-params values
+/// win), warn-and-skip for non-declaring algorithms.
+void apply_telemetry(AlgoSpec& spec, const ParamSet& telemetry) {
+  if (telemetry.values().empty()) return;
+  if (!algorithm_declares(spec.name, "tel_metrics")) {
+    warn_telemetry_ignored(spec.name);
+    return;
+  }
+  for (const auto& [key, value] : telemetry.values()) {
+    if (!spec.params.has(key)) spec.params.with(key, value);
+  }
+}
+
+/// Writes a telemetry capture to `path` ("-" = stdout); false after an
+/// error message when the file cannot be opened. The "wrote" notice goes to
+/// stderr so --json=- output stays clean JSON.
+bool write_capture(const std::string& path, const std::string& text,
+                   const char* what) {
+  if (path == "-") {
+    std::fwrite(text.data(), 1, text.size(), stdout);
+    return true;
+  }
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << text;
+  std::fprintf(stderr, "wrote %s to %s\n", what, path.c_str());
+  return true;
+}
+
+/// "algorithm#row/trial seed=S" — stamps a sweep capture entry so the rows
+/// of a concatenated metrics file (and the process names of a combined
+/// trace) stay attributable to their trial.
+std::string capture_label(const TelemetryCapture::Entry& e) {
+  return e.algorithm + "#" + std::to_string(e.row) + "/" +
+         std::to_string(e.trial) + " seed=" + std::to_string(e.seed);
+}
+
 int cmd_run(const Args& args) {
   const auto scenario = args.get("scenario", "planted_near_clique");
   const auto algo = args.get("algo", "dist_near_clique");
@@ -332,6 +442,14 @@ int cmd_run(const Args& args) {
   apply_threads(aspec, threads_from_args(args));
   apply_faults(aspec, faults_from_args(args));
   apply_reliability(aspec, reliability_from_args(args));
+
+  // Telemetry: --metrics/--trace pick capture targets and arm the matching
+  // tel_* facets; --telemetry tunes stride/bounds (and wins on conflicts).
+  const std::string metrics_path = capture_path(args, "metrics");
+  const std::string trace_path = capture_path(args, "trace");
+  ParamSet telemetry = telemetry_from_args(args);
+  arm_capture_facets(telemetry, !metrics_path.empty(), !trace_path.empty());
+  apply_telemetry(aspec, telemetry);
 
   // --profile: opt-in engine per-phase profiling (same declare-or-warn
   // convention as --threads; an explicit --algo-params=profile=.. wins).
@@ -371,6 +489,40 @@ int cmd_run(const Args& args) {
   }
   const AlgoResult& result = *last;
   const auto clusters = result.clusters();
+
+  // Stall post-mortem: an aborted run (stall guard / round limit) exits
+  // nonzero with the engine's diagnosis on stderr, so scripts can tell
+  // "protocol found nothing" (exit 0, empty clusters) from "the run never
+  // finished". Capture files are still written below — a trace of a
+  // stalled run is exactly what you want to look at.
+  const int exit_code = result.aborted ? 3 : 0;
+  if (result.aborted) {
+    std::fprintf(stderr, "%s", result.stall.summary().c_str());
+  }
+
+  // Telemetry capture outputs. A missing sink despite a capture flag means
+  // the request never reached a network run (apply_telemetry warned).
+  if (!metrics_path.empty() || !trace_path.empty()) {
+    if (result.telemetry == nullptr) {
+      std::fprintf(stderr,
+                   "note: no telemetry captured (algorithm '%s' ran "
+                   "without tel_* parameters)\n",
+                   algo.c_str());
+    } else {
+      if (!metrics_path.empty() &&
+          !write_capture(metrics_path,
+                         telemetry_metrics_jsonl(*result.telemetry),
+                         "metrics")) {
+        return 2;
+      }
+      if (!trace_path.empty() &&
+          !write_capture(trace_path,
+                         telemetry_trace_json(*result.telemetry) + "\n",
+                         "trace")) {
+        return 2;
+      }
+    }
+  }
 
   std::vector<double> sorted = seconds;
   std::sort(sorted.begin(), sorted.end());
@@ -414,6 +566,14 @@ int cmd_run(const Args& args) {
     w.key("max_msg_bits").value(result.stats.max_message_bits);
     w.key("local_ops").value(result.local_ops);
     w.key("aborted").value(result.aborted);
+    // Full engine counters as one object (the legacy top-level keys above
+    // stay for existing consumers; "stats" is the complete record).
+    w.key("stats");
+    result.stats.to_json(w);
+    if (result.aborted) {
+      w.key("stall");
+      result.stall.to_json(w);
+    }
     if (profiled) {
       const NetProfile& pr = result.profile;
       w.key("profile")
@@ -477,7 +637,7 @@ int cmd_run(const Args& args) {
       out << w.str() << "\n";
       std::printf("wrote %s\n", target.c_str());
     }
-    return 0;
+    return exit_code;
   }
 
   std::printf("scenario %s (seed %llu): n=%u, m=%zu, planted=%zu",
@@ -530,7 +690,7 @@ int cmd_run(const Args& args) {
     std::printf("wrote %s (render with: dot -Tsvg %s)\n", path.c_str(),
                 path.c_str());
   }
-  return 0;
+  return exit_code;
 }
 
 int cmd_sweep(const Args& args) {
@@ -542,13 +702,13 @@ int cmd_sweep(const Args& args) {
     for (const char* flag :
          {"scenario", "params", "algos", "algo", "algo-params", "grid",
           "trials", "seed", "seq-seeds", "threads", "faults", "reliability",
-          "success", "success2", "success-eps", "success-delta",
-          "success-min-size", "success-max-eps"}) {
+          "telemetry", "success", "success2", "success-eps",
+          "success-delta", "success-min-size", "success-max-eps"}) {
       if (args.has(flag)) {
         throw std::invalid_argument(
             std::string("--") + flag +
             " cannot be combined with --spec; put it in the spec document "
-            "(only --title and --json apply on top)");
+            "(only --title, --json, --metrics and --trace apply on top)");
       }
     }
     const std::string path = args.get("spec");
@@ -593,6 +753,7 @@ int cmd_sweep(const Args& args) {
     spec.threads = static_cast<std::size_t>(threads_from_args(args));
     spec.faults = faults_from_args(args);
     spec.reliability = reliability_from_args(args);
+    spec.telemetry = telemetry_from_args(args);
     const auto trials = args.get_int("trials", 5);
     const auto seed = args.get_int("seed", 1);
     if (trials < 1) {
@@ -610,6 +771,14 @@ int cmd_sweep(const Args& args) {
     spec.success = success_from_args(args, "success");
     spec.success2 = success_from_args(args, "success2");
   }
+  // Capture targets apply on top of both entry paths (like --json): the
+  // implied tel_* facets land in spec.telemetry, where the sweep runner
+  // distributes them to declaring algorithms.
+  const std::string metrics_path = capture_path(args, "metrics");
+  const std::string trace_path = capture_path(args, "trace");
+  arm_capture_facets(spec.telemetry, !metrics_path.empty(),
+                     !trace_path.empty());
+
   // Shared diagnostics for both entry paths: sharding and faults only
   // reach algorithms that declare the knobs; say so instead of silently
   // running the rest clean/serial.
@@ -625,9 +794,45 @@ int cmd_sweep(const Args& args) {
         !algorithm_declares(algo.name, "rel_mode")) {
       warn_reliability_ignored(algo.name);
     }
+    if (!spec.telemetry.values().empty() &&
+        !algorithm_declares(algo.name, "tel_metrics")) {
+      warn_telemetry_ignored(algo.name);
+    }
   }
 
-  const auto rows = run_sweep(spec);
+  TelemetryCapture capture;
+  const bool capturing = !metrics_path.empty() || !trace_path.empty();
+  const auto rows = run_sweep(spec, capturing ? &capture : nullptr);
+
+  if (capturing) {
+    if (capture.entries.empty()) {
+      std::fprintf(stderr,
+                   "note: no telemetry captured (no listed algorithm ran "
+                   "with tel_* parameters)\n");
+    } else {
+      if (!metrics_path.empty()) {
+        // One concatenated JSONL stream; every trial's meta line carries
+        // its "algorithm#row/trial seed=S" label.
+        std::string text;
+        for (const auto& e : capture.entries) {
+          text += telemetry_metrics_jsonl(*e.telemetry, capture_label(e));
+        }
+        if (!write_capture(metrics_path, text, "metrics")) return 2;
+      }
+      if (!trace_path.empty()) {
+        // One combined trace document: each trial is its own pid, so
+        // Perfetto shows the trials as separate named process groups.
+        JsonWriter w;
+        w.begin_object().key("traceEvents").begin_array();
+        std::uint64_t pid = 1;
+        for (const auto& e : capture.entries) {
+          telemetry_trace_events(w, *e.telemetry, pid++, capture_label(e));
+        }
+        w.end_array().end_object();
+        if (!write_capture(trace_path, w.str() + "\n", "trace")) return 2;
+      }
+    }
+  }
 
   const std::string json_target = args.get("json", "");
   const bool json_to_stdout = json_target == "-";

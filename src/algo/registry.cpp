@@ -13,6 +13,7 @@
 #include "runtime/faults.hpp"
 #include "runtime/reliability.hpp"
 #include "runtime/shard.hpp"
+#include "runtime/telemetry.hpp"
 #include "util/rng.hpp"
 
 namespace nc {
@@ -57,11 +58,19 @@ AlgorithmRegistry build_global_registry() {
   for (const auto& [key, value] : reliability_param_defaults().values()) {
     dnc_defaults.with(key, value);
   }
+  // Telemetry keys (tel_metrics, tel_trace, tel_probes, tel_stride,
+  // tel_max_samples, tel_max_spans — src/runtime/telemetry.hpp) ride the
+  // same param-bag machinery; the adapter owns the capture sink and the
+  // result carries it out as AlgoResult::telemetry.
+  for (const auto& [key, value] : telemetry_param_defaults().values()) {
+    dnc_defaults.with(key, value);
+  }
   r.add({"dist_near_clique",
          "Algorithm DistNearClique (Section 4) with the Section 4.1 "
          "time-bound and boosting wrappers (versions > 1); fault-plan "
          "params inject message loss / delay / churn, rel_* params enable "
-         "the ACK/FEC reliability service",
+         "the ACK/FEC reliability service, tel_* params capture run "
+         "telemetry (per-round metrics, phase traces, protocol probes)",
          CostModel::kCongest, std::move(dnc_defaults),
          [](const Graph& g, const AlgoParams& p, std::uint64_t seed) {
            DriverConfig cfg;
@@ -92,10 +101,20 @@ AlgorithmRegistry build_global_registry() {
            // without anyone writing a bench.
            NetProfile prof;
            if (p.get_int("profile") != 0) cfg.net.profile = &prof;
+           // Opt-in telemetry: the sink outlives the network (shared_ptr
+           // on the result), so callers read samples after the run ends.
+           TelemetryPlan tplan = telemetry_plan_from_params(p);
+           std::shared_ptr<Telemetry> tsink;
+           if (tplan.requested()) {
+             tsink = std::make_shared<Telemetry>();
+             tplan.sink = tsink.get();
+             cfg.net.telemetry = tplan;
+           }
            AlgoResult out = to_algo_result(run_boosted(
                g, cfg, static_cast<std::uint16_t>(lambda),
                static_cast<std::uint64_t>(p.get_double("window"))));
            out.profile = prof;
+           out.telemetry = std::move(tsink);
            return out;
          }});
 
@@ -290,6 +309,7 @@ AlgoResult to_algo_result(const NearCliqueResult& result) {
   out.stats = result.stats;
   out.local_ops = result.total_local_ops;
   out.aborted = result.aborted();
+  out.stall = result.stall;
   return out;
 }
 

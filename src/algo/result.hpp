@@ -2,10 +2,12 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "runtime/accounting.hpp"
+#include "runtime/telemetry.hpp"
 #include "util/ids.hpp"
 
 namespace nc {
@@ -49,6 +51,15 @@ struct AlgoResult {
   /// 'profile' parameter set; all-zero otherwise — profiling costs the hot
   /// path clock reads, so it stays opt-in).
   NetProfile profile;
+
+  /// Telemetry capture (network-backed algorithms run with tel_* params
+  /// set; nullptr otherwise). Shared so sweep capture rows can hold the
+  /// same object the adapter filled without copying sample columns.
+  std::shared_ptr<Telemetry> telemetry;
+
+  /// Termination post-mortem of an aborted network run (stall / round
+  /// limit); !triggered() for clean runs and non-network baselines.
+  StallReport stall;
 
   /// Groups nodes by non-bottom label.
   [[nodiscard]] std::map<Label, std::vector<NodeId>> clusters() const;

@@ -44,8 +44,10 @@ NearCliqueResult run_dist_near_clique(const Graph& g,
   }
   if (result.aborted()) {
     // Deterministic time bound exceeded: the paper's wrapper aborts the
-    // whole run, so the output registers are all bottom.
+    // whole run, so the output registers are all bottom. Capture the
+    // post-mortem while the network still holds its final state.
     std::fill(result.labels.begin(), result.labels.end(), kBottom);
+    result.stall = net.stall_report();
   }
   return result;
 }

@@ -17,6 +17,10 @@ struct NearCliqueResult {
   std::vector<RootCandidate> candidates;   ///< all component candidates
   std::uint64_t total_local_ops = 0;       ///< summed local computation
 
+  /// Termination post-mortem, filled only when the run aborted (stall or
+  /// round limit) — see Network::stall_report(); !triggered() otherwise.
+  StallReport stall;
+
   /// Groups nodes by non-bottom label.
   [[nodiscard]] std::map<Label, std::vector<NodeId>> clusters() const;  // nclint:allow(ordered-map) post-run result assembly, runs once per execution
 

@@ -32,6 +32,11 @@ bool DistNearCliqueNode::sampling_coin(const Rng& node_rng, std::uint16_t w,
 
 void DistNearCliqueNode::on_start(NodeApi& api) {
   idw_ = id_width(api.n());
+  // Telemetry probes: all return kNoProbe (and every probe_add becomes a
+  // single early-return branch) unless the run has probes enabled.
+  probe_opens_ = api.probe_counter("dnc.stream_opens");
+  probe_candidates_ = api.probe_gauge("dnc.candidate_nodes");
+  probe_pairs_ = api.probe_counter("dnc.pairs_initialized");
   api.set_alarm(schedule_.version_start(1));
 }
 
@@ -89,7 +94,7 @@ void DistNearCliqueNode::start_version(NodeApi& api, VersionState& vs) {
   vs.in_s = sampling_coin(api.rng(), vs.w, params_.p);
   vs.nbr_participation.resize(api.degree());
   // Announce the sampling coin to every neighbour (1 bit).
-  auto ch = api.open_stream_all(key(kSampled, 0, vs.w));
+  auto ch = open_counted_all(api, key(kSampled, 0, vs.w));
   ch.put_bit(vs.in_s);
   ch.close();
   if (api.degree() == 0) {

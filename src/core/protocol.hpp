@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "core/params.hpp"
@@ -272,6 +273,25 @@ class DistNearCliqueNode : public INode {
   /// are per version so one version's scan never starves another's).
   static bool fresh(NodeApi& api, VersionState& vs, std::uint16_t kind);
 
+  // telemetry probes (src/runtime/telemetry.hpp) ---------------------------
+  // Every stream open goes through one of these wrappers, so the
+  // dnc.stream_opens counter is exact. probe_add() returns immediately on
+  // kNoProbe (telemetry off), so the wrappers cost one predictable branch.
+  OutChannel open_counted(NodeApi& api, const StreamKey& k,
+                          std::span<const std::size_t> nis) {
+    api.probe_add(probe_opens_, 1);
+    return api.open_stream(k, nis);
+  }
+  OutChannel open_counted_all(NodeApi& api, const StreamKey& k) {
+    api.probe_add(probe_opens_, 1);
+    return api.open_stream_all(k);
+  }
+  OutChannel open_counted_one(NodeApi& api, const StreamKey& k,
+                              std::size_t ni) {
+    api.probe_add(probe_opens_, 1);
+    return api.open_stream_one(k, ni);
+  }
+
   ProtocolParams params_;
   Schedule schedule_;
   unsigned idw_ = 0;
@@ -281,6 +301,11 @@ class DistNearCliqueNode : public INode {
   bool voted_global_ = false;
   std::uint64_t local_ops_ = 0;
   std::vector<RootCandidate> root_candidates_;
+
+  // Probe handles, registered in on_start (kNoProbe when telemetry is off).
+  std::uint32_t probe_opens_ = NodeApi::kNoProbe;      ///< streams opened
+  std::uint32_t probe_candidates_ = NodeApi::kNoProbe; ///< |S_i| per candidate
+  std::uint32_t probe_pairs_ = NodeApi::kNoProbe;      ///< pairs initialized
 };
 
 }  // namespace nc

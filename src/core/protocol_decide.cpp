@@ -78,7 +78,7 @@ void DistNearCliqueNode::run_votes_and_verdicts(NodeApi& api) {
       if (voted_global_ && !ps.vote_sent) {
         if (!ps.is_member) {
           ps.vote_sent = true;
-          auto ch = api.open_stream_one(key(kVote, ps.root, ps.version),
+          auto ch = open_counted_one(api, key(kVote, ps.root, ps.version),
                                         ps.parent_ni);
           ch.put_bit(ps.my_ack);
           ch.close();
@@ -95,7 +95,7 @@ void DistNearCliqueNode::run_votes_and_verdicts(NodeApi& api) {
               }
             }
             if (!ps.child_nis.empty()) {
-              ps.verdict_out = api.open_stream(
+              ps.verdict_out = open_counted(api, 
                   key(kVerdict, ps.root, ps.version), ps.child_nis);
               ps.verdict_out.put_bit(agg);
               ps.verdict_out.close();
@@ -104,7 +104,7 @@ void DistNearCliqueNode::run_votes_and_verdicts(NodeApi& api) {
               label_ = make_label(ps.root, ps.version);
             }
           } else {
-            auto ch = api.open_stream_one(key(kVote, ps.root, ps.version),
+            auto ch = open_counted_one(api, key(kVote, ps.root, ps.version),
                                           ps.parent_ni);
             ch.put_bit(agg);
             ch.close();
@@ -121,7 +121,7 @@ void DistNearCliqueNode::run_votes_and_verdicts(NodeApi& api) {
           ps.survived = survive;
           ps.resolved = true;
           if (ps.is_member && !ps.child_nis.empty()) {
-            ps.verdict_out = api.open_stream(key(kVerdict, ps.root, ps.version),
+            ps.verdict_out = open_counted(api, key(kVerdict, ps.root, ps.version),
                                              ps.child_nis);
             ps.verdict_out.put_bit(survive);
             ps.verdict_out.close();

@@ -26,7 +26,7 @@ void DistNearCliqueNode::run_election(NodeApi& api, VersionState& vs) {
   if (!vs.flood_sent) {
     vs.flood_sent = true;
     for (const std::size_t ni : vs.s_nbr) {
-      auto ch = api.open_stream_one(key(kFlood, api.id(), vs.w), ni);
+      auto ch = open_counted_one(api, key(kFlood, api.id(), vs.w), ni);
       ch.put(0, idw());  // our distance from ourselves
       ch.close();
     }
@@ -101,7 +101,7 @@ void DistNearCliqueNode::handle_flood(NodeApi& api, VersionState& vs,
     fs.deficit = 0;
     for (const std::size_t other : vs.s_nbr) {
       if (other == ni) continue;
-      auto ch = api.open_stream_one(key(kFlood, cand, vs.w), other);
+      auto ch = open_counted_one(api, key(kFlood, cand, vs.w), other);
       ch.put(dist + 1, idw());
       ch.close();
       ++fs.deficit;
@@ -122,7 +122,7 @@ void DistNearCliqueNode::handle_flood(NodeApi& api, VersionState& vs,
 
 void DistNearCliqueNode::send_ack(NodeApi& api, VersionState& vs,
                                   std::size_t ni, NodeId cand, bool flag) {
-  auto ch = api.open_stream_one(key(kFloodAck, cand, vs.w), ni);
+  auto ch = open_counted_one(api, key(kFloodAck, cand, vs.w), ni);
   ch.put_bit(flag);
   ch.close();
 }
@@ -135,13 +135,13 @@ void DistNearCliqueNode::become_root(NodeApi& api, VersionState& vs) {
   vs.tree_final_seen = true;
   // Announce tree completion over the S-edges; members forward the wave.
   for (const std::size_t ni : vs.s_nbr) {
-    auto ch = api.open_stream_one(key(kTreeFinal, api.id(), vs.w), ni);
+    auto ch = open_counted_one(api, key(kTreeFinal, api.id(), vs.w), ni);
     ch.close();
   }
   // The root participates in the ParentOf exchange like everyone else
   // (its own bits are all zero).
   for (const std::size_t ni : vs.s_nbr) {
-    auto ch = api.open_stream_one(key(kParentOf, api.id(), vs.w), ni);
+    auto ch = open_counted_one(api, key(kParentOf, api.id(), vs.w), ni);
     ch.put_bit(false);
     ch.close();
   }

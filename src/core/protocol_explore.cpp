@@ -23,6 +23,7 @@ void DistNearCliqueNode::maybe_init_pair(NodeApi& api, VersionState& vs,
   if (ps.is_member && !(vs.comp_known && vs.children_known && vs.fringe_known))
     return;
   ps.explore_started = true;
+  api.probe_add(probe_pairs_, 1);
 
   const auto total = subset_count(ps.s);
   // 4a: adjacency mask and K_{2eps^2} membership for every subset.
@@ -44,7 +45,7 @@ void DistNearCliqueNode::maybe_init_pair(NodeApi& api, VersionState& vs,
 
   // 4b: membership bit-vector to every neighbour (shared payload).
   ps.kbitvec_opened = true;
-  ps.kbitvec_out = api.open_stream_all(key(kKBitvec, ps.root, ps.version));
+  ps.kbitvec_out = open_counted_all(api, key(kKBitvec, ps.root, ps.version));
   for (std::uint64_t x = 1; x <= total; ++x) {
     ps.kbitvec_out.put_bit(ps.k_bits.test(x - 1));
   }
@@ -55,7 +56,7 @@ void DistNearCliqueNode::maybe_init_pair(NodeApi& api, VersionState& vs,
   if (!ps.is_member || ps.parent_ni != SIZE_MAX) {
     ps.ksum_opened = true;
     ps.ksum_out =
-        api.open_stream_one(key(kKSum, ps.root, ps.version), ps.parent_ni);
+        open_counted_one(api, key(kKSum, ps.root, ps.version), ps.parent_ni);
   }
 }
 
@@ -114,7 +115,7 @@ void DistNearCliqueNode::run_explore(NodeApi& api, VersionState& vs,
       ps.kcount_opened = true;
       if (!ps.child_nis.empty()) {
         ps.kcount_out =
-            api.open_stream(key(kKCount, ps.root, ps.version), ps.child_nis);
+            open_counted(api, key(kKCount, ps.root, ps.version), ps.child_nis);
         for (const auto c : ps.counts) ps.kcount_out.put(c, idw());
         ps.kcount_out.close();
       }
@@ -125,7 +126,7 @@ void DistNearCliqueNode::run_explore(NodeApi& api, VersionState& vs,
       if (!ps.kcount_opened && ps.is_member && !ps.child_nis.empty()) {
         ps.kcount_opened = true;
         ps.kcount_out =
-            api.open_stream(key(kKCount, ps.root, ps.version), ps.child_nis);
+            open_counted(api, key(kKCount, ps.root, ps.version), ps.child_nis);
       }
       while (in->available() > 0 && ps.counts_filled < total) {
         const auto c = static_cast<std::uint32_t>(in->pop());
@@ -210,7 +211,7 @@ void DistNearCliqueNode::run_explore(NodeApi& api, VersionState& vs,
       if (!ps.is_member || ps.parent_ni != SIZE_MAX) {
         ps.tsum_opened = true;
         ps.tsum_out =
-            api.open_stream_one(key(kTSum, ps.root, ps.version), ps.parent_ni);
+            open_counted_one(api, key(kTSum, ps.root, ps.version), ps.parent_ni);
       } else {
         ps.tcounts.assign(total, 0);
       }
@@ -271,7 +272,7 @@ void DistNearCliqueNode::run_explore(NodeApi& api, VersionState& vs,
         // its fringe.
         if (!ps.child_nis.empty()) {
           ps.report_out =
-              api.open_stream(key(kReport, ps.root, ps.version), ps.child_nis);
+              open_counted(api, key(kReport, ps.root, ps.version), ps.child_nis);
           for (std::uint32_t b = 0; b < ps.s; ++b) {
             ps.report_out.put_bit((ps.x_star >> b) & 1ULL);
           }
@@ -290,7 +291,7 @@ void DistNearCliqueNode::run_explore(NodeApi& api, VersionState& vs,
       if (need_relay && ps.report_relay_next == 0 && in->available() > 0 &&
           !ps.report_out.closed()) {
         ps.report_out =
-            api.open_stream(key(kReport, ps.root, ps.version), ps.child_nis);
+            open_counted(api, key(kReport, ps.root, ps.version), ps.child_nis);
       }
       while (in->available() > 0 && ps.report_relay_next < ps.s + 1u) {
         const auto v = in->pop();

@@ -52,7 +52,7 @@ void DistNearCliqueNode::run_tree_final(NodeApi& api, VersionState& vs) {
       // Forward the wave over the remaining S-edges.
       for (const std::size_t other : vs.s_nbr) {
         if (other == ni) continue;
-        auto ch = api.open_stream_one(key(kTreeFinal, k.tag, vs.w), other);
+        auto ch = open_counted_one(api, key(kTreeFinal, k.tag, vs.w), other);
         ch.close();
       }
       vs.tree_final_forwarded = true;
@@ -61,7 +61,7 @@ void DistNearCliqueNode::run_tree_final(NodeApi& api, VersionState& vs) {
   if (vs.tree_final_seen && !vs.parentof_sent_) {
     vs.parentof_sent_ = true;
     for (const std::size_t ni : vs.s_nbr) {
-      auto ch = api.open_stream_one(key(kParentOf, vs.best_root, vs.w), ni);
+      auto ch = open_counted_one(api, key(kParentOf, vs.best_root, vs.w), ni);
       ch.put_bit(ni == vs.best_parent_ni);
       ch.close();
     }
@@ -92,7 +92,7 @@ void DistNearCliqueNode::run_gather(NodeApi& api, VersionState& vs) {
   if (!vs.i_am_root) {
     if (!vs.gather_opened) {
       vs.gather_opened = true;
-      vs.gather_out = api.open_stream_one(key(kGatherIds, root, vs.w),
+      vs.gather_out = open_counted_one(api, key(kGatherIds, root, vs.w),
                                           vs.best_parent_ni);
       vs.gather_out.put(api.id(), idw());
     }
@@ -131,7 +131,7 @@ void DistNearCliqueNode::run_gather(NodeApi& api, VersionState& vs) {
       if (!vs.tree_children.empty()) {
         vs.complist_opened = true;
         vs.complist_out =
-            api.open_stream(key(kCompList, root, vs.w), vs.tree_children);
+            open_counted(api, key(kCompList, root, vs.w), vs.tree_children);
         for (const NodeId v : vs.comp) vs.complist_out.put(v, idw());
         vs.complist_out.close();
       }
@@ -145,7 +145,7 @@ void DistNearCliqueNode::run_gather(NodeApi& api, VersionState& vs) {
       if (!vs.complist_opened && !vs.tree_children.empty()) {
         vs.complist_opened = true;
         vs.complist_out =
-            api.open_stream(key(kCompList, root, vs.w), vs.tree_children);
+            open_counted(api, key(kCompList, root, vs.w), vs.tree_children);
       }
       while (in->available() > 0) {
         const auto id = static_cast<NodeId>(in->pop());
@@ -171,7 +171,7 @@ void DistNearCliqueNode::run_gather(NodeApi& api, VersionState& vs) {
     }
     if (!fringe_nbrs.empty()) {
       vs.announce_out =
-          api.open_stream(key(kCompAnnounce, root, vs.w), fringe_nbrs);
+          open_counted(api, key(kCompAnnounce, root, vs.w), fringe_nbrs);
       for (const NodeId v : vs.comp) vs.announce_out.put(v, idw());
       vs.announce_out.close();
     }
@@ -186,6 +186,7 @@ void DistNearCliqueNode::run_gather(NodeApi& api, VersionState& vs) {
       rc.component_size = static_cast<std::uint32_t>(vs.comp.size());
       rc.live = vs.pairs.at(root).live;
       root_candidates_.push_back(rc);
+      api.probe_add(probe_candidates_, rc.component_size);
     }
   }
 
@@ -253,7 +254,7 @@ void DistNearCliqueNode::run_fringe(NodeApi& api, VersionState& vs) {
     std::sort(adj.member_nbrs.begin(), adj.member_nbrs.end());
     const std::size_t parent_ni = adj.member_nbrs.front();
     for (const std::size_t ni : adj.member_nbrs) {
-      auto ch = api.open_stream_one(key(kFringeReg, root, vs.w), ni);
+      auto ch = open_counted_one(api, key(kFringeReg, root, vs.w), ni);
       ch.put_bit(ni == parent_ni);
       ch.close();
     }
@@ -284,7 +285,7 @@ void DistNearCliqueNode::run_participation(NodeApi& api, VersionState& vs) {
       ready = true;
     }
     if (ready && api.degree() > 0) {
-      auto ch = api.open_stream_all(key(kParticipate, 0, vs.w));
+      auto ch = open_counted_all(api, key(kParticipate, 0, vs.w));
       for (const NodeId r : roots) ch.put(r, idw());
       ch.close();
       vs.participate_sent = true;

@@ -8,6 +8,7 @@
 #include "graph/metrics.hpp"
 #include "runtime/faults.hpp"
 #include "runtime/reliability.hpp"
+#include "runtime/telemetry.hpp"
 #include "util/json.hpp"
 
 namespace nc {
@@ -222,7 +223,8 @@ double SweepRow::headline_cost_mean() const {
                                       : stats.local_ops.mean();
 }
 
-std::vector<SweepRow> run_sweep(const SweepSpec& spec) {
+std::vector<SweepRow> run_sweep(const SweepSpec& spec,
+                                TelemetryCapture* capture) {
   const auto& scenarios = ScenarioRegistry::global();
   const auto& algorithms = AlgorithmRegistry::global();
 
@@ -239,6 +241,10 @@ std::vector<SweepRow> run_sweep(const SweepSpec& spec) {
   if (!spec.reliability.keys().empty()) {
     (void)reliability_plan_from_params(merge_params(
         reliability_param_defaults(), spec.reliability, "reliability plan"));
+  }
+  if (!spec.telemetry.keys().empty()) {
+    (void)telemetry_plan_from_params(merge_params(
+        telemetry_param_defaults(), spec.telemetry, "telemetry plan"));
   }
   for (const auto& axis : spec.axes) {
     if (axis.values.empty()) {
@@ -318,6 +324,12 @@ std::vector<SweepRow> run_sweep(const SweepSpec& spec) {
           row.algo_params.with(key, value);
         }
       }
+      // And the sweep-level telemetry knobs, with the same precedence.
+      for (const auto& [key, value] : spec.telemetry.values()) {
+        if (!row.algo_params.has(key) && algorithm_declares(algo.name, key)) {
+          row.algo_params.with(key, value);
+        }
+      }
       row.scenario_merged =
           merge_params(family.defaults, row.scenario_params,
                        "scenario family '" + spec.scenario_family + "'");
@@ -359,6 +371,10 @@ std::vector<SweepRow> run_sweep(const SweepSpec& spec) {
         accumulate_trial(row.stats, inst, result,
                          cell.success && cell.success(inst, result),
                          cell.success2 && cell.success2(inst, result));
+        if (capture != nullptr && result.telemetry != nullptr) {
+          capture->entries.push_back({row.algorithm, cell.row, t, seed,
+                                      std::move(result.telemetry)});
+        }
       }
     }
   }
@@ -446,6 +462,7 @@ std::string sweep_spec_json(const SweepSpec& spec) {
   w.key("threads").value(static_cast<std::uint64_t>(spec.threads));
   write_params(w, "faults", spec.faults);
   write_params(w, "reliability", spec.reliability);
+  write_params(w, "telemetry", spec.telemetry);
   write_success_spec(w, "success", spec.success);
   write_success_spec(w, "success2", spec.success2);
   w.end_object();
@@ -565,6 +582,10 @@ SweepSpec sweep_spec_from_json(const std::string& text) {
       spec.reliability = param_set_from_json(value, "reliability");
       (void)reliability_plan_from_params(merge_params(
           reliability_param_defaults(), spec.reliability, "reliability plan"));
+    } else if (key == "telemetry") {
+      spec.telemetry = param_set_from_json(value, "telemetry");
+      (void)telemetry_plan_from_params(merge_params(
+          telemetry_param_defaults(), spec.telemetry, "telemetry plan"));
     } else if (key == "success") {
       spec.success = success_spec_from_json(value, "success");
     } else if (key == "success2") {
@@ -573,7 +594,8 @@ SweepSpec sweep_spec_from_json(const std::string& text) {
       throw std::invalid_argument(
           "sweep spec has no field '" + key +
           "'; fields: title, scenario, algorithms, axes, trials, seed_base, "
-          "seeds, threads, faults, reliability, success, success2");
+          "seeds, threads, faults, reliability, telemetry, success, "
+          "success2");
     }
   }
   if (!have_scenario) {

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -102,6 +103,14 @@ struct SweepSpec {
   /// in a lossy comparison.
   ParamSet reliability;
 
+  /// Telemetry overrides (src/runtime/telemetry.hpp keys: tel_metrics,
+  /// tel_trace, tel_probes, tel_stride, tel_max_samples, tel_max_spans),
+  /// distributed exactly like `faults`/`reliability`. Telemetry never
+  /// perturbs results — fixed-seed labels and RunStats are bit-identical
+  /// with it on or off — so it lives beside threads as a pure
+  /// observability knob; captures come back via run_sweep's capture sink.
+  ParamSet telemetry;
+
   SuccessSpec success;
   SuccessSpec success2;
 };
@@ -128,6 +137,20 @@ struct SweepRow {
   [[nodiscard]] double headline_cost_mean() const;
 };
 
+/// Per-trial telemetry captures of a sweep (only trials whose algorithm ran
+/// with telemetry enabled contribute an entry). Entries arrive in execution
+/// order: grid-point-major, then trial, then the spec's algorithm order.
+struct TelemetryCapture {
+  struct Entry {
+    std::string algorithm;
+    std::size_t row = 0;    ///< index into run_sweep's returned rows
+    std::size_t trial = 0;  ///< trial ordinal within the row
+    std::uint64_t seed = 0;
+    std::shared_ptr<Telemetry> telemetry;
+  };
+  std::vector<Entry> entries;
+};
+
 /// Runs the sweep: for every algorithm and every grid point, `trials` seeded
 /// executions resolved through the Scenario- and AlgorithmRegistry,
 /// aggregated exactly like run_trials (so sweep rows are bit-identical to
@@ -137,8 +160,10 @@ struct SweepRow {
 /// ordered algorithm-major, then grid points with the first axis outermost.
 /// Every (algorithm, grid point) configuration is validated up front, so
 /// unknown families, algorithms or parameters throw std::invalid_argument
-/// before any trial runs.
-std::vector<SweepRow> run_sweep(const SweepSpec& spec);
+/// before any trial runs. When `capture` is non-null, every trial that ran
+/// with telemetry enabled appends its capture there.
+std::vector<SweepRow> run_sweep(const SweepSpec& spec,
+                                TelemetryCapture* capture = nullptr);
 
 /// One machine-readable JSON object (single line, no trailing newline) per
 /// row: scenario, algorithm, seed schedule, trial counts and the full

@@ -8,6 +8,8 @@
 
 namespace nc {
 
+class JsonWriter;
+
 /// Traffic and progress measurements for one simulated execution.
 ///
 /// These are the quantities the paper's complexity statements bound:
@@ -67,6 +69,12 @@ struct RunStats {
 
   /// Human-readable one-line summary.
   [[nodiscard]] std::string summary() const;
+
+  /// Complete JSON object (begin_object .. end_object) via util/json — the
+  /// single source of stats field names for `nearclique run --json`, the
+  /// telemetry metrics dump and the stall post-mortem, so schemas cannot
+  /// drift apart.
+  void to_json(JsonWriter& w) const;
 };
 
 /// Per-phase batch of traffic charges. The deliver phase charges every

@@ -1,6 +1,6 @@
 #include "runtime/network.hpp"
 
-// nclint:allow-file(wall-clock): opt-in profile timers (NetConfig::profile) — steady_clock reads only feed NetProfile seconds, never a simulation decision.
+// nclint:allow-file(wall-clock): opt-in profile/telemetry timers (NetConfig::profile, NetConfig::telemetry) — steady_clock reads only feed NetProfile seconds and trace span timestamps, never a simulation decision.
 
 #include <algorithm>
 #include <cassert>
@@ -105,9 +105,45 @@ void NodeApi::set_done() {
   }
 }
 
+std::uint32_t NodeApi::probe_counter(const char* name) {
+  if (!net_->telem_) return kNoProbe;
+  return net_->telem_->register_probe(name, /*counter=*/true);
+}
+
+std::uint32_t NodeApi::probe_gauge(const char* name) {
+  if (!net_->telem_) return kNoProbe;
+  return net_->telem_->register_probe(name, /*counter=*/false);
+}
+
+void NodeApi::probe_add(std::uint32_t probe, std::uint64_t delta) {
+  // kNoProbe short-circuits before the engine is touched, so instrumented
+  // protocol code costs one compare per call when probes are off.
+  if (probe == NodeApi::kNoProbe) return;
+  net_->telem_->probe_add(net_->plan_.node_shard[id_], probe, delta);
+}
+
 // ---------------------------------------------------------------------------
 // Network
 // ---------------------------------------------------------------------------
+
+namespace {
+
+// Trace-span clock arithmetic (tracing only; the telemetry engine itself
+// never reads a clock — it is handed these offsets).
+double span_ts_us(std::uint64_t epoch_ns,
+                  std::chrono::steady_clock::time_point tp) {
+  const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      tp.time_since_epoch())
+                      .count();
+  return (static_cast<double>(ns) - static_cast<double>(epoch_ns)) / 1000.0;
+}
+
+double span_dur_us(std::chrono::steady_clock::time_point a,
+                   std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double, std::micro>(b - a).count();
+}
+
+}  // namespace
 
 Network::Network(const Graph& g, const NetConfig& config,
                  const std::function<std::unique_ptr<INode>(NodeId)>& factory)
@@ -206,6 +242,21 @@ Network::Network(const Graph& g, const NetConfig& config,
     rel_ = std::make_unique<ReliabilityEngine>(
         config.reliability, config.faults, faults_.get(), directed_edges,
         header_bits_, bandwidth_bits_, config.seed);
+  }
+
+  // Telemetry engine (opt-in). Built before on_start so nodes can register
+  // probes there. Unlike faults_/rel_ it never changes the pipeline's path
+  // choice — the fused fast path stays fused — because recording only
+  // *reads* engine state the round loop maintains anyway.
+  if (config.telemetry.any()) {
+    telem_ = std::make_unique<TelemetryEngine>(config.telemetry, k);
+    if (config.telemetry.trace) {
+      telem_epoch_ns_ = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now().time_since_epoch())
+              .count());
+      telem_->set_epoch_ns(telem_epoch_ns_);
+    }
   }
 
   const Rng master(config.seed);
@@ -311,7 +362,7 @@ void Network::apply_fault_events() {
         auto& st = states_[v];
         NodeApi api(*this, v);
         if (faults_->crash_round(v) == round_) {
-          stats_.crash_events += 1;
+          stats_.crash_events += 1;  // nclint:allow(stats-batch) serial round loop, one event per churn entry
           if (!st.done) nodes_[v]->on_crash(api);
           st.alarm = kNoAlarm;  // one-shot alarms are lost in the crash
           if (faults_->recover_round(v) == FaultEngine::kNever && !st.done) {
@@ -322,7 +373,7 @@ void Network::apply_fault_events() {
             ++sh.done_count;
           }
         } else {
-          stats_.recover_events += 1;
+          stats_.recover_events += 1;  // nclint:allow(stats-batch) serial round loop, one event per churn entry
           if (!st.done) {
             nodes_[v]->on_recover(api);
             wake(sh, v);  // guarantee an on_round to re-arm alarms
@@ -411,7 +462,7 @@ Network::LinkVerdict Network::link_verdict(Shard& sh, std::size_t e,
       (faults_->crashed_at(from, round_) || faults_->crashed_at(to, round_))) {
     // Crash silencing is beneath the reliability service: a crashed
     // endpoint neither retransmits nor collects repair chunks.
-    sh.traffic.messages_dropped_crash += count;
+    sh.traffic.messages_dropped_crash += count;  // nclint:allow(stats-batch) one charge per link verdict, already batched over the row's receivers
     out.fate = LinkVerdict::Fate::kDrop;
     return out;
   }
@@ -420,14 +471,14 @@ Network::LinkVerdict Network::link_verdict(Shard& sh, std::size_t e,
     // Fault-only path (faults_ is non-null here: the verdict is only
     // consulted when faults_ or rel_ is active).
     if (lost) {
-      sh.traffic.messages_lost += count;
+      sh.traffic.messages_lost += count;  // nclint:allow(stats-batch) one charge per link verdict, already batched over the row's receivers
       out.fate = LinkVerdict::Fate::kDrop;
       return out;
     }
     const std::uint64_t delay = faults_->delay_of(e, from, to, round_);
     if (delay > 0) {
       out.deliver_round = round_ + delay;
-      sh.traffic.messages_delayed += count;
+      sh.traffic.messages_delayed += count;  // nclint:allow(stats-batch) one charge per link verdict
     }
     return out;
   }
@@ -448,7 +499,7 @@ Network::LinkVerdict Network::link_verdict(Shard& sh, std::size_t e,
       const std::uint64_t delay = faults_->delay_of(e, from, to, round_);
       if (delay > 0) {
         due = round_ + delay;
-        sh.traffic.messages_delayed += count;
+        sh.traffic.messages_delayed += count;  // nclint:allow(stats-batch) one charge per link verdict
       }
     }
     // The release floor keeps the stream FIFO across window releases: a
@@ -466,7 +517,7 @@ Network::LinkVerdict Network::link_verdict(Shard& sh, std::size_t e,
     const std::uint64_t rec =
         rel_->arq_recover(e, from, to, round_, kind, wire_bits, sh.traffic);
     if (rec == ReliabilityEngine::kNever) {
-      sh.traffic.messages_lost += count;
+      sh.traffic.messages_lost += count;  // nclint:allow(stats-batch) one charge per link verdict, already batched over the row's receivers
       out.fate = LinkVerdict::Fate::kDrop;
       return out;
     }
@@ -481,7 +532,7 @@ Network::LinkVerdict Network::link_verdict(Shard& sh, std::size_t e,
       const std::uint64_t delay = faults_->delay_of(e, from, to, round_);
       if (delay > 0) {
         due = round_ + delay;
-        sh.traffic.messages_delayed += count;
+        sh.traffic.messages_delayed += count;  // nclint:allow(stats-batch) one charge per link verdict
       }
     }
   }
@@ -493,6 +544,7 @@ Network::LinkVerdict Network::link_verdict(Shard& sh, std::size_t e,
 
 void Network::park_row(Shard& sh, std::size_t e, const MsgView& v, NodeId to,
                        std::uint32_t back_index, const LinkVerdict& verdict) {
+  if (telem_) sh.telem_fec_parks += 1;
   // Heap-backed (default bind): parked rows outlive the round that staged
   // them, so they must not live in the per-round arena.
   sh.rel_parked.push(v, to, back_index, 0);
@@ -567,7 +619,7 @@ void Network::resolve_fec_windows(Shard& sh) {
       continue;
     }
     if (sh.rel_parked_lost[i] != 0 && recovered[j] == 0) {
-      sh.traffic.messages_lost += 1;
+      sh.traffic.messages_lost += 1;  // nclint:allow(stats-batch) FEC resolution is a cold once-per-window path
       continue;
     }
     const MsgBlock::Rec r = sh.rel_parked.record(i, header_bits_);
@@ -581,6 +633,27 @@ void Network::resolve_fec_windows(Shard& sh) {
 
 void Network::stage_shard(unsigned s) {
   Shard& sh = shards_[s];
+  // Telemetry epilogue, shared by both exits: lane message counts feed the
+  // metrics columns (per-shard load balance), the span feeds the trace.
+  // Clock reads happen only when tracing is on.
+  using clock = std::chrono::steady_clock;
+  const bool trace_shard = telem_ && telem_->trace_on() && shards_.size() > 1;
+  clock::time_point tt0;
+  if (trace_shard) tt0 = clock::now();
+  const auto telem_exit = [&]() {
+    if (!telem_) return;
+    if (telem_->metrics_on()) {
+      std::uint64_t staged = 0;
+      for (const auto& lane : sh.lanes) staged += lane.message_count();
+      sh.telem_staged += staged;
+    }
+    if (trace_shard) {
+      const auto tt1 = clock::now();
+      sh.telem_spans.push_back(Telemetry::Span{
+          "stage", s + 1, round_, span_ts_us(telem_epoch_ns_, tt0),
+          span_dur_us(tt0, tt1)});
+    }
+  };
   // O(1) rewind of the whole previous round's transient storage, then
   // re-carve the lane columns at last round's sizes.
   sh.arena.reset();
@@ -592,7 +665,10 @@ void Network::stage_shard(unsigned s) {
   if (rel_ && rel_->fec() && !sh.rel_pending_edges.empty()) {
     resolve_fec_windows(sh);
   }
-  if (sh.active_links.empty()) return;
+  if (sh.active_links.empty()) {
+    telem_exit();  // released FEC rows may sit in the lanes even so
+    return;
+  }
   // Ascending (owner, neighbour-index) order within the shard; shards are
   // contiguous ID ranges, so concatenating the shards' sorted sets in shard
   // order reproduces the historical global-scan delivery order exactly —
@@ -717,6 +793,7 @@ void Network::stage_shard(unsigned s) {
     for (const auto& lane : sh.lanes) staged += lane.message_count();
     if (staged > sh.staged_peak) sh.staged_peak = staged;
   }
+  telem_exit();
 }
 
 void Network::deliver_round_serial() {
@@ -788,6 +865,10 @@ void Network::deliver_round_serial() {
 
 void Network::deliver_shard(unsigned d) {
   Shard& dst = shards_[d];
+  using clock = std::chrono::steady_clock;
+  const bool trace_shard = telem_ && telem_->trace_on() && shards_.size() > 1;
+  clock::time_point tt0;
+  if (trace_shard) tt0 = clock::now();
   TrafficBatch batch;
   if (faults_ || rel_) {
     // Delayed traffic falls due ahead of this round's on-time traffic, in
@@ -799,7 +880,7 @@ void Network::deliver_shard(unsigned d) {
       for (std::size_t i = 0; i < bucket.size(); ++i) {
         const MsgBlock::Rec r = bucket.record(i, header_bits_);
         if (faults_ && faults_->crashed_at(r.to, round_)) {
-          dst.traffic.messages_dropped_crash += 1;
+          dst.traffic.messages_dropped_crash += 1;  // nclint:allow(stats-batch) crash-silencing is rare; batching it would complicate the delayed-bucket walk
         } else {
           deliver_record(dst, batch, r);
         }
@@ -857,11 +938,27 @@ void Network::deliver_shard(unsigned d) {
     }
   }
   batch.flush_into(dst.traffic);
+  if (trace_shard) {
+    const auto tt1 = clock::now();
+    dst.telem_spans.push_back(Telemetry::Span{
+        "deliver", d + 1, round_, span_ts_us(telem_epoch_ns_, tt0),
+        span_dur_us(tt0, tt1)});
+  }
 }
 
 void Network::wake_shard(unsigned s) {
   Shard& sh = shards_[s];
+  using clock = std::chrono::steady_clock;
+  const bool trace_shard = telem_ && telem_->trace_on() && shards_.size() > 1;
+  clock::time_point tt0;
+  if (trace_shard) tt0 = clock::now();
   collect_due_alarms(sh);
+  if (trace_shard) {
+    const auto tt1 = clock::now();
+    sh.telem_spans.push_back(Telemetry::Span{
+        "alarm", s + 1, round_, span_ts_us(telem_epoch_ns_, tt0),
+        span_dur_us(tt0, tt1)});
+  }
   const std::size_t span = static_cast<std::size_t>(sh.end - sh.begin);
   if (sh.wake_list.size() * 8 >= span) {
     // Dense round (most protocol rounds wake most nodes): rebuild the ID
@@ -879,6 +976,7 @@ void Network::wake_shard(unsigned s) {
   // ascending ID order. Protocol callbacks observe this order directly.
   nc_invariant(std::is_sorted(sh.wake_list.begin(), sh.wake_list.end()),
                "wake phase must run nodes in ascending ID order");
+  if (telem_) sh.telem_wakeups += sh.wake_list.size();
   for (const NodeId v : sh.wake_list) {
     sh.woken[v - sh.begin] = 0;
     if (states_[v].done) continue;
@@ -887,6 +985,12 @@ void Network::wake_shard(unsigned s) {
     refresh_outgoing(v);
   }
   sh.wake_list.clear();
+  if (trace_shard) {
+    const auto tt1 = clock::now();
+    sh.telem_spans.push_back(Telemetry::Span{
+        "wake", s + 1, round_, span_ts_us(telem_epoch_ns_, tt0),
+        span_dur_us(tt0, tt1)});
+  }
 }
 
 bool Network::step(bool allow_fast_forward) {
@@ -924,34 +1028,54 @@ bool Network::step(bool allow_fast_forward) {
   // A single shard fuses the two phases: no lanes, no round-sized buffer —
   // except under an active fault plan, where even one shard takes the
   // staged path so the loss/delay/churn decision points exist exactly once.
-  // Clock reads exist only on the opt-in profiling path.
+  // Clock reads exist only on the opt-in profiling/tracing paths.
   using clock = std::chrono::steady_clock;
   const bool prof = config_.profile != nullptr;
+  const bool tr = telem_ && telem_->trace_on();
+  if (telem_) telem_->begin_round(round_);
   clock::time_point t0;
-  if (prof) t0 = clock::now();
+  if (prof || tr) t0 = clock::now();
   if (shards_.size() == 1 && !faults_ && !rel_) {
     deliver_round_serial();
-    if (prof) {
+    if (prof || tr) {
       // The fused loop schedules and delivers in one pass; splitting its
       // time into stage/deliver would require a clock read per edge. It is
       // booked honestly as its own phase instead (fused_seconds), so a
       // 1-thread profile no longer shows stage_seconds: 0 with the stage
       // work hidden inside deliver_seconds.
       const auto t1 = clock::now();
-      prof_.fused_seconds += std::chrono::duration<double>(t1 - t0).count();
+      if (prof) {
+        prof_.fused_seconds += std::chrono::duration<double>(t1 - t0).count();
+      }
+      if (tr) {
+        telem_->add_span("fused", 0, round_, span_ts_us(telem_epoch_ns_, t0),
+                         span_dur_us(t0, t1));
+      }
       t0 = t1;
     }
   } else {
     for_each_shard([this](unsigned s) { stage_shard(s); });
-    if (prof) {
+    if (prof || tr) {
       const auto t1 = clock::now();
-      prof_.stage_seconds += std::chrono::duration<double>(t1 - t0).count();
+      if (prof) {
+        prof_.stage_seconds += std::chrono::duration<double>(t1 - t0).count();
+      }
+      if (tr) {
+        telem_->add_span("stage", 0, round_, span_ts_us(telem_epoch_ns_, t0),
+                         span_dur_us(t0, t1));
+      }
       t0 = t1;
     }
     for_each_shard([this](unsigned s) { deliver_shard(s); });
-    if (prof) {
+    if (prof || tr) {
       const auto t1 = clock::now();
-      prof_.deliver_seconds += std::chrono::duration<double>(t1 - t0).count();
+      if (prof) {
+        prof_.deliver_seconds += std::chrono::duration<double>(t1 - t0).count();
+      }
+      if (tr) {
+        telem_->add_span("deliver", 0, round_, span_ts_us(telem_epoch_ns_, t0),
+                         span_dur_us(t0, t1));
+      }
       t0 = t1;
     }
   }
@@ -961,13 +1085,75 @@ bool Network::step(bool allow_fast_forward) {
     stats_.merge_traffic(sh.traffic);
     sh.traffic = RunStats{};
   }
-  for_each_shard([this](unsigned s) { wake_shard(s); });
-  if (prof) {
-    prof_.wake_seconds +=
-        std::chrono::duration<double>(clock::now() - t0).count();
+  // Stall-diagnostics breadcrumb: remember the last round that delivered
+  // anything (two integer ops per round — kept unconditional).
+  if (stats_.messages != last_delivery_messages_) {
+    last_delivery_messages_ = stats_.messages;
+    last_delivery_round_ = round_;
   }
+  for_each_shard([this](unsigned s) { wake_shard(s); });
+  double round_ts_us = -1.0;
+  if (prof || tr) {
+    const auto t1 = clock::now();
+    if (prof) {
+      prof_.wake_seconds += std::chrono::duration<double>(t1 - t0).count();
+    }
+    if (tr) {
+      telem_->add_span("wake", 0, round_, span_ts_us(telem_epoch_ns_, t0),
+                       span_dur_us(t0, t1));
+      round_ts_us = span_ts_us(telem_epoch_ns_, t1);
+    }
+  }
+  if (telem_) round_telemetry(round_ts_us);
   stats_.rounds = round_;
   return !all_done();
+}
+
+void Network::round_telemetry(double ts_us) {
+  // Serial end-of-round drain, ascending shard order (the same discipline
+  // as the stats reduction above; telemetry sums are u64, so the order is
+  // a determinism convention rather than a correctness requirement).
+  for (unsigned s = 0; s < shards_.size(); ++s) {
+    Shard& sh = shards_[s];
+    telem_->note_shard_round(s, sh.telem_wakeups, sh.telem_staged,
+                             sh.telem_fec_parks);
+    sh.telem_wakeups = 0;
+    sh.telem_staged = 0;
+    sh.telem_fec_parks = 0;
+    for (const auto& sp : sh.telem_spans) {
+      telem_->add_span(sp.name, sp.tid, sp.round, sp.ts_us, sp.dur_us);
+    }
+    sh.telem_spans.clear();
+  }
+  telem_->end_round(round_, active_link_count(), stats_, ts_us);
+}
+
+StallReport Network::stall_report() const {
+  StallReport r;
+  r.stalled = stats_.stalled;
+  r.hit_round_limit = stats_.hit_round_limit;
+  r.rounds = stats_.rounds;
+  r.last_delivery_round = last_delivery_round_;
+  r.nodes_total = n_;
+  for (NodeId v = 0; v < n_; ++v) {
+    const auto& st = states_[v];
+    if (st.done) ++r.nodes_done;
+    if (st.alarm != kNoAlarm) {
+      ++r.armed_alarms;
+      r.next_alarm_round = std::min(r.next_alarm_round, st.alarm);
+    }
+    if (faults_ && faults_->crashed_at(v, round_)) ++r.nodes_crashed;
+  }
+  for (const auto& sh : shards_) {
+    for (const auto& [due, bucket] : sh.delayed) {
+      r.delayed_in_flight += bucket.message_count();
+      r.next_delayed_round = std::min(r.next_delayed_round, due);
+    }
+    r.fec_parked += sh.rel_parked.size();
+    r.fec_pending_edges += sh.rel_pending_edges.size();
+    r.active_links += sh.active_links.size();
+  }
+  return r;
 }
 
 void Network::flush_profile() {
@@ -990,10 +1176,16 @@ void Network::flush_profile() {
   *config_.profile = prof_;
 }
 
+void Network::flush_telemetry() {
+  if (!telem_) return;
+  telem_->flush(stats_, n_, shards_.size(), config_.seed);
+}
+
 RunStats Network::run() {
   while (step(/*allow_fast_forward=*/true)) {
   }
   flush_profile();
+  flush_telemetry();
   return stats_;
 }
 
@@ -1002,6 +1194,7 @@ bool Network::run_rounds(std::uint64_t rounds) {
     if (!step(/*allow_fast_forward=*/false)) break;
   }
   flush_profile();
+  flush_telemetry();
   return all_done();
 }
 

@@ -17,6 +17,7 @@
 #include "runtime/reliability.hpp"
 #include "runtime/shard.hpp"
 #include "runtime/stream.hpp"
+#include "runtime/telemetry.hpp"
 #include "util/arena.hpp"
 #include "util/ids.hpp"
 #include "util/rng.hpp"
@@ -111,6 +112,15 @@ struct NetConfig {
   /// (flushed at the end of run()/run_rounds()). Null — the default —
   /// keeps the hot path free of clock reads and peak bookkeeping.
   NetProfile* profile = nullptr;
+
+  /// Opt-in observability (src/runtime/telemetry.hpp): per-round metric
+  /// rows, phase trace spans and the protocol probe API, recorded into
+  /// TelemetryPlan::sink. The default plan keeps the engine pointer null,
+  /// so every telemetry hook in the hot path is one branch; recording never
+  /// feeds back into a simulation decision, so fixed-seed runs are
+  /// bit-identical with telemetry on or off at every thread count (locked
+  /// by tests/test_telemetry.cpp).
+  TelemetryPlan telemetry;
 };
 
 /// The per-node view of the runtime: identity, topology (restricted to the
@@ -176,6 +186,26 @@ class NodeApi {
   /// Protocol code uses this to skip inbox scans on rounds where nothing of
   /// that kind arrived. Throws std::out_of_range for kind >= kMaxMsgKinds.
   [[nodiscard]] std::uint64_t rx_count(std::uint16_t kind) const;
+
+  /// Registers (or looks up) a named telemetry probe of counter kind
+  /// (sampled as its cumulative total). Returns kNoProbe — and probe_add
+  /// becomes a no-op — when probes are off (NetConfig::telemetry), so
+  /// instrumented protocols run unchanged without telemetry. Probe traffic
+  /// is charged no wire bits and never perturbs RunStats. Typically called
+  /// once from on_start; names are shared network-wide (every node adding
+  /// to "proto.x" feeds one series).
+  [[nodiscard]] std::uint32_t probe_counter(const char* name);
+
+  /// Same as probe_counter but gauge kind: sampled as the sum of the
+  /// probe_add deltas within each sampling window.
+  [[nodiscard]] std::uint32_t probe_gauge(const char* name);
+
+  /// Charges `delta` to a probe from this node (no-op on kNoProbe). Safe
+  /// from any INode callback; per-shard accumulators keep it wait-free.
+  void probe_add(std::uint32_t probe, std::uint64_t delta);
+
+  /// Sentinel handle returned when probes are off.
+  static constexpr std::uint32_t kNoProbe = TelemetryEngine::kNoProbe;
 
   /// Requests a wake-up: the node is idle until the given (absolute) round.
   /// This is how protocol code waits on the synchronous round counter (the
@@ -281,6 +311,13 @@ class Network {
     return static_cast<unsigned>(shards_.size());
   }
 
+  /// Post-mortem of the termination guards: where progress last happened
+  /// and what was still pending (armed alarms, in-flight delayed traffic,
+  /// FEC horizons). Available with telemetry off — it reads state the
+  /// engine keeps anyway — and cheap (one scan of nodes and shards), so
+  /// drivers call it after any aborted run.
+  [[nodiscard]] StallReport stall_report() const;
+
  private:
   friend class NodeApi;
 
@@ -371,6 +408,15 @@ class Network {
     std::uint64_t delayed_msgs = 0;
     std::uint64_t delayed_peak = 0;
     std::uint64_t bcast_saved = 0;
+
+    /// Telemetry partials (NetConfig::telemetry only; zero cost otherwise):
+    /// per-round on_round invocations, lane messages staged and FEC parks,
+    /// plus this shard's phase spans of the round. All shard-thread-owned;
+    /// drained serially (in shard order) at the end of each round.
+    std::uint64_t telem_wakeups = 0;
+    std::uint64_t telem_staged = 0;
+    std::uint64_t telem_fec_parks = 0;
+    std::vector<Telemetry::Span> telem_spans;
 
     /// Churn schedule for this shard's nodes: round -> nodes whose crash or
     /// recovery fires then. Precomputed at construction; never stale.
@@ -614,6 +660,32 @@ class Network {
   /// Publishes prof_ (plus the arenas' current high-water marks and the
   /// shards' peak counters) into *config_.profile. No-op when unprofiled.
   void flush_profile();
+
+  // Telemetry engine (null unless NetConfig::telemetry requests a facet
+  // and attaches a sink — the zero-cost-when-off contract is this null
+  // check). Unlike faults_/rel_, an active engine never changes the
+  // round pipeline's path choice: the fused fast path stays fused.
+  std::unique_ptr<TelemetryEngine> telem_;
+
+  // Wall-clock offset helper state for trace spans: nanoseconds-since-
+  // epoch captured at construction (only when tracing; the engine itself
+  // never reads a clock).
+  std::uint64_t telem_epoch_ns_ = 0;
+
+  /// Serial end-of-round telemetry drain: folds the shards' per-round
+  /// partials and spans into the engine (ascending shard order) and closes
+  /// the round's sampling window. Called only when telem_ is non-null.
+  void round_telemetry(double ts_us);
+
+  /// Copies the run echo and probe series into the telemetry sink. No-op
+  /// when telemetry is off.
+  void flush_telemetry();
+
+  // Stall-diagnostics breadcrumb, maintained unconditionally (two integer
+  // ops per round): the last round whose deliver phase handed a message to
+  // a node, and the messages total it was detected at.
+  std::uint64_t last_delivery_round_ = 0;
+  std::uint64_t last_delivery_messages_ = 0;
 
   RunStats stats_;
 };

@@ -1,0 +1,10 @@
+// Bad fixture for stats-batch: per-message read-modify-writes against a
+// RunStats sink in src/runtime/ — each increment line must be flagged.
+struct RunStats { unsigned long messages = 0; unsigned long bits = 0; };
+struct Shard { RunStats traffic; };
+
+void deliver(Shard& sh, RunStats& stats_) {
+  sh.traffic.messages += 1;
+  stats_.bits += 64;
+  ++stats_.messages;
+}

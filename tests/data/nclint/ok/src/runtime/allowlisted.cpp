@@ -20,3 +20,9 @@ double profile_now() {
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
 }
+
+struct ChurnStats { unsigned long crash_events = 0; } stats_;
+
+void churn_event() {
+  stats_.crash_events += 1;  // nclint:allow(stats-batch) serial once-per-event path
+}

@@ -83,6 +83,9 @@ TEST(NclintFixtures, BadTreeFlagsEveryRuleAtExactSites) {
             (V{"src/msgkind.cpp:7", "src/msgkind.cpp:8"}));
   EXPECT_EQ(sites_of(r, "alarm-contract"), (V{"src/alarm.cpp:8"}));
   EXPECT_EQ(sites_of(r, "bad-annotation"), (V{"src/bad_annotation.cpp:5"}));
+  EXPECT_EQ(sites_of(r, "stats-batch"),
+            (V{"src/runtime/stats_batch.cpp:7", "src/runtime/stats_batch.cpp:8",
+               "src/runtime/stats_batch.cpp:9"}));
   EXPECT_EQ(sites_of(r, "wall-clock"),
             (V{"src/wall_clock.cpp:2", "src/wall_clock.cpp:8",
                "src/wall_clock.cpp:12", "src/wall_clock.cpp:15",
@@ -90,7 +93,7 @@ TEST(NclintFixtures, BadTreeFlagsEveryRuleAtExactSites) {
 
   // Summary trailer states the totals the CI log shows at a glance.
   ASSERT_FALSE(r.lines.empty());
-  EXPECT_EQ(r.lines.back(), "nclint: 16 violations in 6 files");
+  EXPECT_EQ(r.lines.back(), "nclint: 19 violations in 7 files");
 }
 
 TEST(NclintFixtures, DiagnosticShapeIsGreppable) {
@@ -147,7 +150,7 @@ TEST(NclintFixtures, ListRulesCoversCatalogue) {
   ASSERT_EQ(r.exit_code, 0) << r.out;
   for (const char* rule :
        {"unordered-iter", "ordered-map", "wall-clock", "msgkind-budget",
-        "alarm-contract", "float-exact", "bad-annotation"}) {
+        "alarm-contract", "float-exact", "stats-batch", "bad-annotation"}) {
     EXPECT_NE(r.out.find(rule), std::string::npos) << "missing rule " << rule;
   }
 }

@@ -32,6 +32,13 @@
 //                    5.7 predicates are exact integer arithmetic by
 //                    contract (PR 3); a float equality in a theorem
 //                    predicate is either dead or wrong.
+//   stats-batch      no direct `stats_.x += / ++` or `.traffic.x += / ++`
+//                    in src/runtime/ — per-message charges go through
+//                    TrafficBatch (accounting.hpp) or the telemetry window
+//                    accumulators and flush once per phase; a stray
+//                    read-modify-write per message is the regression PR 7
+//                    removed. Deliberate once-per-event cold-path charges
+//                    carry an allow annotation naming their excuse.
 //   bad-annotation   an nclint allow annotation naming an unknown rule —
 //                    a typo here would silently disable nothing.
 //
@@ -74,7 +81,7 @@ struct SourceLine {
 
 constexpr const char* kRuleNames[] = {
     "unordered-iter", "ordered-map",    "wall-clock", "msgkind-budget",
-    "alarm-contract", "float-exact",    "bad-annotation",
+    "alarm-contract", "float-exact",    "stats-batch", "bad-annotation",
 };
 
 bool known_rule(std::string_view name) {
@@ -279,6 +286,7 @@ class Linter {
     const bool hot_scope = rel.find("src/runtime/") != std::string::npos ||
                            rel.find("src/core/") != std::string::npos;
     const bool core_scope = rel.find("src/core/") != std::string::npos;
+    const bool runtime_scope = rel.find("src/runtime/") != std::string::npos;
 
     // Pass 1: collect file-wide allows and per-line allows; flag typos.
     std::vector<std::string> file_allows;
@@ -444,6 +452,23 @@ class Linter {
       // --- float-exact ----------------------------------------------------
       if (core_scope) {
         lint_float_compare(code, i, flag);
+      }
+
+      // --- stats-batch ----------------------------------------------------
+      // Textual tripwire: a line that both names a RunStats sink (`stats_.`
+      // members or a shard's `.traffic.` partial) and increments in place.
+      // TrafficBatch itself is out of reach (it spells its parameter
+      // `stats.` and its own members bare), so the batched idiom never
+      // trips.
+      if (runtime_scope &&
+          (code.find("stats_.") != std::string::npos ||
+           code.find("traffic.") != std::string::npos) &&
+          (code.find("+=") != std::string::npos ||
+           code.find("++") != std::string::npos)) {
+        flag(i, "stats-batch",
+             "direct RunStats counter increment in src/runtime/ — charge "
+             "through TrafficBatch / a per-round accumulator and flush once "
+             "per phase, or annotate a deliberate cold-path one-off");
       }
     }
 
